@@ -1,0 +1,129 @@
+// Detection-quality ablation: how the variance threshold and the smoothing
+// slice length trade false positives (clean run) against sensitivity
+// (planted 30% degradation on one node).
+//
+// The paper fixes threshold ~0.7 ("white means half of the best") and slice
+// 1000us; this bench shows those are on the knee of the curve.
+#include <cstdio>
+
+#include "runtime/detector.hpp"
+#include "support/table.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace vsensor;
+
+struct RunData {
+  rt::Collector collector;
+  double makespan = 0.0;
+};
+
+void execute(bool degraded, double slice_seconds, RunData& out,
+             double os_noise_amplitude = 0.08) {
+  const auto cg = workloads::make_workload("CG");
+  auto cfg = workloads::baseline_config(16);
+  cfg.ranks_per_node = 4;
+  // Fig 12-style fine-grained OS jitter; the smoothing slice must average
+  // over several jitter periods to suppress it.
+  cfg.nodes.set_os_noise(os_noise_amplitude, 50e-6, 1);
+  if (degraded) workloads::inject_bad_node(cfg, 2, 0.7);  // mild: 30% slower
+  workloads::RunOptions opts;
+  opts.params.iterations = 10;
+  opts.params.scale = 0.15;
+  opts.runtime.slice_seconds = slice_seconds;
+  const auto run = workloads::run_workload(*cg, cfg, opts, &out.collector);
+  out.makespan = run.makespan;
+}
+
+/// Fraction of matrix cells on the degraded node's ranks (8-11) flagged,
+/// and fraction of other cells flagged (false positives).
+std::pair<double, double> rates(const rt::AnalysisResult& analysis,
+                                double threshold) {
+  const auto& m = analysis.matrix(rt::SensorType::Computation);
+  uint64_t hit = 0;
+  uint64_t hit_total = 0;
+  uint64_t fp = 0;
+  uint64_t fp_total = 0;
+  for (int r = 0; r < m.ranks(); ++r) {
+    for (int b = 0; b < m.buckets(); ++b) {
+      if (!m.has(r, b)) continue;
+      const bool is_target = r >= 8 && r <= 11;
+      (is_target ? hit_total : fp_total) += 1;
+      if (m.at(r, b) < threshold) (is_target ? hit : fp) += 1;
+    }
+  }
+  return {hit_total ? static_cast<double>(hit) / hit_total : 0.0,
+          fp_total ? static_cast<double>(fp) / fp_total : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Detection-quality ablation — mild bad node (70%% speed) on "
+              "ranks 8-11 of 16\n\n");
+
+  // --- threshold sweep at the paper's 1000us slice ---
+  RunData degraded;
+  execute(true, 1e-3, degraded);
+  RunData clean;
+  execute(false, 1e-3, clean);
+
+  TextTable thresholds({"threshold", "degraded-cells-hit", "clean-cells-flagged"});
+  for (const double th : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    rt::DetectorConfig cfg;
+    cfg.variance_threshold = th;
+    cfg.matrix_resolution = degraded.makespan / 50.0;
+    rt::Detector detector(cfg);
+    const auto on = detector.analyze(degraded.collector, 16, degraded.makespan);
+    const auto off = detector.analyze(clean.collector, 16, clean.makespan);
+    const auto [hit, miss_fp] = rates(on, th);
+    const auto [unused, fp] = rates(off, th);
+    (void)unused;
+    (void)miss_fp;
+    thresholds.add_row(
+        {fmt_double(th, 2), fmt_percent(hit), fmt_percent(fp)});
+  }
+  std::printf("threshold sweep (slice = 1000us):\n%s\n",
+              thresholds.to_string().c_str());
+  std::printf("expected knee: ~0.7-0.8 detects the 30%% degradation with "
+              "near-zero false positives; 0.95 flags OS jitter everywhere.\n\n");
+
+  // --- slice-length sweep: a short (10us) sensor under heavy fine-grained
+  // OS jitter, the Fig 12 setting. Local on-line flags (Sec 5.3) are false
+  // positives here: the node is healthy, only jittery.
+  TextTable slices({"slice", "slices-emitted", "false-flag-rate"});
+  for (const double slice : {50e-6, 500e-6, 5e-3}) {
+    simmpi::Config cfg;
+    cfg.ranks = 1;
+    cfg.nodes.set_os_noise(0.45, 25e-6, 9);
+    rt::RuntimeConfig rcfg;
+    rcfg.slice_seconds = slice;
+    uint64_t flags = 0;
+    uint64_t records = 0;
+    simmpi::run(cfg, [&](simmpi::Comm& comm) {
+      rt::SensorRuntime sensors(
+          rcfg, comm.rank(), nullptr, [&comm] { return comm.now(); },
+          [&comm](double s2) { comm.charge_overhead(s2); });
+      const int id = sensors.register_sensor(
+          {"short", rt::SensorType::Computation, "x.c", 1});
+      for (int i = 0; i < 20000; ++i) {
+        sensors.tick(id);
+        comm.compute(10e-6);
+        sensors.tock(id);
+      }
+      sensors.flush();
+      flags = sensors.local_variance_flags();
+      records = sensors.records_emitted();
+    });
+    slices.add_row({format_duration(slice), std::to_string(records),
+                    fmt_percent(static_cast<double>(flags) /
+                                static_cast<double>(std::max<uint64_t>(records, 1)))});
+  }
+  std::printf("slice sweep (10us sensor, 45%% fine-grained jitter):\n%s\n",
+              slices.to_string().c_str());
+  std::printf("expected: false-flag rate collapses as the slice grows — the\n"
+              "paper's rationale for 1000us smoothing (Fig 12, Sec 5.1).\n");
+  return 0;
+}

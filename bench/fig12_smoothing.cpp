@@ -1,0 +1,48 @@
+// Figure 12: filtering out background noise by aggregating sensor records
+// over time slices.
+//
+// Paper: a ~10us v-sensor executed repeatedly on Tianhe-2; raw per-10us
+// readings look chaotic, 1000us averages are smooth. Also serves as the
+// slice-length ablation called out in DESIGN.md.
+#include <cstdio>
+
+#include "runtime/slicer.hpp"
+#include "simmpi/models.hpp"
+#include "support/histogram.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace vsensor;
+
+  // A 10us fixed-workload sensor on a node with OS jitter, sampled for
+  // 200ms of virtual time (the paper's Fig 12 window).
+  simmpi::NodeModel node;
+  node.set_os_noise(0.35, 25e-6, 7);
+
+  std::printf("Figure 12 — smoothing ablation (10us sensor, 200ms window)\n\n");
+  TextTable table({"resolution", "samples", "mean(us)", "cv", "max/min"});
+
+  for (const double slice : {10e-6, 100e-6, 1000e-6, 10e-3}) {
+    rt::SliceAccumulator acc(0, 0, slice);
+    StreamingStats stats;
+    std::vector<double> values;
+    double t = 0.0;
+    while (t < 0.2) {
+      const double end = node.advance(0, t, 10e-6);
+      if (auto rec = acc.add(end, end - t, 0.0)) {
+        stats.add(rec->avg_duration);
+        values.push_back(rec->avg_duration);
+      }
+      t = end;
+    }
+    table.add_row({format_duration(slice), std::to_string(stats.count()),
+                   fmt_double(stats.mean() * 1e6, 2), fmt_double(stats.cv(), 4),
+                   fmt_double(max_min_ratio(values), 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("paper shape: raw 10us readings chaotic (cv high), 1000us "
+              "averages smooth (cv low); cv must fall monotonically with "
+              "slice length.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 13: online detection with a cache-miss dynamic rule.
+//
+// Paper: ten records with wall times 3,3,7,3,5,3,7,3,3,3 and cache-miss
+// levels L,L,H,L,L,L,H,L,L,L. Expecting constant cache miss flags records
+// 2, 4, 6; grouping by the dynamic rule leaves only record 4 (and clears
+// the high-miss group). Includes the grouping on/off ablation.
+#include <cstdio>
+
+#include "runtime/detector.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace vsensor;
+
+  const double wall[10] = {3, 3, 7, 3, 5, 3, 7, 3, 3, 3};
+  const char miss[10] = {'L', 'L', 'H', 'L', 'L', 'L', 'H', 'L', 'L', 'L'};
+  std::vector<rt::SliceRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    rt::SliceRecord rec;
+    rec.sensor_id = 0;
+    rec.rank = 0;
+    rec.t_begin = i * 1e-3;
+    rec.t_end = rec.t_begin + 1e-3;
+    rec.avg_duration = wall[i];
+    rec.min_duration = wall[i];
+    rec.count = 1;
+    rec.metric = miss[i] == 'H' ? 0.9F : 0.1F;
+    records.push_back(rec);
+  }
+
+  std::printf("Figure 13 — online detection example\n\n");
+  for (const bool grouped : {false, true}) {
+    rt::DetectorConfig cfg;
+    cfg.metric_bucket_width = grouped ? 0.5 : 0.0;
+    rt::Detector detector(cfg);
+    const auto normalized = detector.normalize_records(records);
+
+    std::printf("case %d: cache miss %s\n", grouped ? 2 : 1,
+                grouped ? "as a dynamic rule (grouped)"
+                        : "expected to be constant");
+    TextTable table({"record", "wall", "miss", "normalized", "flag"});
+    int flagged = 0;
+    for (int i = 0; i < 10; ++i) {
+      const bool flag = normalized[static_cast<size_t>(i)] <
+                        cfg.variance_threshold;
+      flagged += flag;
+      table.add_row({std::to_string(i), fmt_double(wall[i], 0),
+                     std::string(1, miss[i]),
+                     fmt_double(normalized[static_cast<size_t>(i)], 2),
+                     flag ? "VARIANCE" : ""});
+    }
+    std::printf("%s  -> %d records flagged (paper: %s)\n\n",
+                table.to_string().c_str(), flagged,
+                grouped ? "only record 4" : "records 2, 4, 6");
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figures 16 & 17: distribution of sense durations and inter-sense
+// intervals for each of the eight programs, plus the coverage/frequency
+// columns of Table 1.
+//
+// Paper shape: most durations < 100us, none > 1s; most intervals < 1s;
+// LULESH shows long intervals from its big non-fixed snippet; AMG has
+// almost no senses for half its lifetime.
+#include <cstdio>
+
+#include "support/table.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workload.hpp"
+
+int main() {
+  using namespace vsensor;
+  constexpr int kRanks = 32;
+
+  std::printf("Figures 16-17 — sense duration / interval distribution "
+              "(%d simulated ranks; paper: 16,384)\n\n",
+              kRanks);
+
+  TextTable durations({"program", "<100us", "100us~10ms", "10ms~1s", ">1s"});
+  TextTable intervals({"program", "<100us", "100us~10ms", "10ms~1s", ">1s"});
+  TextTable coverage(
+      {"program", "coverage", "frequency(kHz)", "max-interval", "of-run"});
+
+  for (const auto& w : workloads::make_all_workloads()) {
+    auto cfg = workloads::baseline_config(kRanks);
+    workloads::RunOptions opts;
+    opts.params.iterations = 12;
+    opts.params.scale = 0.1;
+    const auto run = workloads::run_workload(*w, cfg, opts);
+
+    auto row = [&](const BoundedHistogram& h) {
+      std::vector<std::string> cells{w->name()};
+      for (size_t b = 0; b < h.bucket_count(); ++b) {
+        cells.push_back(std::to_string(h.count(b)));
+      }
+      return cells;
+    };
+    durations.add_row(row(run.sense.durations));
+    intervals.add_row(row(run.sense.intervals));
+
+    const double total_rank_time = run.makespan * kRanks;
+    coverage.add_row({w->name(),
+                      fmt_percent(run.sense.coverage(total_rank_time)),
+                      fmt_double(run.sense.frequency(total_rank_time) / 1e3, 2),
+                      format_duration(run.sense.max_interval),
+                      fmt_percent(run.sense.max_interval / run.makespan)});
+  }
+
+  std::printf("Fig 16 — duration of senses (counts per bucket):\n%s\n",
+              durations.to_string().c_str());
+  std::printf("Fig 17 — interval between senses (counts per bucket):\n%s\n",
+              intervals.to_string().c_str());
+  std::printf("Table 1 (right columns) — sense-time coverage and frequency:\n%s\n",
+              coverage.to_string().c_str());
+  std::printf(
+      "paper shape checks (scale-adjusted: virtual runs are ~1000x shorter\n"
+      "than Tianhe-2 runs, so absolute >1s buckets are empty): no duration\n"
+      "exceeds the run; AMG has the lowest coverage and its senses stop\n"
+      "after the setup phase (max interval ~ the whole run); LULESH's\n"
+      "non-fixed material loop gives it the longest intervals among the\n"
+      "NPB-class apps.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 21: detecting a bad node with slow memory.
+//
+// Paper: CG with 256 processes on Tianhe-2; a white line near rank 100
+// exposed a node whose memory ran at 55% of the others; after replacing it
+// the run went from 80.04s to 66.05s (21% faster).
+#include <cstdio>
+#include <fstream>
+
+#include "report/render.hpp"
+#include "runtime/detector.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workload.hpp"
+
+int main() {
+  using namespace vsensor;
+  constexpr int kRanks = 256;
+
+  const auto cg = workloads::make_workload("CG");
+  workloads::RunOptions opts;
+  opts.params.iterations = 20;
+  // Real CG.D is communication-heavy (Fig 18 shows ~40% MPI time) with
+  // ~10us senses; this scale reproduces that mix, so the whole-job impact
+  // of one slow node lands near the paper's 21% — a uniformly slow node
+  // hurts a compute-bound job far more.
+  opts.params.scale = 0.0005;
+
+  auto cluster = workloads::baseline_config(kRanks);
+  const int bad_node = 4;  // ranks 96-119: the "white line near rank 100"
+  workloads::inject_bad_node(cluster, bad_node, 0.55);
+
+  std::printf("Figure 21 — CG with 256 ranks, one node at 55%% memory speed\n\n");
+  rt::Collector server;
+  const auto run = workloads::run_workload(*cg, cluster, opts, &server);
+
+  rt::DetectorConfig dcfg;
+  dcfg.matrix_resolution = run.makespan / 60.0;
+  rt::Detector detector(dcfg);
+  const auto analysis = detector.analyze(server, kRanks, run.makespan);
+  std::printf("computation performance matrix:\n%s\n",
+              report::render_ascii(analysis.matrix(rt::SensorType::Computation))
+                  .c_str());
+  for (const auto& ev : analysis.events) {
+    if (ev.type == rt::SensorType::Computation && ev.cells >= 8) {
+      std::printf("detected: %s\n", ev.describe(run.makespan, kRanks).c_str());
+    }
+  }
+  std::ofstream("fig21_comp_matrix.ppm", std::ios::binary)
+      << report::render_ppm(analysis.matrix(rt::SensorType::Computation));
+  std::printf("image written: fig21_comp_matrix.ppm\n");
+
+  // Resubmit without the bad node (paper: 80.04s -> 66.05s, 21% gain).
+  auto healthy = workloads::baseline_config(kRanks);
+  const auto rerun = workloads::run_workload(*cg, healthy, opts);
+  const double gain = (run.makespan - rerun.makespan) / run.makespan;
+  std::printf("\nwith bad node: %.3fs; after removing it: %.3fs — %.0f%% "
+              "improvement (paper: 80.04s -> 66.05s, 21%%)\n",
+              run.makespan, rerun.makespan, gain * 100.0);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// google-benchmark micro suite: hot-path costs of the dynamic module.
+#include <benchmark/benchmark.h>
+
+#include "runtime/collector.hpp"
+#include "runtime/detector.hpp"
+#include "runtime/sensor.hpp"
+#include "runtime/slicer.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace vsensor;
+
+// Tick/Tock pair with a manual clock: the probe cost the instrumented
+// program pays per sensor execution.
+void BM_TickTock(benchmark::State& state) {
+  double t = 0.0;
+  rt::RuntimeConfig cfg;
+  cfg.batch_records = 1u << 30;  // never ship during the benchmark
+  rt::SensorRuntime sensors(
+      cfg, 0, nullptr, [&t] { return t; }, [&t](double s) { t += s; });
+  const int id = sensors.register_sensor(
+      {"bench", rt::SensorType::Computation, "bench.c", 1});
+  for (auto _ : state) {
+    sensors.tick(id);
+    t += 50e-6;
+    sensors.tock(id);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TickTock);
+
+void BM_TickTockDisabled(benchmark::State& state) {
+  double t = 0.0;
+  rt::RuntimeConfig cfg;
+  cfg.min_avg_duration = 1.0;  // everything is "too short": disables fast
+  cfg.disable_after = 4;
+  rt::SensorRuntime sensors(
+      cfg, 0, nullptr, [&t] { return t; }, [&t](double s) { t += s; });
+  const int id = sensors.register_sensor(
+      {"bench", rt::SensorType::Computation, "bench.c", 1});
+  for (auto _ : state) {
+    sensors.tick(id);
+    t += 1e-6;
+    sensors.tock(id);
+  }
+}
+BENCHMARK(BM_TickTockDisabled);
+
+void BM_SliceAccumulate(benchmark::State& state) {
+  rt::SliceAccumulator acc(0, 0, 1e-3);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 20e-6;
+    benchmark::DoNotOptimize(acc.add(t, 20e-6, 0.0));
+  }
+}
+BENCHMARK(BM_SliceAccumulate);
+
+void BM_CollectorIngest(benchmark::State& state) {
+  const auto batch_size = static_cast<size_t>(state.range(0));
+  std::vector<rt::SliceRecord> batch(batch_size);
+  rt::Collector collector;
+  for (auto _ : state) {
+    collector.ingest(batch);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch_size));
+}
+BENCHMARK(BM_CollectorIngest)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DetectorAnalyze(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  rt::Collector collector;
+  collector.set_sensors({{"s", rt::SensorType::Computation, "f.c", 1}});
+  Rng rng(1);
+  std::vector<rt::SliceRecord> records;
+  for (int rank = 0; rank < ranks; ++rank) {
+    for (int slice = 0; slice < 100; ++slice) {
+      rt::SliceRecord rec;
+      rec.sensor_id = 0;
+      rec.rank = rank;
+      rec.t_begin = slice * 0.1;
+      rec.t_end = rec.t_begin + 0.1;
+      rec.avg_duration = rng.uniform(90e-6, 110e-6);
+      rec.count = 10;
+      records.push_back(rec);
+    }
+  }
+  collector.ingest(records);
+  rt::Detector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.analyze(collector, ranks, 10.0));
+  }
+}
+BENCHMARK(BM_DetectorAnalyze)->Arg(16)->Arg(128);
+
+void BM_NormalizeRecords(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<rt::SliceRecord> records(1000);
+  for (auto& rec : records) {
+    rec.avg_duration = rng.uniform(10e-6, 100e-6);
+    rec.metric = static_cast<float>(rng.uniform(0.0, 1.0));
+  }
+  rt::DetectorConfig cfg;
+  cfg.metric_bucket_width = 0.25;
+  rt::Detector detector(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.normalize_records(records));
+  }
+}
+BENCHMARK(BM_NormalizeRecords);
+
+}  // namespace
+
+BENCHMARK_MAIN();

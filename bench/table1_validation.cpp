@@ -1,0 +1,138 @@
+// Table 1: per-program validation of the static + dynamic modules.
+//
+// Static columns (snippets, v-sensors, instrumented count/type) come from
+// running the identification pipeline on each program's MiniC model; the
+// runtime columns (workload max error, overhead, coverage, frequency) come
+// from instrumented simMPI runs of the C++ mini-apps. Paper values are
+// printed alongside for shape comparison. Also includes the max-depth
+// ablation called out in DESIGN.md.
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/analysis.hpp"
+#include "ir/ir.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "support/table.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double kloc;
+  int snippets;
+  int vsensors;
+  const char* instrumented;
+  double max_error;
+  double overhead;
+  double coverage;
+  double freq_mhz;
+};
+
+// Paper Table 1 (16,384 processes; 15,625 for LULESH).
+constexpr PaperRow kPaper[] = {
+    {"BT", 11.3, 476, 190, "87Comp", 0.0478, 0.0231, 0.8708, 5.759},
+    {"CG", 2.0, 83, 25, "7Comp+5Net", 0.0007, 0.0237, 0.1452, 0.107},
+    {"FT", 2.5, 162, 49, "17Comp+3Net", 0.0391, 0.0373, 0.4264, 11.369},
+    {"LU", 7.7, 328, 168, "83Comp", 0.0382, 0.0208, 0.6403, 0.484},
+    {"SP", 6.3, 554, 85, "61Comp+6Net", 0.0376, 0.0022, 0.4532, 5.346},
+    {"AMG", 75.0, 4695, 555, "143Comp+3Net", 0.0086, 0.0162, 0.0018, 0.004},
+    {"LULESH", 5.3, 1401, 333, "21Comp+3Net", 0.0314, 0.0021, 0.1588, 1.197},
+    {"RAXML", 36.2, 2742, 677, "277Comp+24Net", 0.0484, 0.0346, 0.1723, 7.077},
+};
+
+const PaperRow& paper_row(const std::string& name) {
+  for (const auto& row : kPaper) {
+    if (name == row.name) return row;
+  }
+  return kPaper[0];
+}
+
+}  // namespace
+
+int main() {
+  using namespace vsensor;
+  constexpr int kRanks = 32;  // paper: 16,384 (scaled for simulation)
+
+  std::printf("Table 1 — vSensor validation (this repo: MiniC models + %d "
+              "simulated ranks; paper: real apps, 16,384 procs)\n\n",
+              kRanks);
+
+  TextTable table({"program", "paper-kloc", "snippets(paper)", "v-sensors(paper)",
+                   "instrumented(paper)", "max-err(paper)", "overhead(paper)",
+                   "coverage(paper)", "freq-kHz"});
+
+  for (const auto& w : workloads::make_all_workloads()) {
+    const auto& paper = paper_row(w->name());
+
+    // --- static module on the MiniC model ---
+    minic::Program program = minic::parse(w->minic_source());
+    minic::run_sema(program);
+    const auto ir = ir::lower(program);
+    const auto analysis = analysis::analyze(ir);
+    std::ostringstream instr;
+    const int comp = analysis.selected_count(analysis::SnippetKind::Computation);
+    const int net = analysis.selected_count(analysis::SnippetKind::Network);
+    const int io = analysis.selected_count(analysis::SnippetKind::IO);
+    instr << comp << "Comp";
+    if (net) instr << "+" << net << "Net";
+    if (io) instr << "+" << io << "IO";
+
+    // --- dynamic module on the instrumented mini-app ---
+    auto cfg = workloads::baseline_config(kRanks);
+    workloads::RunOptions instrumented;
+    instrumented.params.iterations = 10;
+    instrumented.params.scale = 0.1;
+    instrumented.pmu_jitter = 0.02;  // PMU measurement non-determinism
+    rt::Collector server;
+    const auto run = workloads::run_workload(*w, cfg, instrumented, &server);
+    workloads::RunOptions plain = instrumented;
+    plain.instrumented = false;
+    const auto base = workloads::run_workload(*w, cfg, plain);
+    const double overhead = (run.makespan - base.makespan) / base.makespan;
+    const double total_rank_time = run.makespan * kRanks;
+
+    auto cell = [](const std::string& mine, const std::string& paper_value) {
+      return mine + " (" + paper_value + ")";
+    };
+    table.add_row({
+        w->name(),
+        fmt_double(paper.kloc, 1),
+        cell(std::to_string(analysis.snippet_count()),
+             std::to_string(paper.snippets)),
+        cell(std::to_string(analysis.vsensor_count()),
+             std::to_string(paper.vsensors)),
+        cell(instr.str(), paper.instrumented),
+        cell(fmt_percent(run.workload_max_error()), fmt_percent(paper.max_error)),
+        cell(fmt_percent(overhead), fmt_percent(paper.overhead)),
+        cell(fmt_percent(run.sense.coverage(total_rank_time)),
+             fmt_percent(paper.coverage)),
+        cell(fmt_double(run.sense.frequency(total_rank_time) / 1e3, 2),
+             fmt_double(paper.freq_mhz * 1e3, 0)),
+    });
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("shape checks: every overhead < 4%%; every workload error < 5%%;\n"
+              "AMG has by far the lowest coverage; MiniC models are scaled-down\n"
+              "skeletons, so absolute snippet counts are smaller than the paper's.\n\n");
+
+  // --- max-depth ablation (selection granularity, §4) ---
+  std::printf("ablation — sensors selected vs max-depth (CG model):\n");
+  TextTable ablation({"max_depth", "selected", "comp", "net"});
+  for (int depth = 1; depth <= 4; ++depth) {
+    minic::Program program = minic::parse(workloads::minic_model("CG"));
+    minic::run_sema(program);
+    const auto ir = ir::lower(program);
+    analysis::AnalyzerConfig cfg;
+    cfg.max_depth = depth;
+    const auto analysis = analysis::analyze(ir, cfg);
+    ablation.add_row(
+        {std::to_string(depth), std::to_string(analysis.selected.size()),
+         std::to_string(analysis.selected_count(analysis::SnippetKind::Computation)),
+         std::to_string(analysis.selected_count(analysis::SnippetKind::Network))});
+  }
+  std::printf("%s", ablation.to_string().c_str());
+  return 0;
+}

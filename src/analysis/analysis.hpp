@@ -1,0 +1,211 @@
+// v-sensor identification (paper §3) and instrumentation selection (§4).
+//
+// Pipeline over the IR, in bottom-up call-graph order:
+//   1. external models  — default workload descriptions for libc/MPI calls;
+//      unknown externals are never-fixed (conservative strategy, §3.5).
+//   2. rank taint       — which variables carry process identity (§3.4).
+//   3. workload sources — per node, the external variables that determine
+//      its quantity of work (§3.2), with sequential def shielding.
+//   4. summaries        — per function: workload-affecting params/globals,
+//      written globals, never-fixed and rank-dependence flags (§3.3).
+//   5. identification   — snippet S is a v-sensor of enclosing loop L iff
+//      none of S's workload sources is (re)defined inside L.
+//   6. scope            — global v-sensors: fixed across every enclosing
+//      loop *and* every call path (top-down argument-invariance pass).
+//   7. selection        — global scope only, max-depth bound, outermost of
+//      nested sensors; never instrument inside an instrumented call (§4).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/callgraph.hpp"
+#include "ir/ir.hpp"
+
+namespace vsensor::analysis {
+
+// ------------------------------------------------------------ snippet kinds
+
+/// Component classification of a snippet (paper §3.1).
+enum class SnippetKind : uint8_t { Computation, Network, IO };
+
+/// Bitmask of kinds present within a region of code.
+struct KindMask {
+  uint8_t bits = 0;
+
+  void add(SnippetKind k) { bits |= static_cast<uint8_t>(1U << static_cast<int>(k)); }
+  bool has(SnippetKind k) const {
+    return (bits & (1U << static_cast<int>(k))) != 0;
+  }
+  void merge(const KindMask& other) { bits |= other.bits; }
+
+  /// Dominant kind for reporting: IO > Network > Computation.
+  SnippetKind dominant() const;
+};
+
+const char* snippet_kind_name(SnippetKind kind);
+
+// --------------------------------------------------------- external models
+
+/// Default description of an external function (paper §3.5: "vSensor
+/// provides default descriptions for common functions in Lib-C and MPI").
+struct ExternalModel {
+  /// Workload is fixed given fixed values of `workload_args`.
+  bool fixed = false;
+  SnippetKind kind = SnippetKind::Computation;
+  /// Argument indices whose values determine the quantity of work
+  /// (e.g. count/datatype of MPI_Send).
+  std::vector<int> workload_args;
+  /// Argument indices written through a pointer (&var out-parameters).
+  std::vector<int> out_args;
+  /// Out-args receive process identity (MPI_Comm_rank, gethostname).
+  bool rank_source = false;
+  /// The return value carries process identity (getpid).
+  bool returns_rank = false;
+};
+
+class ExternalModelTable {
+ public:
+  /// Built-in models for MPI and common libc functions.
+  static ExternalModelTable defaults();
+
+  /// User-supplied description (paper: "users can describe the behavior of
+  /// external functions").
+  void add(std::string name, ExternalModel model);
+
+  /// nullptr when the function is unknown (=> never-fixed workload).
+  const ExternalModel* find(const std::string& name) const;
+
+  size_t size() const { return models_.size(); }
+
+ private:
+  std::map<std::string, ExternalModel> models_;
+};
+
+// ------------------------------------------------------ function summaries
+
+struct FuncSummary {
+  /// True when the function can never have fixed workload: recursive,
+  /// or (transitively) calls an unknown external function.
+  bool never_fixed = false;
+  /// Parameter indices whose values determine the function's workload.
+  std::set<int> workload_params;
+  /// Globals whose values determine the function's workload.
+  ir::VarSet workload_globals;
+  /// Globals (transitively) written by the function.
+  ir::VarSet globals_written;
+  /// Workload depends on process identity even with fixed args/globals.
+  bool rank_dependent = false;
+  /// The return value is rank-tainted for some inputs.
+  bool returns_rank = false;
+  /// Component kinds present in the function body.
+  KindMask kinds;
+};
+
+// ------------------------------------------------------------------ snippets
+
+/// One v-sensor candidate: a loop or call inside at least one loop.
+struct Snippet {
+  int id = -1;
+  int func = -1;
+  const ir::Node* node = nullptr;
+  bool is_call = false;
+  SnippetKind kind = SnippetKind::Computation;
+  minic::SourceLoc loc;
+
+  /// External workload sources of the snippet.
+  ir::VarSet sources;
+  bool never_fixed = false;
+  /// Workload differs across processes (not usable for inter-process
+  /// comparison, §3.4).
+  bool rank_dependent = false;
+
+  /// Enclosing loops within the same function, outermost first.
+  std::vector<const ir::Node*> enclosing_loops;
+  /// sensor_of[i] — S is a v-sensor of enclosing_loops[i].
+  std::vector<bool> sensor_of;
+
+  /// V-sensor of at least its innermost enclosing loop.
+  bool is_vsensor = false;
+  /// V-sensor of every enclosing loop in its own function.
+  bool fixed_in_function = false;
+  /// Fixed across all call paths too: whole-program (global) scope (§4).
+  bool global_scope = false;
+
+  /// Loop-nesting depth: snippets directly inside an outermost loop have
+  /// depth 0 (the paper's "out-most loop is depth-0" numbering).
+  int depth = 0;
+};
+
+// ------------------------------------------------------------- full result
+
+struct AnalyzerConfig {
+  ExternalModelTable externals = ExternalModelTable::defaults();
+  /// Only sensors with depth < max_depth are instrumented (§4).
+  int max_depth = 3;
+};
+
+struct InstrumentationSite {
+  int snippet_id = -1;
+  int func = -1;
+  const ir::Node* node = nullptr;
+  SnippetKind kind = SnippetKind::Computation;
+  minic::SourceLoc loc;
+  std::string label;  ///< e.g. "main:L2" or "foo:C1"
+};
+
+struct AnalysisResult {
+  ir::CallGraph callgraph;
+  std::vector<FuncSummary> summaries;
+  /// All candidate snippets (loops and calls enclosed in >=1 loop).
+  std::vector<Snippet> snippets;
+  /// Sensors chosen for instrumentation (§4 rules applied).
+  std::vector<InstrumentationSite> selected;
+  /// Per-function rank-tainted variables (§3.4).
+  std::vector<ir::VarSet> rank_tainted;
+
+  // Aggregate counts (Table 1 columns).
+  int snippet_count() const { return static_cast<int>(snippets.size()); }
+  int vsensor_count() const;
+  int selected_count(SnippetKind kind) const;
+
+  const Snippet* find_snippet(const ir::Node* node) const;
+};
+
+/// Run the whole static analysis over a lowered program.
+AnalysisResult analyze(const ir::ProgramIR& ir, const AnalyzerConfig& config = {});
+
+// ------------------------------------------------- internal pass interfaces
+// Exposed for unit testing of individual passes.
+
+/// Pass 2: per-function rank-taint fixpoint. `summaries` must already hold
+/// callee results for all callees of `func` (bottom-up order).
+ir::VarSet compute_rank_taint(const ir::FunctionIR& func,
+                              const std::vector<FuncSummary>& summaries,
+                              const ExternalModelTable& externals,
+                              const ir::VarSet& tainted_globals);
+
+/// Pass 3+4 result for one node.
+struct NodeWorkload {
+  ir::VarSet sources;     ///< external workload sources
+  ir::VarSet defs;        ///< all definitions within the subtree
+  bool never_fixed = false;
+  bool rank_dependent = false;
+  KindMask kinds;
+};
+
+/// Compute workload info for every node of `func` (map keyed by node).
+std::map<const ir::Node*, NodeWorkload> compute_workloads(
+    const ir::FunctionIR& func, const std::vector<FuncSummary>& summaries,
+    const ExternalModelTable& externals, const ir::VarSet& rank_tainted);
+
+/// Pass 4: summarize one function from its workload map.
+FuncSummary summarize(const ir::FunctionIR& func,
+                      const std::map<const ir::Node*, NodeWorkload>& workloads,
+                      const std::vector<FuncSummary>& summaries,
+                      const ExternalModelTable& externals,
+                      const ir::VarSet& rank_tainted, bool recursive);
+
+}  // namespace vsensor::analysis

@@ -1,0 +1,135 @@
+// Default external-function descriptions (paper §3.5).
+//
+// MPI operations are fixed-workload given fixed count/datatype arguments;
+// common libc IO calls are fixed given fixed size arguments; everything not
+// listed here is conservatively never-fixed ("it avoids false positives,
+// which is more harmful").
+#include "analysis/analysis.hpp"
+
+namespace vsensor::analysis {
+
+const char* snippet_kind_name(SnippetKind kind) {
+  switch (kind) {
+    case SnippetKind::Computation: return "Comp";
+    case SnippetKind::Network: return "Net";
+    case SnippetKind::IO: return "IO";
+  }
+  return "?";
+}
+
+SnippetKind KindMask::dominant() const {
+  if (has(SnippetKind::IO)) return SnippetKind::IO;
+  if (has(SnippetKind::Network)) return SnippetKind::Network;
+  return SnippetKind::Computation;
+}
+
+void ExternalModelTable::add(std::string name, ExternalModel model) {
+  models_[std::move(name)] = std::move(model);
+}
+
+const ExternalModel* ExternalModelTable::find(const std::string& name) const {
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+ExternalModel make_model(bool fixed, SnippetKind kind, std::vector<int> workload_args = {},
+                         std::vector<int> out_args = {}, bool rank_source = false,
+                         bool returns_rank = false) {
+  ExternalModel m;
+  m.fixed = fixed;
+  m.kind = kind;
+  m.workload_args = std::move(workload_args);
+  m.out_args = std::move(out_args);
+  m.rank_source = rank_source;
+  m.returns_rank = returns_rank;
+  return m;
+}
+
+}  // namespace
+
+ExternalModelTable ExternalModelTable::defaults() {
+  ExternalModelTable t;
+  const auto net = SnippetKind::Network;
+  const auto io = SnippetKind::IO;
+  const auto comp = SnippetKind::Computation;
+
+  // --- MPI point-to-point: MPI_Send(buf, count, datatype, peer, tag, comm)
+  // Workload is determined by count and datatype (message size); peer/tag
+  // can be added as static rules by the user but are not by default.
+  t.add("MPI_Send", make_model(true, net, {1, 2}));
+  t.add("MPI_Isend", make_model(true, net, {1, 2}));
+  t.add("MPI_Ssend", make_model(true, net, {1, 2}));
+  // MPI_Recv(buf, count, datatype, source, tag, comm, status): status is an
+  // out-argument.
+  t.add("MPI_Recv", make_model(true, net, {1, 2}, {6}));
+  t.add("MPI_Irecv", make_model(true, net, {1, 2}));
+  // MPI_Sendrecv(sbuf, scount, stype, dst, stag, rbuf, rcount, rtype, src,
+  //              rtag, comm, status)
+  t.add("MPI_Sendrecv", make_model(true, net, {1, 2, 6, 7}, {11}));
+  t.add("MPI_Wait", make_model(true, net, {}, {1}));
+
+  // --- MPI collectives.
+  // MPI_Barrier(comm)
+  t.add("MPI_Barrier", make_model(true, net));
+  // MPI_Bcast(buf, count, datatype, root, comm)
+  t.add("MPI_Bcast", make_model(true, net, {1, 2}));
+  // MPI_Reduce(sendbuf, recvbuf, count, datatype, op, root, comm)
+  t.add("MPI_Reduce", make_model(true, net, {2, 3}));
+  // MPI_Allreduce(sendbuf, recvbuf, count, datatype, op, comm)
+  t.add("MPI_Allreduce", make_model(true, net, {2, 3}));
+  // MPI_Alltoall(sendbuf, scount, stype, recvbuf, rcount, rtype, comm)
+  t.add("MPI_Alltoall", make_model(true, net, {1, 2, 4, 5}));
+  // MPI_Allgather(sendbuf, scount, stype, recvbuf, rcount, rtype, comm)
+  t.add("MPI_Allgather", make_model(true, net, {1, 2, 4, 5}));
+  // MPI_Gather/Scatter(sendbuf, scount, stype, recvbuf, rcount, rtype,
+  //                    root, comm)
+  t.add("MPI_Gather", make_model(true, net, {1, 2, 4, 5}));
+  t.add("MPI_Scatter", make_model(true, net, {1, 2, 4, 5}));
+
+  // --- MPI environment: fixed (negligible) workload, but rank sources.
+  // MPI_Comm_rank(comm, &rank) writes process identity.
+  t.add("MPI_Comm_rank", make_model(true, comp, {}, {1}, /*rank_source=*/true));
+  t.add("MPI_Comm_size", make_model(true, comp, {}, {1}));
+  t.add("MPI_Init", make_model(true, comp));
+  t.add("MPI_Finalize", make_model(true, comp));
+  t.add("MPI_Wtime", make_model(true, comp));
+
+  // --- libc identity functions.
+  t.add("gethostname", make_model(true, comp, {}, {0}, /*rank_source=*/true));
+  t.add("getpid", make_model(true, comp, {}, {}, false, /*returns_rank=*/true));
+
+  // --- libc IO. printf's workload is format-dependent but bounded; the
+  // paper's default descriptions treat the common calls as fixed given
+  // their size arguments.
+  t.add("printf", make_model(true, io));
+  t.add("fprintf", make_model(true, io));
+  t.add("puts", make_model(true, io));
+  // fread/fwrite(ptr, size, nmemb, stream)
+  t.add("fread", make_model(true, io, {1, 2}));
+  t.add("fwrite", make_model(true, io, {1, 2}));
+  // read/write(fd, buf, count)
+  t.add("read", make_model(true, io, {2}));
+  t.add("write", make_model(true, io, {2}));
+  t.add("fopen", make_model(false, io));
+  t.add("fclose", make_model(true, io));
+
+  // --- libc compute helpers.
+  // memcpy/memset workload is the byte count.
+  t.add("memcpy", make_model(true, comp, {2}));
+  t.add("memset", make_model(true, comp, {2}));
+  t.add("sqrt", make_model(true, comp));
+  t.add("fabs", make_model(true, comp));
+  t.add("sin", make_model(true, comp));
+  t.add("cos", make_model(true, comp));
+  t.add("exp", make_model(true, comp));
+  t.add("log", make_model(true, comp));
+  t.add("abs", make_model(true, comp));
+  // malloc/free cost varies with allocator state: never fixed.
+  t.add("malloc", make_model(false, comp));
+  t.add("free", make_model(false, comp));
+  return t;
+}
+
+}  // namespace vsensor::analysis

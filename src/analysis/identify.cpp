@@ -1,0 +1,174 @@
+// Analysis orchestrator: runs the taint / workload / summary passes in
+// bottom-up call-graph order (with a short program-wide fixpoint for taint
+// flowing through globals), enumerates snippets, evaluates per-loop
+// sensor-ness, and hands over to the scope and selection passes.
+#include <functional>
+
+#include "analysis/internal.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::analysis {
+
+namespace detail {
+
+std::vector<Snippet> enumerate_snippets(const ProgramAnalysis& pa) {
+  std::vector<Snippet> snippets;
+  for (const auto& func : pa.ir->functions) {
+    const auto& fa = pa.functions[static_cast<size_t>(func.index)];
+    std::vector<const ir::Node*> loop_stack;
+
+    std::function<void(const ir::Node&)> walk = [&](const ir::Node& node) {
+      const bool is_candidate =
+          node.kind == ir::NodeKind::Loop || node.kind == ir::NodeKind::Call;
+      if (is_candidate) {
+        const NodeWorkload& w = fa.workloads.at(&node);
+        Snippet s;
+        s.id = static_cast<int>(snippets.size());
+        s.func = func.index;
+        s.node = &node;
+        s.is_call = node.kind == ir::NodeKind::Call;
+        s.kind = w.kinds.dominant();
+        s.loc = node.loc;
+        s.sources = w.sources;
+        s.never_fixed = w.never_fixed;
+        s.rank_dependent = w.rank_dependent;
+        s.enclosing_loops = loop_stack;
+        s.depth = static_cast<int>(loop_stack.size());
+
+        s.sensor_of.resize(loop_stack.size(), false);
+        for (size_t i = 0; i < loop_stack.size(); ++i) {
+          if (s.never_fixed) continue;
+          const NodeWorkload& lw = fa.workloads.at(loop_stack[i]);
+          bool variant = false;
+          for (const auto& v : s.sources) {
+            if (lw.defs.count(v)) {
+              variant = true;
+              break;
+            }
+          }
+          s.sensor_of[i] = !variant;
+        }
+        // A v-sensor of its innermost enclosing loop (the paper's primary
+        // criterion: fixed workload over iterations of *a* loop).
+        s.is_vsensor = !s.never_fixed && !loop_stack.empty() && s.sensor_of.back();
+        s.fixed_in_function = !s.never_fixed;
+        for (const bool ok : s.sensor_of) s.fixed_in_function &= ok;
+        snippets.push_back(std::move(s));
+      }
+      if (node.kind == ir::NodeKind::Loop) loop_stack.push_back(&node);
+      for (const auto& child : node.children) walk(*child);
+      if (node.kind == ir::NodeKind::Loop) loop_stack.pop_back();
+    };
+    for (const auto& node : func.body) walk(*node);
+  }
+  return snippets;
+}
+
+std::vector<bool> compute_in_loop_context(const ProgramAnalysis& pa,
+                                          const std::vector<Snippet>& snippets) {
+  const size_t n = pa.ir->functions.size();
+  std::vector<bool> in_loop(n, false);
+
+  // Direct: a call site nested in >=1 loop.
+  std::map<const ir::Node*, const Snippet*> by_node;
+  for (const auto& s : snippets) by_node[s.node] = &s;
+  for (const auto& func : pa.ir->functions) {
+    for (const ir::Node* call : func.calls) {
+      if (call->callee_index < 0) continue;
+      const auto it = by_node.find(call);
+      if (it != by_node.end() && !it->second->enclosing_loops.empty()) {
+        in_loop[static_cast<size_t>(call->callee_index)] = true;
+      }
+    }
+  }
+  // Transitive: callees of in-loop functions are in loop context.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t f = 0; f < n; ++f) {
+      if (!in_loop[f]) continue;
+      for (int callee : pa.callgraph.callees[f]) {
+        if (!in_loop[static_cast<size_t>(callee)]) {
+          in_loop[static_cast<size_t>(callee)] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return in_loop;
+}
+
+}  // namespace detail
+
+int AnalysisResult::vsensor_count() const {
+  int n = 0;
+  for (const auto& s : snippets) n += s.is_vsensor ? 1 : 0;
+  return n;
+}
+
+int AnalysisResult::selected_count(SnippetKind kind) const {
+  int n = 0;
+  for (const auto& site : selected) n += site.kind == kind ? 1 : 0;
+  return n;
+}
+
+const Snippet* AnalysisResult::find_snippet(const ir::Node* node) const {
+  for (const auto& s : snippets) {
+    if (s.node == node) return &s;
+  }
+  return nullptr;
+}
+
+AnalysisResult analyze(const ir::ProgramIR& ir, const AnalyzerConfig& config) {
+  detail::ProgramAnalysis pa;
+  pa.ir = &ir;
+  pa.config = &config;
+  pa.callgraph = ir::build_call_graph(ir);
+
+  const size_t n = ir.functions.size();
+  pa.summaries.assign(n, FuncSummary{});
+  pa.rank_tainted.assign(n, {});
+  pa.functions.assign(n, {});
+
+  // Bottom-up summary construction; repeated to a short program-wide
+  // fixpoint so taint flowing through globals converges.
+  ir::VarSet tainted_globals;
+  for (int round = 0; round < 4; ++round) {
+    for (int f : pa.callgraph.bottom_up_order) {
+      const auto& func = ir.functions[static_cast<size_t>(f)];
+      pa.rank_tainted[static_cast<size_t>(f)] = compute_rank_taint(
+          func, pa.summaries, config.externals, tainted_globals);
+      pa.functions[static_cast<size_t>(f)].workloads =
+          compute_workloads(func, pa.summaries, config.externals,
+                            pa.rank_tainted[static_cast<size_t>(f)]);
+      pa.summaries[static_cast<size_t>(f)] =
+          summarize(func, pa.functions[static_cast<size_t>(f)].workloads,
+                    pa.summaries, config.externals,
+                    pa.rank_tainted[static_cast<size_t>(f)],
+                    pa.callgraph.recursive[static_cast<size_t>(f)]);
+    }
+    ir::VarSet new_tainted_globals = tainted_globals;
+    for (const auto& tainted : pa.rank_tainted) {
+      for (const auto& v : tainted) {
+        if (v.kind == ir::VarId::Kind::Global) new_tainted_globals.insert(v);
+      }
+    }
+    if (new_tainted_globals == tainted_globals) break;
+    tainted_globals = std::move(new_tainted_globals);
+  }
+
+  for (const auto& s : pa.summaries) {
+    pa.globals_written.insert(s.globals_written.begin(), s.globals_written.end());
+  }
+
+  AnalysisResult result;
+  result.snippets = detail::enumerate_snippets(pa);
+  detail::compute_global_scope(pa, result.snippets);
+  result.selected = detail::select_sensors(pa, result.snippets);
+  result.callgraph = std::move(pa.callgraph);
+  result.summaries = std::move(pa.summaries);
+  result.rank_tainted = std::move(pa.rank_tainted);
+  return result;
+}
+
+}  // namespace vsensor::analysis

@@ -1,0 +1,42 @@
+// Internal interfaces between the analysis passes (not public API).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+
+namespace vsensor::analysis::detail {
+
+/// Everything the later passes need about one analyzed function.
+struct FunctionAnalysis {
+  std::map<const ir::Node*, NodeWorkload> workloads;
+};
+
+/// Whole-program state threaded through scope and selection passes.
+struct ProgramAnalysis {
+  const ir::ProgramIR* ir = nullptr;
+  const AnalyzerConfig* config = nullptr;
+  ir::CallGraph callgraph;
+  std::vector<FuncSummary> summaries;
+  std::vector<ir::VarSet> rank_tainted;
+  std::vector<FunctionAnalysis> functions;
+  /// Globals written anywhere in the program (outside initializers).
+  ir::VarSet globals_written;
+};
+
+/// Enumerate snippets (loops + calls) and evaluate per-loop sensor-ness.
+std::vector<Snippet> enumerate_snippets(const ProgramAnalysis& pa);
+
+/// Top-down argument-invariance pass; sets Snippet::global_scope.
+void compute_global_scope(const ProgramAnalysis& pa, std::vector<Snippet>& snippets);
+
+/// §4 selection rules; returns the instrumentation sites.
+std::vector<InstrumentationSite> select_sensors(const ProgramAnalysis& pa,
+                                                std::vector<Snippet>& snippets);
+
+/// Whether a function is (transitively) invoked from inside a loop.
+std::vector<bool> compute_in_loop_context(const ProgramAnalysis& pa,
+                                          const std::vector<Snippet>& snippets);
+
+}  // namespace vsensor::analysis::detail

@@ -1,0 +1,87 @@
+// Process-identity taint analysis (paper §3.4).
+//
+// Functions that produce process identity (MPI_Comm_rank, gethostname,
+// getpid) seed the taint; it propagates flow-insensitively through
+// assignments, loop clauses, and call-return edges until fixpoint. A snippet
+// whose workload sources intersect the taint has per-process workload and is
+// excluded from inter-process comparison.
+#include <functional>
+
+#include "analysis/analysis.hpp"
+
+namespace vsensor::analysis {
+
+namespace {
+
+using ir::Node;
+using ir::NodeKind;
+using ir::VarSet;
+
+bool feeding_call_tainted(const Node& node, const std::vector<FuncSummary>& summaries,
+                          const ExternalModelTable& externals,
+                          const VarSet& tainted) {
+  for (const Node* call : node.feeding_calls) {
+    if (call->callee_index >= 0) {
+      if (summaries[static_cast<size_t>(call->callee_index)].returns_rank) {
+        return true;
+      }
+    } else if (const ExternalModel* m = externals.find(call->callee)) {
+      if (m->returns_rank) return true;
+    }
+    // A call whose arguments are tainted returns a tainted value.
+    for (const auto& v : call->uses) {
+      if (tainted.count(v)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ir::VarSet compute_rank_taint(const ir::FunctionIR& func,
+                              const std::vector<FuncSummary>& summaries,
+                              const ExternalModelTable& externals,
+                              const ir::VarSet& tainted_globals) {
+  VarSet tainted = tainted_globals;
+
+  // Seed: out-arguments of rank-source externals.
+  std::function<void(const Node&)> seed = [&](const Node& node) {
+    if (node.kind == NodeKind::Call && node.callee_index < 0) {
+      if (const ExternalModel* m = externals.find(node.callee); m && m->rank_source) {
+        for (const auto& a : node.arg_addr) {
+          if (a) tainted.insert(*a);
+        }
+      }
+    }
+    for (const auto& child : node.children) seed(*child);
+  };
+  for (const auto& node : func.body) seed(*node);
+
+  // Propagate until fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::function<void(const Node&)> propagate = [&](const Node& node) {
+      bool source_tainted =
+          feeding_call_tainted(node, summaries, externals, tainted);
+      if (!source_tainted) {
+        for (const auto& v : node.uses) {
+          if (tainted.count(v)) {
+            source_tainted = true;
+            break;
+          }
+        }
+      }
+      if (source_tainted) {
+        for (const auto& d : node.defs) {
+          if (tainted.insert(d).second) changed = true;
+        }
+      }
+      for (const auto& child : node.children) propagate(*child);
+    };
+    for (const auto& node : func.body) propagate(*node);
+  }
+  return tainted;
+}
+
+}  // namespace vsensor::analysis

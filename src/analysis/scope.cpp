@@ -1,0 +1,231 @@
+// Scope analysis (paper §4 "Scope"): a sensor is *global* when its workload
+// is fixed over the whole program run — fixed across every enclosing loop in
+// its own function AND across every call path reaching the function. The
+// latter is a top-down argument-invariance pass over the call graph: a
+// parameter is globally invariant iff, at every call site, its argument uses
+// only literals, never-written globals, globally-invariant caller params, or
+// locals whose definitions all lie outside loops and are themselves
+// invariant.
+#include <functional>
+
+#include "analysis/internal.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::analysis::detail {
+
+namespace {
+
+using ir::Node;
+using ir::NodeKind;
+using ir::VarId;
+using ir::VarSet;
+
+/// One definition site of a local variable.
+struct DefSite {
+  bool inside_loop = false;
+  VarSet deps;       ///< raw uses of the defining expression
+  bool wild = false; ///< fed by a non-fixed value source
+};
+
+/// Per-function invariance data.
+struct FuncInvariance {
+  std::map<VarId, std::vector<DefSite>> local_defs;
+  std::map<int, bool> local_invariant;  ///< local index -> invariant
+  std::vector<bool> param_invariant;
+};
+
+class ScopePass {
+ public:
+  ScopePass(const ProgramAnalysis& pa) : pa_(pa) {}
+
+  void run(std::vector<Snippet>& snippets) {
+    const size_t n = pa_.ir->functions.size();
+    inv_.resize(n);
+    for (size_t f = 0; f < n; ++f) {
+      collect_def_sites(pa_.ir->functions[f], inv_[f]);
+      inv_[f].param_invariant.assign(
+          pa_.ir->functions[f].ast->params.size(), false);
+    }
+
+    // Top-down over the call graph: callers' params resolve before callees'.
+    for (int f : pa_.callgraph.top_down_order) {
+      compute_param_invariance(f);
+      compute_local_invariance(f);
+    }
+
+    for (auto& s : snippets) {
+      s.global_scope = s.fixed_in_function && !s.never_fixed &&
+                       sources_invariant(s.sources, s.func);
+    }
+  }
+
+ private:
+  void collect_def_sites(const ir::FunctionIR& func, FuncInvariance& inv) {
+    std::function<void(const Node&, int)> walk = [&](const Node& node,
+                                                     int loop_depth) {
+      const bool wild = node_wild(node);
+      // A loop's own init/step definitions vary while the loop runs: treat
+      // them as inside-loop for value invariance.
+      const bool inside = loop_depth > 0 || node.kind == NodeKind::Loop;
+      for (const auto& d : node.defs) {
+        if (d.kind != VarId::Kind::Global) {
+          inv.local_defs[d].push_back(DefSite{inside, node.uses, wild});
+        }
+      }
+      const int child_depth =
+          loop_depth + (node.kind == NodeKind::Loop ? 1 : 0);
+      for (const auto& child : node.children) walk(*child, child_depth);
+    };
+    for (const auto& node : func.body) walk(*node, 0);
+  }
+
+  /// A definition fed by a value we cannot trace (unknown external,
+  /// never-fixed callee) is wild.
+  bool node_wild(const Node& node) const {
+    for (const Node* call : node.feeding_calls) {
+      if (call->callee_index >= 0) {
+        if (pa_.summaries[static_cast<size_t>(call->callee_index)].never_fixed) {
+          return true;
+        }
+      } else {
+        const ExternalModel* m = pa_.config->externals.find(call->callee);
+        if (m == nullptr || !m->fixed) return true;
+      }
+    }
+    if (node.kind == NodeKind::Call && node.callee_index < 0) {
+      const ExternalModel* m = pa_.config->externals.find(node.callee);
+      if (m == nullptr || !m->fixed) return true;
+    }
+    return false;
+  }
+
+  void compute_param_invariance(int f) {
+    auto& inv = inv_[static_cast<size_t>(f)];
+    const auto& func = pa_.ir->functions[static_cast<size_t>(f)];
+    if (pa_.callgraph.recursive[static_cast<size_t>(f)]) return;  // all false
+
+    const size_t nparams = func.ast->params.size();
+    // Gather all call sites targeting f.
+    struct Site {
+      int caller;
+      const Node* node;
+    };
+    std::vector<Site> sites;
+    for (const auto& caller : pa_.ir->functions) {
+      for (const Node* call : caller.calls) {
+        if (call->callee_index == f) sites.push_back({caller.index, call});
+      }
+    }
+    for (size_t p = 0; p < nparams; ++p) {
+      bool invariant = true;
+      for (const auto& site : sites) {
+        if (p >= site.node->arg_uses.size()) {
+          invariant = false;
+          break;
+        }
+        if (site.node->arg_const[p].has_value()) continue;  // literal
+        const VarSet& uses = site.node->arg_uses[p];
+        if (uses.empty() && !site.node->arg_addr[p]) continue;  // constant expr
+        if (site.node->arg_addr[p]) {
+          invariant = false;  // address arguments are not value-invariant
+          break;
+        }
+        for (const auto& v : uses) {
+          if (!var_invariant(v, site.caller)) {
+            invariant = false;
+            break;
+          }
+        }
+        if (!invariant) break;
+      }
+      inv.param_invariant[p] = invariant;
+    }
+  }
+
+  void compute_local_invariance(int f) {
+    auto& inv = inv_[static_cast<size_t>(f)];
+    // Iterate to a fixpoint over locals (dependencies between locals).
+    // Start optimistic, knock out on evidence, repeat.
+    std::map<int, bool> state;
+    for (const auto& [var, defs] : inv.local_defs) {
+      if (var.kind == VarId::Kind::Local) state[var.index] = true;
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      inv.local_invariant = state;
+      for (const auto& [var, defs] : inv.local_defs) {
+        if (var.kind != VarId::Kind::Local) continue;
+        if (!state[var.index]) continue;
+        bool ok = true;
+        for (const auto& site : defs) {
+          if (site.inside_loop || site.wild) {
+            ok = false;
+            break;
+          }
+          for (const auto& dep : site.deps) {
+            if (!var_invariant(dep, f)) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) break;
+        }
+        if (!ok) {
+          state[var.index] = false;
+          changed = true;
+        }
+      }
+    }
+    inv.local_invariant = state;
+  }
+
+  bool var_invariant(const VarId& v, int func) const {
+    switch (v.kind) {
+      case VarId::Kind::Global: {
+        // Builtin constants and never-written globals are invariant.
+        if (pa_.globals_written.count(v)) return false;
+        return true;
+      }
+      case VarId::Kind::Param: {
+        const auto& inv = inv_[static_cast<size_t>(func)];
+        if (v.index < 0 ||
+            static_cast<size_t>(v.index) >= inv.param_invariant.size()) {
+          return false;
+        }
+        return inv.param_invariant[static_cast<size_t>(v.index)];
+      }
+      case VarId::Kind::Local: {
+        const auto& inv = inv_[static_cast<size_t>(func)];
+        const auto defs = inv.local_defs.find(v);
+        if (defs == inv.local_defs.end()) {
+          // Never defined: parameters aside, an undefined local can't be
+          // trusted; arrays (read-only tables) land here and are invariant
+          // only if never written, which "no defs" means.
+          return true;
+        }
+        const auto it = inv.local_invariant.find(v.index);
+        return it != inv.local_invariant.end() && it->second;
+      }
+    }
+    return false;
+  }
+
+  bool sources_invariant(const VarSet& sources, int func) const {
+    for (const auto& v : sources) {
+      if (!var_invariant(v, func)) return false;
+    }
+    return true;
+  }
+
+  const ProgramAnalysis& pa_;
+  std::vector<FuncInvariance> inv_;
+};
+
+}  // namespace
+
+void compute_global_scope(const ProgramAnalysis& pa, std::vector<Snippet>& snippets) {
+  ScopePass(pa).run(snippets);
+}
+
+}  // namespace vsensor::analysis::detail

@@ -1,0 +1,102 @@
+// Sensor selection for instrumentation (paper §4).
+//
+// Rules:
+//  * only global-scope sensors are instrumented;
+//  * only sensors with loop-nesting depth < max_depth (granularity bound);
+//  * of nested sensors, the outermost wins — probes are not fixed-workload,
+//    so instrumenting inside would destroy the enclosing sensor;
+//  * the same reasoning extends across calls: once a snippet is selected,
+//    nothing inside it (including the bodies of functions it calls,
+//    transitively) may be instrumented.
+#include <functional>
+#include <set>
+
+#include "analysis/internal.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::analysis::detail {
+
+namespace {
+
+using ir::Node;
+using ir::NodeKind;
+
+void collect_internal_callees(const Node& node, std::set<int>& out) {
+  if (node.kind == NodeKind::Call && node.callee_index >= 0) {
+    out.insert(node.callee_index);
+  }
+  for (const auto& child : node.children) collect_internal_callees(*child, out);
+}
+
+}  // namespace
+
+std::vector<InstrumentationSite> select_sensors(const ProgramAnalysis& pa,
+                                                std::vector<Snippet>& snippets) {
+  const auto in_loop_context = compute_in_loop_context(pa, snippets);
+  std::map<const Node*, Snippet*> by_node;
+  for (auto& s : snippets) by_node[s.node] = &s;
+
+  const int max_depth = pa.config->max_depth;
+  std::set<int> excluded_funcs;
+  std::vector<InstrumentationSite> selected;
+
+  auto eligible = [&](const Snippet& s) {
+    if (!s.global_scope || s.never_fixed) return false;
+    if (s.depth >= max_depth) return false;
+    // Per-process workloads cannot feed inter-process comparison (§3.4);
+    // vSensor instruments only cross-process-fixed snippets.
+    if (s.rank_dependent) return false;
+    // A sensor must execute repeatedly: inside a loop in its own function,
+    // or in a function invoked from a loop.
+    if (s.enclosing_loops.empty() &&
+        !in_loop_context[static_cast<size_t>(s.func)]) {
+      return false;
+    }
+    return true;
+  };
+
+  // Callers first, so exclusions from instrumented call sites land before
+  // the callee's own body is considered.
+  for (int f : pa.callgraph.top_down_order) {
+    if (excluded_funcs.count(f)) continue;
+    const auto& func = pa.ir->functions[static_cast<size_t>(f)];
+
+    std::function<void(const Node&)> walk = [&](const Node& node) {
+      const auto it = by_node.find(&node);
+      if (it != by_node.end() && eligible(*it->second)) {
+        Snippet& s = *it->second;
+        InstrumentationSite site;
+        site.snippet_id = s.id;
+        site.func = s.func;
+        site.node = s.node;
+        site.kind = s.kind;
+        site.loc = s.loc;
+        site.label = func.name + ":" +
+                     (s.is_call ? "C" + std::to_string(node.call_id)
+                                : "L" + std::to_string(node.loop_id)) +
+                     " @" + std::to_string(s.loc.line);
+        selected.push_back(std::move(site));
+
+        // Nothing inside a selected sensor may be instrumented: skip the
+        // subtree and exclude every function reachable from it.
+        std::set<int> callees;
+        collect_internal_callees(node, callees);
+        if (node.kind == NodeKind::Call && node.callee_index >= 0) {
+          callees.insert(node.callee_index);
+        }
+        for (int callee : callees) {
+          excluded_funcs.insert(callee);
+          for (int t : pa.callgraph.transitive_callees(callee)) {
+            excluded_funcs.insert(t);
+          }
+        }
+        return;  // do not descend
+      }
+      for (const auto& child : node.children) walk(*child);
+    };
+    for (const auto& node : func.body) walk(*node);
+  }
+  return selected;
+}
+
+}  // namespace vsensor::analysis::detail

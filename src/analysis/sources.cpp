@@ -1,0 +1,304 @@
+// Workload-source computation (paper §3.2-§3.3).
+//
+// For every IR node we compute the set of *external* variables that
+// determine its quantity of work: variables appearing (transitively,
+// through local def-use chains) in loop/branch control expressions and in
+// the workload arguments of calls. A definition inside the node shields the
+// corresponding use — its dependency set substitutes for the variable
+// (the "dependency propagation" of the paper). A value produced by a
+// non-fixed source (unknown external, never-fixed callee) marks the node
+// never-fixed when it feeds control.
+#include <map>
+
+#include "analysis/analysis.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::analysis {
+
+namespace {
+
+using ir::Node;
+using ir::NodeKind;
+using ir::VarId;
+using ir::VarSet;
+
+/// What a shielded variable's value depends on at a program point.
+struct ShieldEntry {
+  VarSet deps;        ///< external deps of the defining expression
+  bool wild = false;  ///< value not a pure function of deps (e.g. malloc)
+  bool tainted = false;  ///< value carries process identity
+};
+
+using ShieldMap = std::map<VarId, ShieldEntry>;
+
+class WorkloadPass {
+ public:
+  WorkloadPass(const ir::FunctionIR& func, const std::vector<FuncSummary>& summaries,
+               const ExternalModelTable& externals, const VarSet& rank_tainted)
+      : func_(func),
+        summaries_(summaries),
+        externals_(externals),
+        tainted_(rank_tainted) {}
+
+  std::map<const Node*, NodeWorkload> run() {
+    ShieldMap shield;
+    scan_children(func_.body, shield);
+    return std::move(result_);
+  }
+
+ private:
+  /// Resolve a raw use set against the shield: shielded vars are replaced by
+  /// their dependency sets; wild/tainted shields set the flags.
+  void resolve(const VarSet& raw, const ShieldMap& shield, VarSet& out, bool& wild,
+               bool& tainted) const {
+    for (const auto& v : raw) {
+      if (tainted_.count(v)) tainted = true;
+      const auto it = shield.find(v);
+      if (it == shield.end()) {
+        out.insert(v);
+        continue;
+      }
+      out.insert(it->second.deps.begin(), it->second.deps.end());
+      wild |= it->second.wild;
+      tainted |= it->second.tainted;
+      for (const auto& d : it->second.deps) {
+        if (tainted_.count(d)) tainted = true;
+      }
+    }
+  }
+
+  /// Dependencies contributed by the calls feeding a node's expressions.
+  void apply_feeding_calls(const Node& node, const ShieldMap& shield,
+                           VarSet& deps, bool& wild, bool& tainted) const {
+    for (const Node* call : node.feeding_calls) {
+      if (call->callee_index >= 0) {
+        const auto& s = summaries_[static_cast<size_t>(call->callee_index)];
+        if (s.never_fixed) wild = true;
+        if (s.returns_rank) tainted = true;
+        // The return value depends on all arguments and workload globals.
+        resolve(call->uses, shield, deps, wild, tainted);
+        deps.insert(s.workload_globals.begin(), s.workload_globals.end());
+      } else {
+        const ExternalModel* model = externals_.find(call->callee);
+        if (model == nullptr || !model->fixed) {
+          wild = true;
+        } else {
+          resolve(call->uses, shield, deps, wild, tainted);
+          if (model->returns_rank) tainted = true;
+        }
+      }
+    }
+  }
+
+  /// Analyze one node given the shield at its position; records the result
+  /// and returns a reference to it.
+  const NodeWorkload& analyze_node(const Node& node, const ShieldMap& shield) {
+    NodeWorkload w;
+    switch (node.kind) {
+      case NodeKind::Stmt:
+        // A plain statement executes a fixed instruction sequence; it adds
+        // no workload sources of its own.
+        w.defs = node.defs;
+        w.kinds.add(SnippetKind::Computation);
+        break;
+
+      case NodeKind::Branch: {
+        resolve(node.uses, shield, w.sources, w.never_fixed, w.rank_dependent);
+        apply_feeding_calls(node, shield, w.sources, w.never_fixed,
+                            w.rank_dependent);
+        w.defs = node.defs;
+        w.kinds.add(SnippetKind::Computation);
+        // Both arms start from a copy of the entry shield; their internal
+        // defs are conditional and must not leak.
+        ShieldMap then_shield = shield;
+        scan_range(node.children, 0, node.then_count, then_shield, w);
+        ShieldMap else_shield = shield;
+        scan_range(node.children, node.then_count, node.children.size(),
+                   else_shield, w);
+        break;
+      }
+
+      case NodeKind::Loop: {
+        w.kinds.add(SnippetKind::Computation);
+        w.defs = node.defs;
+        VarSet clause_inputs;
+        bool clause_wild = false;
+        bool clause_tainted = false;
+        {
+          VarSet raw_inputs;
+          for (const auto& v : node.uses) {
+            if (!node.init_defs.count(v)) raw_inputs.insert(v);
+          }
+          resolve(raw_inputs, shield, clause_inputs, clause_wild, clause_tainted);
+          apply_feeding_calls(node, shield, clause_inputs, clause_wild,
+                              clause_tainted);
+        }
+        // The induction variables must stay *visible* in the children's
+        // source sets (a subloop bounded by them varies over this loop's
+        // iterations — paper Fig 6), so they are NOT added to the inner
+        // shield. They are subtracted from this loop's own aggregated
+        // sources below, because within one execution of the loop they are
+        // internal.
+        ShieldMap inner = shield;
+        for (const auto& v : node.init_defs) inner.erase(v);
+        w.sources = clause_inputs;
+        w.never_fixed |= clause_wild;
+        w.rank_dependent |= clause_tainted;
+        scan_range(node.children, 0, node.children.size(), inner, w);
+        for (const auto& v : node.init_defs) w.sources.erase(v);
+        break;
+      }
+
+      case NodeKind::Call: {
+        if (node.callee_index >= 0) {
+          const auto& s = summaries_[static_cast<size_t>(node.callee_index)];
+          w.never_fixed |= s.never_fixed;
+          w.rank_dependent |= s.rank_dependent;
+          w.kinds.merge(s.kinds);
+          for (int p : s.workload_params) {
+            if (p >= 0 && static_cast<size_t>(p) < node.arg_uses.size()) {
+              resolve(node.arg_uses[static_cast<size_t>(p)], shield, w.sources,
+                      w.never_fixed, w.rank_dependent);
+              // Passing &var into a workload position: the callee reads an
+              // unknown value through it; conservatively never-fixed.
+              if (node.arg_addr[static_cast<size_t>(p)]) {
+                resolve({*node.arg_addr[static_cast<size_t>(p)]}, shield,
+                        w.sources, w.never_fixed, w.rank_dependent);
+              }
+            }
+          }
+          for (const auto& g : s.workload_globals) {
+            resolve({g}, shield, w.sources, w.never_fixed, w.rank_dependent);
+          }
+          w.defs = node.defs;
+          w.defs.insert(s.globals_written.begin(), s.globals_written.end());
+        } else {
+          const ExternalModel* model = externals_.find(node.callee);
+          if (model == nullptr) {
+            // Unknown external: never-fixed workload (§3.5 default).
+            w.never_fixed = true;
+            w.kinds.add(SnippetKind::Computation);
+          } else {
+            if (!model->fixed) w.never_fixed = true;
+            w.kinds.add(model->kind);
+            for (int a : model->workload_args) {
+              if (a >= 0 && static_cast<size_t>(a) < node.arg_uses.size()) {
+                resolve(node.arg_uses[static_cast<size_t>(a)], shield, w.sources,
+                        w.never_fixed, w.rank_dependent);
+                if (node.arg_addr[static_cast<size_t>(a)]) {
+                  resolve({*node.arg_addr[static_cast<size_t>(a)]}, shield,
+                          w.sources, w.never_fixed, w.rank_dependent);
+                }
+              }
+            }
+          }
+          w.defs = node.defs;
+        }
+        break;
+      }
+    }
+    auto [it, inserted] = result_.emplace(&node, std::move(w));
+    VS_CHECK_MSG(inserted, "node analyzed twice");
+    return it->second;
+  }
+
+  /// Sequentially scan children [begin, end), threading the shield and
+  /// merging child results into `parent`.
+  void scan_range(const std::vector<std::unique_ptr<Node>>& children, size_t begin,
+                  size_t end, ShieldMap& shield, NodeWorkload& parent) {
+    for (size_t i = begin; i < end; ++i) {
+      const Node& child = *children[i];
+      const NodeWorkload& w = analyze_node(child, shield);
+      parent.sources.insert(w.sources.begin(), w.sources.end());
+      parent.defs.insert(w.defs.begin(), w.defs.end());
+      parent.never_fixed |= w.never_fixed;
+      parent.rank_dependent |= w.rank_dependent;
+      parent.kinds.merge(w.kinds);
+      update_shield(child, shield);
+    }
+  }
+
+  /// Top-level scan that discards the aggregate (used for the body).
+  void scan_children(const std::vector<std::unique_ptr<Node>>& children,
+                     ShieldMap& shield) {
+    NodeWorkload body;
+    scan_range(children, 0, children.size(), shield, body);
+    body_ = std::move(body);
+  }
+
+  /// After a child executed, register its *unconditional* definitions as
+  /// shields for the siblings that follow.
+  void update_shield(const Node& child, ShieldMap& shield) {
+    switch (child.kind) {
+      case NodeKind::Stmt: {
+        VarSet deps;
+        bool wild = false;
+        bool tainted = false;
+        resolve(child.uses, shield, deps, wild, tainted);
+        apply_feeding_calls(child, shield, deps, wild, tainted);
+        for (const auto& d : child.defs) {
+          // Array writes are partial updates: the array keeps prior state,
+          // so it must stay external (no shielding).
+          shield[d] = ShieldEntry{deps, wild, tainted};
+        }
+        break;
+      }
+      case NodeKind::Loop: {
+        // Only the init-defined induction variables are assigned
+        // unconditionally (the body may run zero times).
+        VarSet deps;
+        bool wild = false;
+        bool tainted = false;
+        VarSet raw;
+        for (const auto& v : child.uses) {
+          if (!child.init_defs.count(v)) raw.insert(v);
+        }
+        resolve(raw, shield, deps, wild, tainted);
+        for (const auto& d : child.init_defs) {
+          shield[d] = ShieldEntry{deps, wild, tainted};
+        }
+        break;
+      }
+      case NodeKind::Call: {
+        // External out-arguments are written unconditionally.
+        if (child.callee_index < 0) {
+          const ExternalModel* model = externals_.find(child.callee);
+          const bool fixed = model != nullptr && model->fixed;
+          const bool rank = model != nullptr && model->rank_source;
+          VarSet deps;
+          bool wild = !fixed;
+          bool tainted = false;
+          resolve(child.uses, shield, deps, wild, tainted);
+          for (const auto& a : child.arg_addr) {
+            if (a) shield[*a] = ShieldEntry{deps, wild, tainted || rank};
+          }
+        }
+        break;
+      }
+      case NodeKind::Branch:
+        // Conditional definitions never shield.
+        break;
+    }
+  }
+
+  const ir::FunctionIR& func_;
+  const std::vector<FuncSummary>& summaries_;
+  const ExternalModelTable& externals_;
+  const VarSet& tainted_;
+  std::map<const Node*, NodeWorkload> result_;
+  NodeWorkload body_;
+
+ public:
+  const NodeWorkload& body() const { return body_; }
+};
+
+}  // namespace
+
+std::map<const ir::Node*, NodeWorkload> compute_workloads(
+    const ir::FunctionIR& func, const std::vector<FuncSummary>& summaries,
+    const ExternalModelTable& externals, const ir::VarSet& rank_tainted) {
+  WorkloadPass pass(func, summaries, externals, rank_tainted);
+  return pass.run();
+}
+
+}  // namespace vsensor::analysis

@@ -1,0 +1,117 @@
+// Function summaries for inter-procedural propagation (paper §3.3):
+// which parameters and globals determine a function's workload, which
+// globals it writes, and whether it can ever be fixed-workload.
+#include <functional>
+
+#include "analysis/analysis.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::analysis {
+
+namespace {
+
+using ir::Node;
+using ir::NodeKind;
+using ir::VarId;
+using ir::VarSet;
+
+bool returns_rank_value(const ir::FunctionIR& func,
+                        const std::vector<FuncSummary>& summaries,
+                        const ExternalModelTable& externals,
+                        const VarSet& tainted) {
+  bool result = false;
+  std::function<void(const Node&)> walk = [&](const Node& node) {
+    if (result) return;
+    if (node.kind == NodeKind::Stmt && node.is_return) {
+      for (const auto& v : node.uses) {
+        if (tainted.count(v)) {
+          result = true;
+          return;
+        }
+      }
+      for (const Node* call : node.feeding_calls) {
+        if (call->callee_index >= 0) {
+          if (summaries[static_cast<size_t>(call->callee_index)].returns_rank) {
+            result = true;
+            return;
+          }
+        } else if (const ExternalModel* m = externals.find(call->callee)) {
+          if (m->returns_rank) {
+            result = true;
+            return;
+          }
+        }
+      }
+    }
+    for (const auto& child : node.children) walk(*child);
+  };
+  for (const auto& node : func.body) walk(*node);
+  return result;
+}
+
+bool has_unknown_external(const ir::FunctionIR& func,
+                          const ExternalModelTable& externals) {
+  bool found = false;
+  std::function<void(const Node&)> walk = [&](const Node& node) {
+    if (found) return;
+    if (node.kind == NodeKind::Call && node.callee_index < 0 &&
+        externals.find(node.callee) == nullptr) {
+      found = true;
+      return;
+    }
+    for (const auto& child : node.children) walk(*child);
+  };
+  for (const auto& node : func.body) walk(*node);
+  return found;
+}
+
+}  // namespace
+
+FuncSummary summarize(const ir::FunctionIR& func,
+                      const std::map<const ir::Node*, NodeWorkload>& workloads,
+                      const std::vector<FuncSummary>& summaries,
+                      const ExternalModelTable& externals,
+                      const ir::VarSet& rank_tainted, bool recursive) {
+  FuncSummary s;
+
+  // Aggregate top-level nodes; each already contains its whole subtree.
+  NodeWorkload agg;
+  for (const auto& node : func.body) {
+    const auto it = workloads.find(node.get());
+    VS_CHECK_MSG(it != workloads.end(), "missing workload for top-level node");
+    const NodeWorkload& w = it->second;
+    agg.sources.insert(w.sources.begin(), w.sources.end());
+    agg.defs.insert(w.defs.begin(), w.defs.end());
+    agg.never_fixed |= w.never_fixed;
+    agg.rank_dependent |= w.rank_dependent;
+    agg.kinds.merge(w.kinds);
+  }
+
+  for (const auto& v : agg.sources) {
+    switch (v.kind) {
+      case VarId::Kind::Param:
+        if (v.func == func.index) s.workload_params.insert(v.index);
+        break;
+      case VarId::Kind::Global:
+        s.workload_globals.insert(v);
+        break;
+      case VarId::Kind::Local:
+        // A local used before any definition: undefined value; treat the
+        // function as never-fixed rather than guessing.
+        s.never_fixed = true;
+        break;
+    }
+  }
+  for (const auto& v : agg.defs) {
+    if (v.kind == VarId::Kind::Global) s.globals_written.insert(v);
+  }
+  s.never_fixed |= agg.never_fixed || recursive ||
+                   has_unknown_external(func, externals);
+  s.rank_dependent = agg.rank_dependent;
+  s.returns_rank = returns_rank_value(func, summaries, externals, rank_tainted);
+  s.kinds = agg.kinds;
+  if (s.kinds.bits == 0) s.kinds.add(SnippetKind::Computation);
+  return s;
+}
+
+}  // namespace vsensor::analysis

@@ -1,0 +1,54 @@
+#include "baselines/fwq.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace vsensor::baselines {
+
+std::vector<double> FwqResult::normalized() const {
+  double best = 0.0;
+  for (const auto& s : samples) {
+    if (best == 0.0 || s.elapsed < best) best = s.elapsed;
+  }
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) {
+    out.push_back(s.elapsed > 0.0 ? best / s.elapsed : 1.0);
+  }
+  return out;
+}
+
+double FwqResult::max_over_min() const {
+  if (samples.empty()) return 1.0;
+  double mn = samples.front().elapsed;
+  double mx = mn;
+  for (const auto& s : samples) {
+    mn = std::min(mn, s.elapsed);
+    mx = std::max(mx, s.elapsed);
+  }
+  return mn > 0.0 ? mx / mn : 1.0;
+}
+
+FwqResult run_fwq(const simmpi::Config& config, int node, const FwqConfig& fwq) {
+  VS_CHECK_MSG(fwq.quantum > 0.0 && fwq.duration > 0.0, "bad FWQ parameters");
+  FwqResult result;
+  double t = 0.0;
+  while (t < fwq.duration) {
+    const double end = config.nodes.advance(node, t, fwq.quantum);
+    result.samples.push_back({t, end - t});
+    t = end;
+  }
+  return result;
+}
+
+void apply_fwq_interference(simmpi::Config& config, int node, double t0, double t1,
+                            const FwqConfig& fwq) {
+  VS_CHECK_MSG(fwq.interference > 0.0 && fwq.interference <= 1.0,
+               "interference factor must be in (0, 1]");
+  if (fwq.interference < 1.0) {
+    config.nodes.add_noise_window(node, t0, t1, fwq.interference);
+  }
+}
+
+}  // namespace vsensor::baselines

@@ -1,0 +1,46 @@
+// Fixed-Work-Quanta benchmark baseline (paper §1, approach 4).
+//
+// An external FWQ benchmark executes a fixed quantum of work repeatedly and
+// flags variance when the per-quantum time changes. The paper's critique —
+// it is intrusive because it competes with the application for resources —
+// is reproducible here: co-scheduling the FWQ on the application's nodes
+// adds a configurable per-node slowdown.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simmpi/engine.hpp"
+
+namespace vsensor::baselines {
+
+struct FwqConfig {
+  double quantum = 100e-6;    ///< nominal work per quantum (seconds)
+  double duration = 1.0;      ///< how long to keep sampling (virtual seconds)
+  /// Compute-speed factor the co-scheduled benchmark imposes on the node it
+  /// shares with the application (1.0 = no interference).
+  double interference = 0.9;
+};
+
+struct FwqSample {
+  double t = 0.0;         ///< quantum start time
+  double elapsed = 0.0;   ///< measured quantum time
+};
+
+struct FwqResult {
+  std::vector<FwqSample> samples;
+  /// Normalized performance per sample: fastest / elapsed.
+  std::vector<double> normalized() const;
+  /// Max elapsed over min elapsed — the FWQ variance statistic.
+  double max_over_min() const;
+};
+
+/// Run the FWQ loop on one rank's node (the rank donates its node model).
+FwqResult run_fwq(const simmpi::Config& config, int node, const FwqConfig& fwq);
+
+/// Apply the benchmark's interference to the node models of `config` for
+/// the window [t0, t1) — the intrusiveness the paper warns about.
+void apply_fwq_interference(simmpi::Config& config, int node, double t0, double t1,
+                            const FwqConfig& fwq);
+
+}  // namespace vsensor::baselines

@@ -1,0 +1,77 @@
+#include "baselines/profiler.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace vsensor::baselines {
+
+MpipProfiler::MpipProfiler(int ranks) : profiles_(static_cast<size_t>(ranks)) {
+  VS_CHECK_MSG(ranks > 0, "profiler needs at least one rank");
+}
+
+void MpipProfiler::on_event(const simmpi::TraceEvent& ev) {
+  if (ev.kind == simmpi::TraceEvent::Kind::Compute) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  VS_CHECK(ev.rank >= 0 && static_cast<size_t>(ev.rank) < profiles_.size());
+  auto& p = profiles_[static_cast<size_t>(ev.rank)];
+  const double dt = ev.t_end - ev.t_begin;
+  p.mpi_time += dt;
+  auto& op = p.ops[ev.name];
+  op.calls += 1;
+  op.total_time += dt;
+  op.bytes += ev.bytes;
+}
+
+std::vector<MpipProfiler::RankProfile> MpipProfiler::profiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return profiles_;
+}
+
+std::string MpipProfiler::render(const simmpi::RunResult& result,
+                                 int max_rows) const {
+  const auto profs = profiles();
+  TextTable table({"rank", "comp_time(s)", "mpi_time(s)", "total(s)"});
+  const int n = static_cast<int>(profs.size());
+  const int rows = std::min(max_rows, n);
+  for (int row = 0; row < rows; ++row) {
+    const int r0 = row * n / rows;
+    const int r1 = std::max(r0 + 1, (row + 1) * n / rows);
+    double comp = 0.0;
+    double mpi = 0.0;
+    double total = 0.0;
+    for (int r = r0; r < r1; ++r) {
+      comp += result.ranks[static_cast<size_t>(r)].comp_time;
+      mpi += profs[static_cast<size_t>(r)].mpi_time;
+      total += result.ranks[static_cast<size_t>(r)].finish_time;
+    }
+    const double k = static_cast<double>(r1 - r0);
+    std::string label = std::to_string(r0);
+    if (r1 - r0 > 1) label += "-" + std::to_string(r1 - 1);
+    table.add_row({label, fmt_double(comp / k, 3), fmt_double(mpi / k, 3),
+                   fmt_double(total / k, 3)});
+  }
+  return table.to_string();
+}
+
+std::string MpipProfiler::render_callsites() const {
+  const auto profs = profiles();
+  std::map<std::string, OpStats> agg;
+  for (const auto& p : profs) {
+    for (const auto& [name, op] : p.ops) {
+      auto& a = agg[name];
+      a.calls += op.calls;
+      a.total_time += op.total_time;
+      a.bytes += op.bytes;
+    }
+  }
+  TextTable table({"operation", "calls", "time(s)", "bytes"});
+  for (const auto& [name, op] : agg) {
+    table.add_row({name, std::to_string(op.calls), fmt_double(op.total_time, 3),
+                   fmt_bytes(static_cast<double>(op.bytes))});
+  }
+  return table.to_string();
+}
+
+}  // namespace vsensor::baselines

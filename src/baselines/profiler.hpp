@@ -1,0 +1,55 @@
+// mpiP-like profiler baseline (paper §6.4, Figs 18-19).
+//
+// Aggregates per-rank computation vs MPI time — exactly what a profiler
+// reports — to demonstrate why profiles cannot localize variance in time:
+// the time dimension is collapsed, and injected compute noise shows up as
+// inflated MPI (waiting) time on *other* ranks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simmpi/engine.hpp"
+#include "simmpi/trace.hpp"
+
+namespace vsensor::baselines {
+
+/// Per-rank profile: total computation and MPI time plus per-operation
+/// aggregates (call count / total time), like mpiP's callsite table.
+class MpipProfiler : public simmpi::TraceSink {
+ public:
+  explicit MpipProfiler(int ranks);
+
+  void on_event(const simmpi::TraceEvent& ev) override;
+
+  struct OpStats {
+    uint64_t calls = 0;
+    double total_time = 0.0;
+    uint64_t bytes = 0;
+  };
+
+  struct RankProfile {
+    double mpi_time = 0.0;
+    std::map<std::string, OpStats> ops;
+  };
+
+  /// Finalize with engine-side per-rank stats (computation time comes from
+  /// the run result, not from events).
+  std::vector<RankProfile> profiles() const;
+
+  /// Render the Fig 18/19-style per-rank Computation/MPI table. Rank rows
+  /// are downsampled to at most `max_rows`.
+  std::string render(const simmpi::RunResult& result, int max_rows = 16) const;
+
+  /// mpiP-style aggregate callsite table over all ranks.
+  std::string render_callsites() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RankProfile> profiles_;
+};
+
+}  // namespace vsensor::baselines

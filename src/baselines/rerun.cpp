@@ -1,0 +1,44 @@
+#include "baselines/rerun.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace vsensor::baselines {
+
+double RerunResult::min() const {
+  VS_CHECK(!times.empty());
+  return *std::min_element(times.begin(), times.end());
+}
+
+double RerunResult::max() const {
+  VS_CHECK(!times.empty());
+  return *std::max_element(times.begin(), times.end());
+}
+
+double RerunResult::mean() const {
+  VS_CHECK(!times.empty());
+  return std::accumulate(times.begin(), times.end(), 0.0) /
+         static_cast<double>(times.size());
+}
+
+double RerunResult::spread() const {
+  const double mn = min();
+  return mn > 0.0 ? max() / mn : 1.0;
+}
+
+RerunResult rerun(int submissions,
+                  const std::function<simmpi::Config(int)>& make_config,
+                  const simmpi::RankFn& fn) {
+  VS_CHECK_MSG(submissions > 0, "need at least one submission");
+  RerunResult result;
+  result.times.reserve(static_cast<size_t>(submissions));
+  for (int i = 0; i < submissions; ++i) {
+    const auto run_result = simmpi::run(make_config(i), fn);
+    result.times.push_back(run_result.makespan());
+  }
+  return result;
+}
+
+}  // namespace vsensor::baselines

@@ -1,0 +1,31 @@
+// Rerun baseline (paper §1, approach 1; Fig 1).
+//
+// Detect variance by running the whole job repeatedly and comparing
+// end-to-end times. Reproduces Fig 1's run-to-run spread and quantifies the
+// cost: N full runs for one detection.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "simmpi/engine.hpp"
+
+namespace vsensor::baselines {
+
+struct RerunResult {
+  std::vector<double> times;  ///< makespan of each submission
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// max/min — the paper's Fig 1 headline is > 3x for FT.
+  double spread() const;
+};
+
+/// Run `make_config(submission)` -> job `fn` for `submissions` runs. Each
+/// submission gets its own config so the caller can vary background noise
+/// per run (different congestion draws, as on a shared system).
+RerunResult rerun(int submissions,
+                  const std::function<simmpi::Config(int)>& make_config,
+                  const simmpi::RankFn& fn);
+
+}  // namespace vsensor::baselines

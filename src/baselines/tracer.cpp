@@ -1,0 +1,40 @@
+#include "baselines/tracer.hpp"
+
+#include "support/error.hpp"
+
+namespace vsensor::baselines {
+
+ItacTracer::ItacTracer(bool keep_events) : keep_events_(keep_events) {}
+
+void ItacTracer::on_event(const simmpi::TraceEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  if (keep_events_) events_.push_back(ev);
+}
+
+uint64_t ItacTracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t ItacTracer::trace_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ * kEventRecordBytes;
+}
+
+std::vector<simmpi::TraceEvent> ItacTracer::events_for_rank(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  VS_CHECK_MSG(keep_events_, "tracer constructed without event retention");
+  std::vector<simmpi::TraceEvent> out;
+  for (const auto& ev : events_) {
+    if (ev.rank == rank) out.push_back(ev);
+  }
+  return out;
+}
+
+double ItacTracer::bytes_per_second(double run_time) const {
+  if (run_time <= 0.0) return 0.0;
+  return static_cast<double>(trace_bytes()) / run_time;
+}
+
+}  // namespace vsensor::baselines

@@ -1,0 +1,178 @@
+#include "instrument/instrument.hpp"
+
+#include <functional>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace vsensor::instrument {
+
+namespace {
+
+using namespace minic;
+
+/// True if the statement subtree contains a call expression at `loc`.
+bool contains_call_at(const Expr& e, SourceLoc loc) {
+  switch (e.kind) {
+    case ExprKind::Call: {
+      const auto& c = as<CallExpr>(e);
+      if (c.loc == loc) return true;
+      for (const auto& arg : c.args) {
+        if (contains_call_at(*arg, loc)) return true;
+      }
+      return false;
+    }
+    case ExprKind::Unary:
+      return contains_call_at(*as<UnaryExpr>(e).operand, loc);
+    case ExprKind::Binary:
+      return contains_call_at(*as<BinaryExpr>(e).lhs, loc) ||
+             contains_call_at(*as<BinaryExpr>(e).rhs, loc);
+    case ExprKind::Assign:
+      return contains_call_at(*as<AssignExpr>(e).target, loc) ||
+             contains_call_at(*as<AssignExpr>(e).value, loc);
+    case ExprKind::IncDec:
+      return contains_call_at(*as<IncDecExpr>(e).target, loc);
+    case ExprKind::Index:
+      return contains_call_at(*as<IndexExpr>(e).base, loc) ||
+             contains_call_at(*as<IndexExpr>(e).index, loc);
+    default:
+      return false;
+  }
+}
+
+ExprPtr make_probe_call(const char* fn, int sensor_id, SourceLoc loc) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::make_unique<IntLitExpr>(sensor_id, loc));
+  return std::make_unique<CallExpr>(fn, std::move(args), loc);
+}
+
+/// Wrap `stmt` as { __vs_tick(id); stmt; __vs_tock(id); }.
+StmtPtr wrap_with_probes(StmtPtr stmt, int sensor_id) {
+  const SourceLoc loc = stmt->loc;
+  auto block = std::make_unique<BlockStmt>(loc);
+  block->transparent = true;  // no new scope: inner decls stay visible
+  block->stmts.push_back(std::make_unique<ExprStmt>(
+      make_probe_call(kTickFn, sensor_id, loc), loc));
+  block->stmts.push_back(std::move(stmt));
+  block->stmts.push_back(std::make_unique<ExprStmt>(
+      make_probe_call(kTockFn, sensor_id, loc), loc));
+  return block;
+}
+
+class Rewriter {
+ public:
+  Rewriter(Function& fn, const std::map<std::pair<int, int>, int>& targets,
+           int func_index)
+      : targets_(targets), func_index_(func_index) {
+    rewrite_block(*fn.body);
+  }
+
+  int rewritten() const { return rewritten_; }
+
+ private:
+  /// Sensor id if `stmt` is an instrumentation target, else -1.
+  int target_id(const Stmt& stmt) const {
+    // Loop sensors match the loop statement's own location.
+    if (stmt.kind == StmtKind::For || stmt.kind == StmtKind::While) {
+      const auto it = targets_.find({func_index_, stmt.loc.line * 10000 + stmt.loc.col});
+      if (it != targets_.end()) return it->second;
+    }
+    // Call sensors match any statement containing the call expression.
+    if (stmt.kind == StmtKind::Expr) {
+      for (const auto& [key, id] : targets_) {
+        if (key.first != func_index_) continue;
+        const SourceLoc loc{key.second / 10000, key.second % 10000};
+        if (contains_call_at(*as<ExprStmt>(stmt).expr, loc)) return id;
+      }
+    }
+    return -1;
+  }
+
+  void rewrite_block(BlockStmt& block) {
+    for (auto& stmt : block.stmts) rewrite_slot(stmt);
+  }
+
+  void rewrite_slot(StmtPtr& slot) {
+    const int id = target_id(*slot);
+    if (id >= 0) {
+      slot = wrap_with_probes(std::move(slot), id);
+      ++rewritten_;
+      return;  // nothing inside a sensor is instrumented
+    }
+    switch (slot->kind) {
+      case StmtKind::Block:
+        rewrite_block(as<BlockStmt>(*slot));
+        return;
+      case StmtKind::If: {
+        auto& s = as<IfStmt>(*slot);
+        rewrite_slot(s.then_branch);
+        if (s.else_branch) rewrite_slot(s.else_branch);
+        return;
+      }
+      case StmtKind::For:
+        rewrite_slot(as<ForStmt>(*slot).body);
+        return;
+      case StmtKind::While:
+        rewrite_slot(as<WhileStmt>(*slot).body);
+        return;
+      default:
+        return;
+    }
+  }
+
+  const std::map<std::pair<int, int>, int>& targets_;
+  int func_index_;
+  int rewritten_ = 0;
+};
+
+}  // namespace
+
+rt::SensorType to_sensor_type(analysis::SnippetKind kind) {
+  switch (kind) {
+    case analysis::SnippetKind::Computation:
+      return rt::SensorType::Computation;
+    case analysis::SnippetKind::Network:
+      return rt::SensorType::Network;
+    case analysis::SnippetKind::IO:
+      return rt::SensorType::IO;
+  }
+  return rt::SensorType::Computation;
+}
+
+std::vector<rt::SensorInfo> InstrumentationPlan::sensor_table() const {
+  std::vector<rt::SensorInfo> table;
+  table.reserve(sensors.size());
+  for (const auto& s : sensors) table.push_back(s.info);
+  return table;
+}
+
+InstrumentationPlan instrument(minic::Program& program,
+                               const analysis::AnalysisResult& analysis,
+                               const std::string& file) {
+  InstrumentationPlan plan;
+  // (func, encoded loc) -> sensor id
+  std::map<std::pair<int, int>, int> targets;
+  for (const auto& site : analysis.selected) {
+    PlannedSensor planned;
+    planned.sensor_id = static_cast<int>(plan.sensors.size());
+    planned.info.name = site.label;
+    planned.info.type = to_sensor_type(site.kind);
+    planned.info.file = file;
+    planned.info.line = site.loc.line;
+    planned.loc = site.loc;
+    planned.label = site.label;
+    targets[{site.func, site.loc.line * 10000 + site.loc.col}] = planned.sensor_id;
+    plan.sensors.push_back(std::move(planned));
+  }
+
+  int rewritten = 0;
+  for (size_t f = 0; f < program.functions.size(); ++f) {
+    Rewriter rewriter(program.functions[f], targets, static_cast<int>(f));
+    rewritten += rewriter.rewritten();
+  }
+  VS_CHECK_MSG(rewritten == static_cast<int>(plan.sensors.size()),
+               "failed to map every selected sensor back to a source statement");
+  return plan;
+}
+
+}  // namespace vsensor::instrument

@@ -1,0 +1,49 @@
+// Instrumentation (paper workflow steps 3-4): map selected v-sensors back to
+// source statements and wrap them with __vs_tick(id) / __vs_tock(id) probes.
+//
+// The rewrite happens on the AST (the analog of the paper's source-level
+// instrumentation, which lets the original compiler keep its optimization
+// flags); the instrumented program can be pretty-printed back to MiniC text
+// or executed directly by the interpreter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "minic/ast.hpp"
+#include "runtime/types.hpp"
+
+namespace vsensor::instrument {
+
+/// Probe function names inserted around sensors.
+inline constexpr const char* kTickFn = "__vs_tick";
+inline constexpr const char* kTockFn = "__vs_tock";
+
+/// One instrumented sensor: runtime id, metadata, and source position.
+struct PlannedSensor {
+  int sensor_id = -1;
+  rt::SensorInfo info;
+  minic::SourceLoc loc;
+  std::string label;
+};
+
+struct InstrumentationPlan {
+  std::vector<PlannedSensor> sensors;
+
+  /// Sensor table for SensorRuntime::register_sensor (registration order ==
+  /// sensor_id order on every rank).
+  std::vector<rt::SensorInfo> sensor_table() const;
+};
+
+/// Convert analysis kinds to runtime types.
+rt::SensorType to_sensor_type(analysis::SnippetKind kind);
+
+/// Build the plan from the selection result and rewrite `program` in place,
+/// inserting tick/tock probes around each selected snippet's statement.
+/// `file` is recorded in each sensor's SensorInfo.
+InstrumentationPlan instrument(minic::Program& program,
+                               const analysis::AnalysisResult& analysis,
+                               const std::string& file = "<memory>");
+
+}  // namespace vsensor::instrument

@@ -1,0 +1,49 @@
+#include "interp/builtins.hpp"
+
+#include <algorithm>
+
+#include "instrument/instrument.hpp"
+
+namespace vsensor::interp {
+
+const std::vector<std::string>& bound_externals() {
+  static const std::vector<std::string> kNames = {
+      instrument::kTickFn,
+      instrument::kTockFn,
+      "MPI_Init",
+      "MPI_Finalize",
+      "MPI_Comm_rank",
+      "MPI_Comm_size",
+      "MPI_Wtime",
+      "MPI_Barrier",
+      "MPI_Send",
+      "MPI_Ssend",
+      "MPI_Recv",
+      "MPI_Sendrecv",
+      "MPI_Bcast",
+      "MPI_Reduce",
+      "MPI_Allreduce",
+      "MPI_Alltoall",
+      "MPI_Allgather",
+      "MPI_Gather",
+      "MPI_Scatter",
+      "printf",
+      "puts",
+      "sqrt",
+      "fabs",
+      "sin",
+      "cos",
+      "exp",
+      "log",
+      "abs",
+      "compute_units",
+  };
+  return kNames;
+}
+
+bool is_bound_external(const std::string& name) {
+  const auto& names = bound_externals();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace vsensor::interp

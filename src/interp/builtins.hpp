@@ -1,0 +1,17 @@
+// Registry of external functions the interpreter binds (MPI + libc subset
+// + the `compute_units` simulation intrinsic). Tests use this to keep the
+// interpreter and the analysis external-model table consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vsensor::interp {
+
+/// Names of all external functions run_program() can execute.
+const std::vector<std::string>& bound_externals();
+
+/// True if the interpreter can execute the named external.
+bool is_bound_external(const std::string& name);
+
+}  // namespace vsensor::interp

@@ -1,0 +1,2 @@
+// Intentionally empty: Value is header-only; this TU anchors the library.
+#include "interp/value.hpp"

@@ -1,0 +1,55 @@
+// Runtime values of the MiniC interpreter.
+#pragma once
+
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "minic/ast.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::interp {
+
+/// Arrays are shared (pass-by-reference, like C decay-to-pointer).
+struct ArrayVal {
+  minic::Type elem = minic::Type::Int;
+  std::vector<double> data;
+};
+using ArrayPtr = std::shared_ptr<ArrayVal>;
+
+/// A MiniC runtime value: int, double, or array handle.
+class Value {
+ public:
+  Value() : v_(static_cast<long long>(0)) {}
+  Value(long long i) : v_(i) {}       // NOLINT(google-explicit-constructor)
+  Value(double d) : v_(d) {}          // NOLINT(google-explicit-constructor)
+  Value(ArrayPtr a) : v_(std::move(a)) {}  // NOLINT(google-explicit-constructor)
+
+  bool is_int() const { return std::holds_alternative<long long>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_array() const { return std::holds_alternative<ArrayPtr>(v_); }
+
+  long long as_int() const {
+    if (is_int()) return std::get<long long>(v_);
+    if (is_double()) return static_cast<long long>(std::get<double>(v_));
+    throw Error("interp: array used as a scalar");
+  }
+
+  double as_double() const {
+    if (is_double()) return std::get<double>(v_);
+    if (is_int()) return static_cast<double>(std::get<long long>(v_));
+    throw Error("interp: array used as a scalar");
+  }
+
+  bool truthy() const { return as_double() != 0.0; }
+
+  const ArrayPtr& as_array() const {
+    if (!is_array()) throw Error("interp: scalar used as an array");
+    return std::get<ArrayPtr>(v_);
+  }
+
+ private:
+  std::variant<long long, double, ArrayPtr> v_;
+};
+
+}  // namespace vsensor::interp

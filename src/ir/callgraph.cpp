@@ -1,0 +1,117 @@
+#include "ir/callgraph.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/error.hpp"
+
+namespace vsensor::ir {
+
+namespace {
+
+void collect_calls(const Node& node, std::set<int>& internal,
+                   std::set<std::string>& external) {
+  if (node.kind == NodeKind::Call) {
+    if (node.callee_index >= 0) {
+      internal.insert(node.callee_index);
+    } else {
+      external.insert(node.callee);
+    }
+  }
+  for (const auto& child : node.children) collect_calls(*child, internal, external);
+}
+
+}  // namespace
+
+CallGraph build_call_graph(const ProgramIR& ir) {
+  const size_t n = ir.functions.size();
+  CallGraph cg;
+  cg.callees.resize(n);
+  cg.callers.resize(n);
+  cg.externals.resize(n);
+  cg.recursive.assign(n, false);
+
+  for (size_t f = 0; f < n; ++f) {
+    for (const auto& node : ir.functions[f].body) {
+      collect_calls(*node, cg.callees[f], cg.externals[f]);
+    }
+  }
+  for (size_t f = 0; f < n; ++f) {
+    for (int callee : cg.callees[f]) {
+      cg.callers[static_cast<size_t>(callee)].insert(static_cast<int>(f));
+    }
+  }
+
+  // Tarjan SCC to find recursion cycles.
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  std::function<void(int)> strongconnect = [&](int v) {
+    index[static_cast<size_t>(v)] = lowlink[static_cast<size_t>(v)] = next_index++;
+    stack.push_back(v);
+    on_stack[static_cast<size_t>(v)] = true;
+    for (int w : cg.callees[static_cast<size_t>(v)]) {
+      if (index[static_cast<size_t>(w)] < 0) {
+        strongconnect(w);
+        lowlink[static_cast<size_t>(v)] =
+            std::min(lowlink[static_cast<size_t>(v)], lowlink[static_cast<size_t>(w)]);
+      } else if (on_stack[static_cast<size_t>(w)]) {
+        lowlink[static_cast<size_t>(v)] =
+            std::min(lowlink[static_cast<size_t>(v)], index[static_cast<size_t>(w)]);
+      }
+    }
+    if (lowlink[static_cast<size_t>(v)] == index[static_cast<size_t>(v)]) {
+      std::vector<int> scc;
+      int w;
+      do {
+        w = stack.back();
+        stack.pop_back();
+        on_stack[static_cast<size_t>(w)] = false;
+        scc.push_back(w);
+      } while (w != v);
+      // A component is recursive if it has >1 member or a self-edge.
+      const bool self_loop =
+          cg.callees[static_cast<size_t>(v)].count(v) > 0;
+      if (scc.size() > 1 || self_loop) {
+        for (int member : scc) cg.recursive[static_cast<size_t>(member)] = true;
+      }
+    }
+  };
+  for (size_t f = 0; f < n; ++f) {
+    if (index[f] < 0) strongconnect(static_cast<int>(f));
+  }
+
+  // Bottom-up order via DFS postorder (cycles broken by the visited set).
+  std::vector<bool> visited(n, false);
+  std::function<void(int)> postorder = [&](int v) {
+    visited[static_cast<size_t>(v)] = true;
+    for (int w : cg.callees[static_cast<size_t>(v)]) {
+      if (!visited[static_cast<size_t>(w)]) postorder(w);
+    }
+    cg.bottom_up_order.push_back(v);
+  };
+  for (size_t f = 0; f < n; ++f) {
+    if (!visited[f]) postorder(static_cast<int>(f));
+  }
+  cg.top_down_order.assign(cg.bottom_up_order.rbegin(), cg.bottom_up_order.rend());
+  return cg;
+}
+
+std::set<int> CallGraph::transitive_callees(int root) const {
+  std::set<int> result;
+  std::vector<int> work{root};
+  while (!work.empty()) {
+    const int f = work.back();
+    work.pop_back();
+    for (int callee : callees[static_cast<size_t>(f)]) {
+      if (result.insert(callee).second) work.push_back(callee);
+    }
+  }
+  result.erase(root);
+  return result;
+}
+
+}  // namespace vsensor::ir

@@ -1,0 +1,36 @@
+// Program call graph preprocessing (paper §3.5, Fig 10): recursion cycles
+// are detected and the functions involved are marked never-analyzable for
+// fixed-workload purposes (the paper removes such edges before the
+// topological sort); the remaining DAG is sorted bottom-up so callees are
+// summarized before their callers.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace vsensor::ir {
+
+struct CallGraph {
+  /// callees[f] = internal functions f calls (deduplicated).
+  std::vector<std::set<int>> callees;
+  /// callers[f] = internal functions calling f.
+  std::vector<std::set<int>> callers;
+  /// Names of external functions each function calls.
+  std::vector<std::set<std::string>> externals;
+  /// Functions participating in a recursion cycle (including self-recursion).
+  std::vector<bool> recursive;
+  /// Bottom-up order (callees before callers), cycles broken arbitrarily.
+  std::vector<int> bottom_up_order;
+  /// Top-down order (callers before callees) — reverse of bottom_up_order.
+  std::vector<int> top_down_order;
+
+  /// All functions transitively reachable from `root` (excluding root).
+  std::set<int> transitive_callees(int root) const;
+};
+
+CallGraph build_call_graph(const ProgramIR& ir);
+
+}  // namespace vsensor::ir

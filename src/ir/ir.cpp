@@ -1,0 +1,99 @@
+#include "ir/ir.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace vsensor::ir {
+
+std::string var_name(const VarId& v, const minic::Program& program) {
+  switch (v.kind) {
+    case VarId::Kind::Global:
+      if (v.index >= 0 && static_cast<size_t>(v.index) < program.globals.size()) {
+        return program.globals[static_cast<size_t>(v.index)].name;
+      }
+      return "<global#" + std::to_string(v.index) + ">";
+    case VarId::Kind::Param: {
+      if (v.func >= 0 && static_cast<size_t>(v.func) < program.functions.size()) {
+        const auto& fn = program.functions[static_cast<size_t>(v.func)];
+        if (v.index >= 0 && static_cast<size_t>(v.index) < fn.params.size()) {
+          return fn.name + "." + fn.params[static_cast<size_t>(v.index)].name;
+        }
+      }
+      return "<param#" + std::to_string(v.index) + ">";
+    }
+    case VarId::Kind::Local: {
+      if (v.func >= 0 && static_cast<size_t>(v.func) < program.functions.size()) {
+        const auto& fn = program.functions[static_cast<size_t>(v.func)];
+        if (v.index >= 0 &&
+            static_cast<size_t>(v.index) < fn.local_names.size()) {
+          return fn.name + "." + fn.local_names[static_cast<size_t>(v.index)];
+        }
+      }
+      return "<local#" + std::to_string(v.index) + ">";
+    }
+  }
+  return "<?>";
+}
+
+std::string var_set_names(const VarSet& vars, const minic::Program& program) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& v : vars) {
+    if (!first) out += ", ";
+    out += var_name(v, program);
+    first = false;
+  }
+  return out + "}";
+}
+
+int ProgramIR::function_index(const std::string& name) const {
+  for (const auto& fn : functions) {
+    if (fn.name == name) return fn.index;
+  }
+  return -1;
+}
+
+namespace {
+
+void dump_node(const Node& node, const minic::Program& program, int indent,
+               std::ostringstream& os) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (node.kind) {
+    case NodeKind::Stmt:
+      os << pad << "stmt uses=" << var_set_names(node.uses, program)
+         << " defs=" << var_set_names(node.defs, program) << "\n";
+      break;
+    case NodeKind::Loop:
+      os << pad << "loop L" << node.loop_id
+         << " ctrl_uses=" << var_set_names(node.uses, program)
+         << " init_defs=" << var_set_names(node.init_defs, program) << "\n";
+      break;
+    case NodeKind::Branch:
+      os << pad << "branch cond_uses=" << var_set_names(node.uses, program) << "\n";
+      break;
+    case NodeKind::Call:
+      os << pad << "call C" << node.call_id << " " << node.callee
+         << (node.callee_index < 0 ? " [external]" : "")
+         << " uses=" << var_set_names(node.uses, program) << "\n";
+      break;
+  }
+  for (const auto& child : node.children) {
+    dump_node(*child, program, indent + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string dump(const ProgramIR& ir) {
+  VS_CHECK(ir.ast != nullptr);
+  std::ostringstream os;
+  for (const auto& fn : ir.functions) {
+    os << "function " << fn.name << " (loops=" << fn.num_loops
+       << ", calls=" << fn.num_calls << ")\n";
+    for (const auto& node : fn.body) dump_node(*node, *ir.ast, 1, os);
+  }
+  return os.str();
+}
+
+}  // namespace vsensor::ir

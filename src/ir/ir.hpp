@@ -1,0 +1,107 @@
+// Structured IR for v-sensor identification.
+//
+// The paper's analysis runs on LLVM-IR but reasons about structure: loop
+// nests, call sites, the variables used by control expressions, and the
+// definitions that may change them. This IR captures exactly that: each
+// function becomes a tree of Loop / Branch / Call / Stmt nodes annotated
+// with def/use variable sets, preserving source order (which the
+// sequential-shielding rule of the workload-source computation needs).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace vsensor::ir {
+
+using minic::SourceLoc;
+
+/// Program-wide variable identity.
+struct VarId {
+  enum class Kind { Global, Local, Param };
+  Kind kind = Kind::Global;
+  int func = -1;  ///< owning function index for Local/Param; -1 for Global
+  int index = -1;
+
+  auto operator<=>(const VarId&) const = default;
+};
+
+using VarSet = std::set<VarId>;
+
+std::string var_name(const VarId& v, const minic::Program& program);
+std::string var_set_names(const VarSet& vars, const minic::Program& program);
+
+enum class NodeKind { Stmt, Loop, Branch, Call };
+
+struct Node {
+  NodeKind kind = NodeKind::Stmt;
+  SourceLoc loc;
+
+  /// Variables read by this node's own expressions (not children):
+  ///  Stmt   — the whole statement;  Loop — init/cond/step;
+  ///  Branch — the condition;        Call — all argument expressions.
+  VarSet uses;
+  /// Variables written by this node's own expressions. For Call this is the
+  /// address-of out-arguments only; callee side effects are applied during
+  /// analysis from function summaries.
+  VarSet defs;
+
+  /// Loop: body. Branch: then-children followed by else-children.
+  std::vector<std::unique_ptr<Node>> children;
+
+  // --- Loop ---
+  int loop_id = -1;
+  /// Variables unconditionally assigned by the loop init clause; they shield
+  /// uses of the same variable inside the loop from being external sources.
+  VarSet init_defs;
+
+  // --- Branch ---
+  size_t then_count = 0;  ///< children[0..then_count) form the then-branch
+
+  /// Calls whose return values feed this node's own expressions (the calls
+  /// themselves are hoisted into preceding Call nodes). Dependency and taint
+  /// propagation flow through these edges.
+  std::vector<const Node*> feeding_calls;
+  /// Stmt: this is a `return expr;` statement (used for return-taint).
+  bool is_return = false;
+
+  // --- Call ---
+  int call_id = -1;
+  std::string callee;
+  int callee_index = -1;  ///< index into functions, or -1 for external
+  std::vector<VarSet> arg_uses;                 ///< per-argument variable uses
+  std::vector<std::optional<VarId>> arg_addr;   ///< set when the arg is &var
+  std::vector<std::optional<long long>> arg_const;  ///< set for int literals
+};
+
+struct FunctionIR {
+  std::string name;
+  int index = -1;
+  std::vector<std::unique_ptr<Node>> body;
+  int num_loops = 0;
+  int num_calls = 0;
+  const minic::Function* ast = nullptr;
+
+  /// All Loop / Call nodes in preorder (for snippet enumeration).
+  std::vector<Node*> loops;
+  std::vector<Node*> calls;
+};
+
+struct ProgramIR {
+  std::vector<FunctionIR> functions;
+  const minic::Program* ast = nullptr;
+
+  int function_index(const std::string& name) const;
+};
+
+/// Lower a sema-checked program to IR.
+ProgramIR lower(const minic::Program& program);
+
+/// Render the IR tree for debugging/golden tests.
+std::string dump(const ProgramIR& ir);
+
+}  // namespace vsensor::ir

@@ -1,0 +1,320 @@
+// AST -> IR lowering: flattens statements into the structured node tree and
+// extracts def/use sets. Calls nested inside expressions are hoisted into
+// their own Call nodes (emitted in evaluation order before the statement
+// node) so every call site is an analyzable snippet candidate.
+#include <functional>
+
+#include "ir/ir.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::ir {
+
+namespace {
+
+using namespace minic;
+
+class Lowering {
+ public:
+  explicit Lowering(const Program& program) : program_(program) {}
+
+  ProgramIR run() {
+    ProgramIR ir;
+    ir.ast = &program_;
+    ir.functions.reserve(program_.functions.size());
+    for (size_t i = 0; i < program_.functions.size(); ++i) {
+      ir.functions.push_back(lower_function(program_.functions[i],
+                                            static_cast<int>(i)));
+    }
+    return ir;
+  }
+
+ private:
+  VarId to_var(const SymbolRef& sym) const {
+    switch (sym.kind) {
+      case SymbolRef::Kind::Global:
+        return {VarId::Kind::Global, -1, sym.index};
+      case SymbolRef::Kind::Local:
+        return {VarId::Kind::Local, func_index_, sym.index};
+      case SymbolRef::Kind::Param:
+        return {VarId::Kind::Param, func_index_, sym.index};
+      case SymbolRef::Kind::Unresolved:
+        break;
+    }
+    throw Error("lowering requires a sema-resolved AST");
+  }
+
+  /// Walk an expression collecting uses/defs into `uses`/`defs` and emitting
+  /// Call nodes for every call encountered into `out`.
+  void walk_expr(const Expr& e, VarSet& uses, VarSet& defs,
+                 std::vector<std::unique_ptr<Node>>& out) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+      case ExprKind::StringLit:
+        return;
+      case ExprKind::VarRef:
+        uses.insert(to_var(as<VarRefExpr>(e).symbol));
+        return;
+      case ExprKind::Unary: {
+        const auto& u = as<UnaryExpr>(e);
+        // A bare '&x' outside a call argument position is a read for our
+        // purposes; call arguments handle AddrOf specially in lower_call.
+        walk_expr(*u.operand, uses, defs, out);
+        return;
+      }
+      case ExprKind::Binary: {
+        const auto& b = as<BinaryExpr>(e);
+        walk_expr(*b.lhs, uses, defs, out);
+        walk_expr(*b.rhs, uses, defs, out);
+        return;
+      }
+      case ExprKind::Assign: {
+        const auto& a = as<AssignExpr>(e);
+        walk_expr(*a.value, uses, defs, out);
+        lvalue(*a.target, uses, defs, out);
+        if (a.op != AssignExpr::Op::Set) add_lvalue_use(*a.target, uses);
+        return;
+      }
+      case ExprKind::IncDec: {
+        const auto& i = as<IncDecExpr>(e);
+        lvalue(*i.target, uses, defs, out);
+        add_lvalue_use(*i.target, uses);
+        return;
+      }
+      case ExprKind::Index: {
+        const auto& ix = as<IndexExpr>(e);
+        walk_expr(*ix.base, uses, defs, out);
+        walk_expr(*ix.index, uses, defs, out);
+        return;
+      }
+      case ExprKind::Call:
+        out.push_back(lower_call(as<CallExpr>(e), out));
+        return;
+    }
+  }
+
+  /// Assignment target: defines the base variable; array indices are reads.
+  void lvalue(const Expr& target, VarSet& uses, VarSet& defs,
+              std::vector<std::unique_ptr<Node>>& out) {
+    if (target.kind == ExprKind::VarRef) {
+      defs.insert(to_var(as<VarRefExpr>(target).symbol));
+      return;
+    }
+    VS_CHECK_MSG(target.kind == ExprKind::Index, "unexpected lvalue kind");
+    const auto& ix = as<IndexExpr>(target);
+    VS_CHECK_MSG(ix.base->kind == ExprKind::VarRef, "array base must be a variable");
+    defs.insert(to_var(as<VarRefExpr>(*ix.base).symbol));
+    walk_expr(*ix.index, uses, defs, out);
+  }
+
+  /// Compound assignment / inc-dec also reads the target.
+  void add_lvalue_use(const Expr& target, VarSet& uses) {
+    if (target.kind == ExprKind::VarRef) {
+      uses.insert(to_var(as<VarRefExpr>(target).symbol));
+    } else if (target.kind == ExprKind::Index) {
+      const auto& ix = as<IndexExpr>(target);
+      uses.insert(to_var(as<VarRefExpr>(*ix.base).symbol));
+    }
+  }
+
+  std::unique_ptr<Node> lower_call(const CallExpr& call,
+                                   std::vector<std::unique_ptr<Node>>& out) {
+    auto node = std::make_unique<Node>();
+    node->kind = NodeKind::Call;
+    node->loc = call.loc;
+    node->call_id = next_call_id_++;
+    node->callee = call.callee;
+    node->callee_index = call.callee_index;
+    node->arg_uses.resize(call.args.size());
+    node->arg_addr.resize(call.args.size());
+    node->arg_const.resize(call.args.size());
+    for (size_t i = 0; i < call.args.size(); ++i) {
+      const Expr& arg = *call.args[i];
+      if (arg.kind == ExprKind::Unary &&
+          as<UnaryExpr>(arg).op == UnaryExpr::Op::AddrOf) {
+        const Expr& inner = *as<UnaryExpr>(arg).operand;
+        if (inner.kind == ExprKind::VarRef) {
+          const VarId v = to_var(as<VarRefExpr>(inner).symbol);
+          node->arg_addr[i] = v;
+          node->defs.insert(v);  // out-parameter, conservatively written
+          continue;
+        }
+      }
+      if (arg.kind == ExprKind::IntLit) {
+        node->arg_const[i] = as<IntLitExpr>(arg).value;
+      }
+      VarSet arg_defs;
+      walk_expr(arg, node->arg_uses[i], arg_defs, out);
+      node->uses.insert(node->arg_uses[i].begin(), node->arg_uses[i].end());
+      node->defs.insert(arg_defs.begin(), arg_defs.end());
+    }
+    calls_.push_back(node.get());
+    return node;
+  }
+
+  void lower_stmt(const Stmt& stmt, std::vector<std::unique_ptr<Node>>& out) {
+    switch (stmt.kind) {
+      case StmtKind::Expr: {
+        const auto& s = as<ExprStmt>(stmt);
+        emit_plain(*s.expr, stmt.loc, out);
+        return;
+      }
+      case StmtKind::Decl: {
+        const auto& d = as<DeclStmt>(stmt);
+        if (!d.init) return;  // pure declaration: no work
+        auto node = std::make_unique<Node>();
+        node->kind = NodeKind::Stmt;
+        node->loc = stmt.loc;
+        const size_t before = out.size();
+        walk_expr(*d.init, node->uses, node->defs, out);
+        record_feeding_calls(*node, out, before);
+        node->defs.insert(to_var(d.symbol));
+        out.push_back(std::move(node));
+        return;
+      }
+      case StmtKind::Block: {
+        const auto& b = as<BlockStmt>(stmt);
+        for (const auto& child : b.stmts) lower_stmt(*child, out);
+        return;
+      }
+      case StmtKind::If: {
+        const auto& s = as<IfStmt>(stmt);
+        auto node = std::make_unique<Node>();
+        node->kind = NodeKind::Branch;
+        node->loc = stmt.loc;
+        VarSet cond_defs;
+        const size_t before = out.size();
+        walk_expr(*s.cond, node->uses, cond_defs, out);
+        record_feeding_calls(*node, out, before);
+        node->defs = cond_defs;
+        lower_stmt(*s.then_branch, node->children);
+        node->then_count = node->children.size();
+        if (s.else_branch) lower_stmt(*s.else_branch, node->children);
+        out.push_back(std::move(node));
+        return;
+      }
+      case StmtKind::For: {
+        const auto& s = as<ForStmt>(stmt);
+        auto node = std::make_unique<Node>();
+        node->kind = NodeKind::Loop;
+        node->loc = stmt.loc;
+        node->loop_id = next_loop_id_++;
+        loops_.push_back(node.get());
+        if (s.init) {
+          // Init runs once per loop execution: its defs shield body uses.
+          if (s.init->kind == StmtKind::Decl) {
+            const auto& d = as<DeclStmt>(*s.init);
+            if (d.init) walk_expr(*d.init, node->uses, node->defs, node->children);
+            node->init_defs.insert(to_var(d.symbol));
+            node->defs.insert(to_var(d.symbol));
+          } else {
+            const auto& es = as<ExprStmt>(*s.init);
+            VarSet init_defs;
+            walk_expr(*es.expr, node->uses, init_defs, node->children);
+            node->init_defs = init_defs;
+            node->defs.insert(init_defs.begin(), init_defs.end());
+          }
+        }
+        if (s.cond) {
+          VarSet cond_defs;
+          walk_expr(*s.cond, node->uses, cond_defs, node->children);
+          node->defs.insert(cond_defs.begin(), cond_defs.end());
+        }
+        if (s.step) {
+          VarSet step_defs;
+          walk_expr(*s.step, node->uses, step_defs, node->children);
+          node->defs.insert(step_defs.begin(), step_defs.end());
+        }
+        // Calls hoisted out of the loop clauses feed the loop's control.
+        record_feeding_calls(*node, node->children, 0);
+        lower_stmt(*s.body, node->children);
+        out.push_back(std::move(node));
+        return;
+      }
+      case StmtKind::While: {
+        const auto& s = as<WhileStmt>(stmt);
+        auto node = std::make_unique<Node>();
+        node->kind = NodeKind::Loop;
+        node->loc = stmt.loc;
+        node->loop_id = next_loop_id_++;
+        loops_.push_back(node.get());
+        VarSet cond_defs;
+        walk_expr(*s.cond, node->uses, cond_defs, node->children);
+        node->defs.insert(cond_defs.begin(), cond_defs.end());
+        record_feeding_calls(*node, node->children, 0);
+        lower_stmt(*s.body, node->children);
+        out.push_back(std::move(node));
+        return;
+      }
+      case StmtKind::Return: {
+        const auto& s = as<ReturnStmt>(stmt);
+        if (s.value) emit_plain(*s.value, stmt.loc, out, /*is_return=*/true);
+        return;
+      }
+      case StmtKind::Break:
+      case StmtKind::Continue:
+        // Control transfers carry no workload information beyond the
+        // conditions guarding them, which their Branch parents capture.
+        return;
+    }
+  }
+
+  /// Emit one Stmt node for an expression (calls hoisted before it).
+  void emit_plain(const Expr& e, SourceLoc loc,
+                  std::vector<std::unique_ptr<Node>>& out, bool is_return = false) {
+    auto node = std::make_unique<Node>();
+    node->kind = NodeKind::Stmt;
+    node->loc = loc;
+    node->is_return = is_return;
+    const size_t before = out.size();
+    walk_expr(e, node->uses, node->defs, out);
+    record_feeding_calls(*node, out, before);
+    if (!is_return && node->uses.empty() && node->defs.empty() &&
+        node->feeding_calls.empty()) {
+      return;  // nothing beyond the hoisted calls themselves
+    }
+    if (node->uses.empty() && node->defs.empty() && !node->is_return) return;
+    out.push_back(std::move(node));
+  }
+
+  /// Remember the calls hoisted while lowering this node's expressions.
+  static void record_feeding_calls(Node& node,
+                                   const std::vector<std::unique_ptr<Node>>& out,
+                                   size_t since) {
+    for (size_t i = since; i < out.size(); ++i) {
+      if (out[i]->kind == NodeKind::Call) node.feeding_calls.push_back(out[i].get());
+    }
+  }
+
+  FunctionIR lower_function(const Function& fn, int index) {
+    func_index_ = index;
+    next_loop_id_ = 0;
+    next_call_id_ = 0;
+    loops_.clear();
+    calls_.clear();
+
+    FunctionIR out;
+    out.name = fn.name;
+    out.index = index;
+    out.ast = &fn;
+    lower_stmt(*fn.body, out.body);
+    out.num_loops = next_loop_id_;
+    out.num_calls = next_call_id_;
+    out.loops = loops_;
+    out.calls = calls_;
+    return out;
+  }
+
+  const Program& program_;
+  int func_index_ = -1;
+  int next_loop_id_ = 0;
+  int next_call_id_ = 0;
+  std::vector<Node*> loops_;
+  std::vector<Node*> calls_;
+};
+
+}  // namespace
+
+ProgramIR lower(const minic::Program& program) { return Lowering(program).run(); }
+
+}  // namespace vsensor::ir

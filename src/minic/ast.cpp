@@ -1,0 +1,32 @@
+#include "minic/ast.hpp"
+
+namespace vsensor::minic {
+
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::Int: return "int";
+    case Type::Double: return "double";
+    case Type::IntArray: return "int[]";
+    case Type::DoubleArray: return "double[]";
+  }
+  return "?";
+}
+
+bool is_array(Type t) { return t == Type::IntArray || t == Type::DoubleArray; }
+
+const Function* Program::find_function(const std::string& name) const {
+  for (const auto& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+int Program::function_index(const std::string& name) const {
+  for (size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace vsensor::minic

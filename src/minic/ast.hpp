@@ -1,0 +1,282 @@
+// MiniC abstract syntax tree.
+//
+// The tree is deliberately structured (loops and calls are explicit nodes)
+// because the v-sensor identification algorithm reasons about loop nests,
+// call sites, and the variables used in control expressions — the same
+// information the paper extracts from LLVM-IR.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minic/token.hpp"
+
+namespace vsensor::minic {
+
+enum class Type { Void, Int, Double, IntArray, DoubleArray };
+
+const char* type_name(Type t);
+bool is_array(Type t);
+
+/// Resolved symbol: where a variable lives. Filled in by Sema.
+struct SymbolRef {
+  enum class Kind { Unresolved, Global, Local, Param };
+  Kind kind = Kind::Unresolved;
+  int index = -1;  ///< global index, or per-function local/param index
+
+  bool operator==(const SymbolRef&) const = default;
+  auto operator<=>(const SymbolRef&) const = default;
+};
+
+// ---------------------------------------------------------------- expressions
+
+enum class ExprKind {
+  IntLit,
+  FloatLit,
+  StringLit,
+  VarRef,
+  Unary,
+  Binary,
+  Assign,
+  IncDec,
+  Index,
+  Call,
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Expr() = default;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  long long value;
+  IntLitExpr(long long v, SourceLoc l) : Expr(ExprKind::IntLit, l), value(v) {}
+};
+
+struct FloatLitExpr : Expr {
+  double value;
+  FloatLitExpr(double v, SourceLoc l) : Expr(ExprKind::FloatLit, l), value(v) {}
+};
+
+struct StringLitExpr : Expr {
+  std::string value;
+  StringLitExpr(std::string v, SourceLoc l)
+      : Expr(ExprKind::StringLit, l), value(std::move(v)) {}
+};
+
+struct VarRefExpr : Expr {
+  std::string name;
+  SymbolRef symbol;
+  VarRefExpr(std::string n, SourceLoc l)
+      : Expr(ExprKind::VarRef, l), name(std::move(n)) {}
+};
+
+struct UnaryExpr : Expr {
+  enum class Op { Neg, Not, AddrOf };
+  Op op;
+  ExprPtr operand;
+  UnaryExpr(Op o, ExprPtr e, SourceLoc l)
+      : Expr(ExprKind::Unary, l), op(o), operand(std::move(e)) {}
+};
+
+struct BinaryExpr : Expr {
+  enum class Op { Add, Sub, Mul, Div, Mod, Eq, Ne, Lt, Gt, Le, Ge, And, Or };
+  Op op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  BinaryExpr(Op o, ExprPtr a, ExprPtr b, SourceLoc l)
+      : Expr(ExprKind::Binary, l), op(o), lhs(std::move(a)), rhs(std::move(b)) {}
+};
+
+struct AssignExpr : Expr {
+  enum class Op { Set, Add, Sub, Mul, Div };
+  Op op;
+  ExprPtr target;  ///< VarRefExpr or IndexExpr
+  ExprPtr value;
+  AssignExpr(Op o, ExprPtr t, ExprPtr v, SourceLoc l)
+      : Expr(ExprKind::Assign, l), op(o), target(std::move(t)), value(std::move(v)) {}
+};
+
+struct IncDecExpr : Expr {
+  bool increment;
+  bool prefix;
+  ExprPtr target;  ///< VarRefExpr or IndexExpr
+  IncDecExpr(bool inc, bool pre, ExprPtr t, SourceLoc l)
+      : Expr(ExprKind::IncDec, l), increment(inc), prefix(pre), target(std::move(t)) {}
+};
+
+struct IndexExpr : Expr {
+  ExprPtr base;  ///< VarRefExpr
+  ExprPtr index;
+  IndexExpr(ExprPtr b, ExprPtr i, SourceLoc l)
+      : Expr(ExprKind::Index, l), base(std::move(b)), index(std::move(i)) {}
+};
+
+struct CallExpr : Expr {
+  std::string callee;
+  std::vector<ExprPtr> args;
+  /// Index into Program::functions for user functions, -1 for externals.
+  int callee_index = -1;
+  CallExpr(std::string c, std::vector<ExprPtr> a, SourceLoc l)
+      : Expr(ExprKind::Call, l), callee(std::move(c)), args(std::move(a)) {}
+};
+
+// ----------------------------------------------------------------- statements
+
+enum class StmtKind {
+  Expr,
+  Decl,
+  Block,
+  If,
+  For,
+  While,
+  Return,
+  Break,
+  Continue,
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Stmt() = default;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct ExprStmt : Stmt {
+  ExprPtr expr;
+  ExprStmt(ExprPtr e, SourceLoc l) : Stmt(StmtKind::Expr, l), expr(std::move(e)) {}
+};
+
+struct DeclStmt : Stmt {
+  Type type;
+  std::string name;
+  SymbolRef symbol;
+  ExprPtr init;        ///< may be null
+  long long array_size = 0;  ///< > 0 for array declarations
+  DeclStmt(Type t, std::string n, ExprPtr i, SourceLoc l)
+      : Stmt(StmtKind::Decl, l), type(t), name(std::move(n)), init(std::move(i)) {}
+};
+
+struct BlockStmt : Stmt {
+  std::vector<StmtPtr> stmts;
+  /// A transparent block introduces no scope: it only groups the statements
+  /// produced by a multi-declarator declaration (`int i, j, k = 0;`), whose
+  /// names must remain visible to following siblings.
+  bool transparent = false;
+  explicit BlockStmt(SourceLoc l) : Stmt(StmtKind::Block, l) {}
+};
+
+struct IfStmt : Stmt {
+  ExprPtr cond;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  ///< may be null
+  IfStmt(ExprPtr c, StmtPtr t, StmtPtr e, SourceLoc l)
+      : Stmt(StmtKind::If, l),
+        cond(std::move(c)),
+        then_branch(std::move(t)),
+        else_branch(std::move(e)) {}
+};
+
+struct ForStmt : Stmt {
+  StmtPtr init;  ///< DeclStmt or ExprStmt; may be null
+  ExprPtr cond;  ///< may be null
+  ExprPtr step;  ///< may be null
+  StmtPtr body;
+  ForStmt(StmtPtr i, ExprPtr c, ExprPtr s, StmtPtr b, SourceLoc l)
+      : Stmt(StmtKind::For, l),
+        init(std::move(i)),
+        cond(std::move(c)),
+        step(std::move(s)),
+        body(std::move(b)) {}
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr cond;
+  StmtPtr body;
+  /// do { body } while (cond); — body runs before the first test.
+  bool is_do_while = false;
+  WhileStmt(ExprPtr c, StmtPtr b, SourceLoc l)
+      : Stmt(StmtKind::While, l), cond(std::move(c)), body(std::move(b)) {}
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr value;  ///< may be null
+  ReturnStmt(ExprPtr v, SourceLoc l) : Stmt(StmtKind::Return, l), value(std::move(v)) {}
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(SourceLoc l) : Stmt(StmtKind::Break, l) {}
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(SourceLoc l) : Stmt(StmtKind::Continue, l) {}
+};
+
+// ------------------------------------------------------------------- toplevel
+
+struct Param {
+  Type type;
+  std::string name;
+  SourceLoc loc;
+};
+
+struct Function {
+  Type return_type;
+  std::string name;
+  std::vector<Param> params;
+  std::unique_ptr<BlockStmt> body;
+  SourceLoc loc;
+
+  /// Filled by Sema: names of all locals in declaration order (index =
+  /// SymbolRef::index for Kind::Local).
+  std::vector<std::string> local_names;
+  std::vector<Type> local_types;
+  std::vector<long long> local_array_sizes;
+};
+
+struct Global {
+  Type type;
+  std::string name;
+  ExprPtr init;  ///< may be null; must be a constant expression
+  long long array_size = 0;
+  SourceLoc loc;
+  bool builtin = false;  ///< injected constant (MPI_COMM_WORLD, ...)
+  long long builtin_value = 0;
+};
+
+struct Program {
+  std::vector<Global> globals;
+  std::vector<Function> functions;
+
+  const Function* find_function(const std::string& name) const;
+  int function_index(const std::string& name) const;
+};
+
+// Checked downcast helpers.
+template <typename T>
+const T& as(const Expr& e) {
+  return static_cast<const T&>(e);
+}
+template <typename T>
+T& as(Expr& e) {
+  return static_cast<T&>(e);
+}
+template <typename T>
+const T& as(const Stmt& s) {
+  return static_cast<const T&>(s);
+}
+template <typename T>
+T& as(Stmt& s) {
+  return static_cast<T&>(s);
+}
+
+}  // namespace vsensor::minic

@@ -1,0 +1,231 @@
+#include "minic/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace vsensor::minic {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok> kKeywords = {
+    {"int", Tok::KwInt},       {"double", Tok::KwDouble},
+    {"void", Tok::KwVoid},     {"if", Tok::KwIf},
+    {"else", Tok::KwElse},     {"for", Tok::KwFor},
+    {"do", Tok::KwDo},
+    {"while", Tok::KwWhile},   {"return", Tok::KwReturn},
+    {"break", Tok::KwBreak},   {"continue", Tok::KwContinue},
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_whitespace_and_comments();
+      Token tok = next();
+      const bool eof = tok.kind == Tok::Eof;
+      out.push_back(std::move(tok));
+      if (eof) break;
+    }
+    return out;
+  }
+
+ private:
+  char peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  [[noreturn]] void error(const std::string& msg) const {
+    throw CompileError(line_, col_, msg);
+  }
+
+  void skip_whitespace_and_comments() {
+    for (;;) {
+      while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+      if (peek() == '/' && peek(1) == '/') {
+        while (pos_ < src_.size() && peek() != '\n') advance();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (pos_ < src_.size() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (pos_ >= src_.size()) error("unterminated block comment");
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(Tok kind, std::string text, SourceLoc loc) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.loc = loc;
+    return t;
+  }
+
+  Token next() {
+    const SourceLoc loc{line_, col_};
+    if (pos_ >= src_.size()) return make(Tok::Eof, "", loc);
+    const char c = peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+        text.push_back(advance());
+      }
+      const auto kw = kKeywords.find(text);
+      return make(kw != kKeywords.end() ? kw->second : Tok::Identifier,
+                  std::move(text), loc);
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      return lex_number(loc);
+    }
+
+    if (c == '"') return lex_string(loc);
+
+    return lex_operator(loc);
+  }
+
+  Token lex_number(SourceLoc loc) {
+    std::string text;
+    bool is_float = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text.push_back(advance());
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_float = true;
+      text.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        text.push_back(advance());
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_float = true;
+      text.push_back(advance());
+      if (peek() == '+' || peek() == '-') text.push_back(advance());
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        error("malformed exponent in numeric literal");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        text.push_back(advance());
+      }
+    }
+    Token t = make(is_float ? Tok::FloatLit : Tok::IntLit, text, loc);
+    if (is_float) {
+      t.float_value = std::stod(text);
+    } else {
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), t.int_value);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        error("integer literal out of range: " + text);
+      }
+    }
+    return t;
+  }
+
+  Token lex_string(SourceLoc loc) {
+    advance();  // opening quote
+    std::string value;
+    while (pos_ < src_.size() && peek() != '"') {
+      char c = advance();
+      if (c == '\\') {
+        if (pos_ >= src_.size()) error("unterminated string literal");
+        const char esc = advance();
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          case '0': c = '\0'; break;
+          default: error(std::string("unknown escape: \\") + esc);
+        }
+      }
+      value.push_back(c);
+    }
+    if (pos_ >= src_.size()) error("unterminated string literal");
+    advance();  // closing quote
+    return make(Tok::StringLit, value, loc);
+  }
+
+  Token lex_operator(SourceLoc loc) {
+    const char c = advance();
+    auto two = [&](char second, Tok yes, Tok no) {
+      if (peek() == second) {
+        advance();
+        return make(yes, std::string{c, second}, loc);
+      }
+      return make(no, std::string{c}, loc);
+    };
+    switch (c) {
+      case '(': return make(Tok::LParen, "(", loc);
+      case ')': return make(Tok::RParen, ")", loc);
+      case '{': return make(Tok::LBrace, "{", loc);
+      case '}': return make(Tok::RBrace, "}", loc);
+      case '[': return make(Tok::LBracket, "[", loc);
+      case ']': return make(Tok::RBracket, "]", loc);
+      case ';': return make(Tok::Semicolon, ";", loc);
+      case ',': return make(Tok::Comma, ",", loc);
+      case '%': return make(Tok::Percent, "%", loc);
+      case '+':
+        if (peek() == '+') {
+          advance();
+          return make(Tok::PlusPlus, "++", loc);
+        }
+        return two('=', Tok::PlusAssign, Tok::Plus);
+      case '-':
+        if (peek() == '-') {
+          advance();
+          return make(Tok::MinusMinus, "--", loc);
+        }
+        return two('=', Tok::MinusAssign, Tok::Minus);
+      case '*': return two('=', Tok::StarAssign, Tok::Star);
+      case '/': return two('=', Tok::SlashAssign, Tok::Slash);
+      case '=': return two('=', Tok::Eq, Tok::Assign);
+      case '!': return two('=', Tok::Ne, Tok::Bang);
+      case '<': return two('=', Tok::Le, Tok::Lt);
+      case '>': return two('=', Tok::Ge, Tok::Gt);
+      case '&': return two('&', Tok::AmpAmp, Tok::Amp);
+      case '|':
+        if (peek() == '|') {
+          advance();
+          return make(Tok::PipePipe, "||", loc);
+        }
+        error("bitwise '|' is not part of MiniC");
+      default:
+        error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace vsensor::minic

@@ -1,0 +1,15 @@
+// MiniC lexer.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "minic/token.hpp"
+
+namespace vsensor::minic {
+
+/// Tokenize a whole translation unit. Throws CompileError on bad input.
+/// The returned vector always ends with an Eof token.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace vsensor::minic

@@ -1,0 +1,435 @@
+#include "minic/parser.hpp"
+
+#include "minic/lexer.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::minic {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program run() {
+    Program program;
+    while (!at(Tok::Eof)) parse_toplevel(program);
+    return program;
+  }
+
+ private:
+  const Token& peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+
+  bool at(Tok kind) const { return peek().kind == kind; }
+
+  const Token& advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool match(Tok kind) {
+    if (!at(kind)) return false;
+    advance();
+    return true;
+  }
+
+  const Token& expect(Tok kind, const char* context) {
+    if (!at(kind)) {
+      error(std::string("expected ") + tok_name(kind) + " " + context + ", found " +
+            tok_name(peek().kind));
+    }
+    return advance();
+  }
+
+  [[noreturn]] void error(const std::string& msg) const {
+    throw CompileError(peek().loc.line, peek().loc.col, msg);
+  }
+
+  bool at_type() const {
+    return at(Tok::KwInt) || at(Tok::KwDouble) || at(Tok::KwVoid);
+  }
+
+  Type parse_base_type() {
+    if (match(Tok::KwInt)) return Type::Int;
+    if (match(Tok::KwDouble)) return Type::Double;
+    if (match(Tok::KwVoid)) return Type::Void;
+    error("expected a type");
+  }
+
+  void parse_toplevel(Program& program) {
+    const SourceLoc loc = peek().loc;
+    const Type base = parse_base_type();
+    const Token name = expect(Tok::Identifier, "after type");
+    if (at(Tok::LParen)) {
+      program.functions.push_back(parse_function(base, name.text, loc));
+    } else {
+      program.globals.push_back(parse_global(base, name.text, loc));
+    }
+  }
+
+  Global parse_global(Type base, std::string name, SourceLoc loc) {
+    Global g;
+    g.type = base;
+    g.name = std::move(name);
+    g.loc = loc;
+    if (match(Tok::LBracket)) {
+      if (base == Type::Void) error("void arrays are not allowed");
+      const Token size = expect(Tok::IntLit, "as array size");
+      expect(Tok::RBracket, "after array size");
+      g.type = base == Type::Int ? Type::IntArray : Type::DoubleArray;
+      g.array_size = size.int_value;
+    } else if (match(Tok::Assign)) {
+      g.init = parse_expr();
+    }
+    expect(Tok::Semicolon, "after global declaration");
+    return g;
+  }
+
+  Function parse_function(Type ret, std::string name, SourceLoc loc) {
+    Function fn;
+    fn.return_type = ret;
+    fn.name = std::move(name);
+    fn.loc = loc;
+    expect(Tok::LParen, "after function name");
+    if (!at(Tok::RParen)) {
+      do {
+        Param p;
+        p.loc = peek().loc;
+        p.type = parse_base_type();
+        if (p.type == Type::Void && at(Tok::RParen)) break;  // f(void)
+        p.name = expect(Tok::Identifier, "as parameter name").text;
+        if (match(Tok::LBracket)) {
+          expect(Tok::RBracket, "in array parameter");
+          p.type = p.type == Type::Int ? Type::IntArray : Type::DoubleArray;
+        }
+        fn.params.push_back(std::move(p));
+      } while (match(Tok::Comma));
+    }
+    expect(Tok::RParen, "after parameters");
+    fn.body = parse_block();
+    return fn;
+  }
+
+  std::unique_ptr<BlockStmt> parse_block() {
+    const SourceLoc loc = peek().loc;
+    expect(Tok::LBrace, "to open block");
+    auto block = std::make_unique<BlockStmt>(loc);
+    while (!at(Tok::RBrace) && !at(Tok::Eof)) block->stmts.push_back(parse_stmt());
+    expect(Tok::RBrace, "to close block");
+    return block;
+  }
+
+  StmtPtr parse_stmt() {
+    const SourceLoc loc = peek().loc;
+    if (at(Tok::LBrace)) return parse_block();
+    if (at_type()) return parse_decl_stmt();
+    if (match(Tok::KwIf)) {
+      expect(Tok::LParen, "after 'if'");
+      auto cond = parse_expr();
+      expect(Tok::RParen, "after if condition");
+      auto then_branch = parse_stmt();
+      StmtPtr else_branch;
+      if (match(Tok::KwElse)) else_branch = parse_stmt();
+      return std::make_unique<IfStmt>(std::move(cond), std::move(then_branch),
+                                      std::move(else_branch), loc);
+    }
+    if (match(Tok::KwFor)) {
+      expect(Tok::LParen, "after 'for'");
+      StmtPtr init;
+      if (!match(Tok::Semicolon)) {
+        init = at_type() ? parse_decl_stmt() : parse_expr_stmt();
+      }
+      ExprPtr cond;
+      if (!at(Tok::Semicolon)) cond = parse_expr();
+      expect(Tok::Semicolon, "after for condition");
+      ExprPtr step;
+      if (!at(Tok::RParen)) step = parse_expr();
+      expect(Tok::RParen, "after for clauses");
+      auto body = parse_stmt();
+      return std::make_unique<ForStmt>(std::move(init), std::move(cond),
+                                       std::move(step), std::move(body), loc);
+    }
+    if (match(Tok::KwWhile)) {
+      expect(Tok::LParen, "after 'while'");
+      auto cond = parse_expr();
+      expect(Tok::RParen, "after while condition");
+      auto body = parse_stmt();
+      return std::make_unique<WhileStmt>(std::move(cond), std::move(body), loc);
+    }
+    if (match(Tok::KwDo)) {
+      auto body = parse_stmt();
+      expect(Tok::KwWhile, "after do-while body");
+      expect(Tok::LParen, "after 'while'");
+      auto cond = parse_expr();
+      expect(Tok::RParen, "after do-while condition");
+      expect(Tok::Semicolon, "after do-while");
+      auto stmt =
+          std::make_unique<WhileStmt>(std::move(cond), std::move(body), loc);
+      stmt->is_do_while = true;
+      return stmt;
+    }
+    if (match(Tok::KwReturn)) {
+      ExprPtr value;
+      if (!at(Tok::Semicolon)) value = parse_expr();
+      expect(Tok::Semicolon, "after return");
+      return std::make_unique<ReturnStmt>(std::move(value), loc);
+    }
+    if (match(Tok::KwBreak)) {
+      expect(Tok::Semicolon, "after break");
+      return std::make_unique<BreakStmt>(loc);
+    }
+    if (match(Tok::KwContinue)) {
+      expect(Tok::Semicolon, "after continue");
+      return std::make_unique<ContinueStmt>(loc);
+    }
+    return parse_expr_stmt();
+  }
+
+  StmtPtr parse_decl_stmt() {
+    const SourceLoc loc = peek().loc;
+    const Type base = parse_base_type();
+    if (base == Type::Void) error("cannot declare a void variable");
+    StmtPtr first;
+    std::vector<StmtPtr> extra;
+    do {
+      const Token name = expect(Tok::Identifier, "as variable name");
+      ExprPtr init;
+      long long array_size = 0;
+      Type type = base;
+      if (match(Tok::LBracket)) {
+        const Token size = expect(Tok::IntLit, "as array size");
+        expect(Tok::RBracket, "after array size");
+        type = base == Type::Int ? Type::IntArray : Type::DoubleArray;
+        array_size = size.int_value;
+      } else if (match(Tok::Assign)) {
+        init = parse_expr();
+      }
+      auto decl = std::make_unique<DeclStmt>(type, name.text, std::move(init), loc);
+      decl->array_size = array_size;
+      if (!first) {
+        first = std::move(decl);
+      } else {
+        extra.push_back(std::move(decl));
+      }
+    } while (match(Tok::Comma));
+    expect(Tok::Semicolon, "after declaration");
+    if (extra.empty()) return first;
+    // Multi-declarator statement (`int i, j, value = 0;`): group into a
+    // transparent block whose names stay visible to following siblings.
+    auto block = std::make_unique<BlockStmt>(loc);
+    block->transparent = true;
+    block->stmts.push_back(std::move(first));
+    for (auto& d : extra) block->stmts.push_back(std::move(d));
+    return block;
+  }
+
+  StmtPtr parse_expr_stmt() {
+    const SourceLoc loc = peek().loc;
+    auto expr = parse_expr();
+    expect(Tok::Semicolon, "after expression");
+    return std::make_unique<ExprStmt>(std::move(expr), loc);
+  }
+
+  // Expressions, precedence climbing.
+  ExprPtr parse_expr() { return parse_assignment(); }
+
+  ExprPtr parse_assignment() {
+    auto lhs = parse_or();
+    const SourceLoc loc = peek().loc;
+    AssignExpr::Op op;
+    if (match(Tok::Assign)) {
+      op = AssignExpr::Op::Set;
+    } else if (match(Tok::PlusAssign)) {
+      op = AssignExpr::Op::Add;
+    } else if (match(Tok::MinusAssign)) {
+      op = AssignExpr::Op::Sub;
+    } else if (match(Tok::StarAssign)) {
+      op = AssignExpr::Op::Mul;
+    } else if (match(Tok::SlashAssign)) {
+      op = AssignExpr::Op::Div;
+    } else {
+      return lhs;
+    }
+    if (lhs->kind != ExprKind::VarRef && lhs->kind != ExprKind::Index) {
+      error("left side of assignment must be a variable or array element");
+    }
+    auto rhs = parse_assignment();
+    return std::make_unique<AssignExpr>(op, std::move(lhs), std::move(rhs), loc);
+  }
+
+  ExprPtr parse_or() {
+    auto lhs = parse_and();
+    while (at(Tok::PipePipe)) {
+      const SourceLoc loc = advance().loc;
+      lhs = std::make_unique<BinaryExpr>(BinaryExpr::Op::Or, std::move(lhs),
+                                         parse_and(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    auto lhs = parse_equality();
+    while (at(Tok::AmpAmp)) {
+      const SourceLoc loc = advance().loc;
+      lhs = std::make_unique<BinaryExpr>(BinaryExpr::Op::And, std::move(lhs),
+                                         parse_equality(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_equality() {
+    auto lhs = parse_relational();
+    for (;;) {
+      BinaryExpr::Op op;
+      if (at(Tok::Eq)) {
+        op = BinaryExpr::Op::Eq;
+      } else if (at(Tok::Ne)) {
+        op = BinaryExpr::Op::Ne;
+      } else {
+        return lhs;
+      }
+      const SourceLoc loc = advance().loc;
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parse_relational(), loc);
+    }
+  }
+
+  ExprPtr parse_relational() {
+    auto lhs = parse_additive();
+    for (;;) {
+      BinaryExpr::Op op;
+      if (at(Tok::Lt)) {
+        op = BinaryExpr::Op::Lt;
+      } else if (at(Tok::Gt)) {
+        op = BinaryExpr::Op::Gt;
+      } else if (at(Tok::Le)) {
+        op = BinaryExpr::Op::Le;
+      } else if (at(Tok::Ge)) {
+        op = BinaryExpr::Op::Ge;
+      } else {
+        return lhs;
+      }
+      const SourceLoc loc = advance().loc;
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parse_additive(), loc);
+    }
+  }
+
+  ExprPtr parse_additive() {
+    auto lhs = parse_multiplicative();
+    for (;;) {
+      BinaryExpr::Op op;
+      if (at(Tok::Plus)) {
+        op = BinaryExpr::Op::Add;
+      } else if (at(Tok::Minus)) {
+        op = BinaryExpr::Op::Sub;
+      } else {
+        return lhs;
+      }
+      const SourceLoc loc = advance().loc;
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parse_multiplicative(),
+                                         loc);
+    }
+  }
+
+  ExprPtr parse_multiplicative() {
+    auto lhs = parse_unary();
+    for (;;) {
+      BinaryExpr::Op op;
+      if (at(Tok::Star)) {
+        op = BinaryExpr::Op::Mul;
+      } else if (at(Tok::Slash)) {
+        op = BinaryExpr::Op::Div;
+      } else if (at(Tok::Percent)) {
+        op = BinaryExpr::Op::Mod;
+      } else {
+        return lhs;
+      }
+      const SourceLoc loc = advance().loc;
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parse_unary(), loc);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    const SourceLoc loc = peek().loc;
+    if (match(Tok::Minus)) {
+      return std::make_unique<UnaryExpr>(UnaryExpr::Op::Neg, parse_unary(), loc);
+    }
+    if (match(Tok::Bang)) {
+      return std::make_unique<UnaryExpr>(UnaryExpr::Op::Not, parse_unary(), loc);
+    }
+    if (match(Tok::Amp)) {
+      auto operand = parse_unary();
+      if (operand->kind != ExprKind::VarRef && operand->kind != ExprKind::Index) {
+        error("'&' may only be applied to a variable or array element");
+      }
+      return std::make_unique<UnaryExpr>(UnaryExpr::Op::AddrOf, std::move(operand),
+                                         loc);
+    }
+    if (match(Tok::PlusPlus)) {
+      return std::make_unique<IncDecExpr>(true, true, parse_unary(), loc);
+    }
+    if (match(Tok::MinusMinus)) {
+      return std::make_unique<IncDecExpr>(false, true, parse_unary(), loc);
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    auto expr = parse_primary();
+    for (;;) {
+      const SourceLoc loc = peek().loc;
+      if (match(Tok::LBracket)) {
+        auto index = parse_expr();
+        expect(Tok::RBracket, "after array index");
+        expr = std::make_unique<IndexExpr>(std::move(expr), std::move(index), loc);
+      } else if (match(Tok::PlusPlus)) {
+        expr = std::make_unique<IncDecExpr>(true, false, std::move(expr), loc);
+      } else if (match(Tok::MinusMinus)) {
+        expr = std::make_unique<IncDecExpr>(false, false, std::move(expr), loc);
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  ExprPtr parse_primary() {
+    const SourceLoc loc = peek().loc;
+    if (at(Tok::IntLit)) {
+      return std::make_unique<IntLitExpr>(advance().int_value, loc);
+    }
+    if (at(Tok::FloatLit)) {
+      return std::make_unique<FloatLitExpr>(advance().float_value, loc);
+    }
+    if (at(Tok::StringLit)) {
+      return std::make_unique<StringLitExpr>(advance().text, loc);
+    }
+    if (at(Tok::Identifier)) {
+      std::string name = advance().text;
+      if (match(Tok::LParen)) {
+        std::vector<ExprPtr> args;
+        if (!at(Tok::RParen)) {
+          do {
+            args.push_back(parse_expr());
+          } while (match(Tok::Comma));
+        }
+        expect(Tok::RParen, "after call arguments");
+        return std::make_unique<CallExpr>(std::move(name), std::move(args), loc);
+      }
+      return std::make_unique<VarRefExpr>(std::move(name), loc);
+    }
+    if (match(Tok::LParen)) {
+      auto inner = parse_expr();
+      expect(Tok::RParen, "after parenthesized expression");
+      return inner;
+    }
+    error(std::string("unexpected token ") + tok_name(peek().kind));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) { return Parser(lex(source)).run(); }
+
+}  // namespace vsensor::minic

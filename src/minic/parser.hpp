@@ -1,0 +1,14 @@
+// MiniC recursive-descent parser.
+#pragma once
+
+#include <string_view>
+
+#include "minic/ast.hpp"
+
+namespace vsensor::minic {
+
+/// Parse a translation unit. Throws CompileError on syntax errors.
+/// The returned program is unresolved; run Sema before analysis.
+Program parse(std::string_view source);
+
+}  // namespace vsensor::minic

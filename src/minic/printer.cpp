@@ -1,0 +1,262 @@
+#include "minic/printer.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace vsensor::minic {
+
+namespace {
+
+const char* base_type_name(Type t) {
+  switch (t) {
+    case Type::Int:
+    case Type::IntArray:
+      return "int";
+    case Type::Double:
+    case Type::DoubleArray:
+      return "double";
+    case Type::Void:
+      return "void";
+  }
+  return "?";
+}
+
+const char* binary_op_text(BinaryExpr::Op op) {
+  switch (op) {
+    case BinaryExpr::Op::Add: return "+";
+    case BinaryExpr::Op::Sub: return "-";
+    case BinaryExpr::Op::Mul: return "*";
+    case BinaryExpr::Op::Div: return "/";
+    case BinaryExpr::Op::Mod: return "%";
+    case BinaryExpr::Op::Eq: return "==";
+    case BinaryExpr::Op::Ne: return "!=";
+    case BinaryExpr::Op::Lt: return "<";
+    case BinaryExpr::Op::Gt: return ">";
+    case BinaryExpr::Op::Le: return "<=";
+    case BinaryExpr::Op::Ge: return ">=";
+    case BinaryExpr::Op::And: return "&&";
+    case BinaryExpr::Op::Or: return "||";
+  }
+  return "?";
+}
+
+const char* assign_op_text(AssignExpr::Op op) {
+  switch (op) {
+    case AssignExpr::Op::Set: return "=";
+    case AssignExpr::Op::Add: return "+=";
+    case AssignExpr::Op::Sub: return "-=";
+    case AssignExpr::Op::Mul: return "*=";
+    case AssignExpr::Op::Div: return "/=";
+  }
+  return "?";
+}
+
+std::string escape_string(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+class Printer {
+ public:
+  std::string expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return std::to_string(as<IntLitExpr>(e).value);
+      case ExprKind::FloatLit: {
+        std::ostringstream os;
+        os << as<FloatLitExpr>(e).value;
+        const std::string text = os.str();
+        // Keep float literals lexically float.
+        if (text.find('.') == std::string::npos &&
+            text.find('e') == std::string::npos) {
+          return text + ".0";
+        }
+        return text;
+      }
+      case ExprKind::StringLit:
+        return "\"" + escape_string(as<StringLitExpr>(e).value) + "\"";
+      case ExprKind::VarRef:
+        return as<VarRefExpr>(e).name;
+      case ExprKind::Unary: {
+        const auto& u = as<UnaryExpr>(e);
+        const char* op = u.op == UnaryExpr::Op::Neg   ? "-"
+                         : u.op == UnaryExpr::Op::Not ? "!"
+                                                      : "&";
+        return std::string(op) + wrap(*u.operand);
+      }
+      case ExprKind::Binary: {
+        const auto& b = as<BinaryExpr>(e);
+        return wrap(*b.lhs) + " " + binary_op_text(b.op) + " " + wrap(*b.rhs);
+      }
+      case ExprKind::Assign: {
+        const auto& a = as<AssignExpr>(e);
+        return expr(*a.target) + " " + assign_op_text(a.op) + " " + expr(*a.value);
+      }
+      case ExprKind::IncDec: {
+        const auto& i = as<IncDecExpr>(e);
+        const char* op = i.increment ? "++" : "--";
+        return i.prefix ? op + expr(*i.target) : expr(*i.target) + op;
+      }
+      case ExprKind::Index: {
+        const auto& ix = as<IndexExpr>(e);
+        return expr(*ix.base) + "[" + expr(*ix.index) + "]";
+      }
+      case ExprKind::Call: {
+        const auto& c = as<CallExpr>(e);
+        std::string out = c.callee + "(";
+        for (size_t i = 0; i < c.args.size(); ++i) {
+          if (i) out += ", ";
+          out += expr(*c.args[i]);
+        }
+        return out + ")";
+      }
+    }
+    throw Error("printer: unknown expression kind");
+  }
+
+  std::string stmt(const Stmt& s, int indent) {
+    const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    switch (s.kind) {
+      case StmtKind::Expr:
+        return pad + expr(*as<ExprStmt>(s).expr) + ";\n";
+      case StmtKind::Decl: {
+        const auto& d = as<DeclStmt>(s);
+        std::string out = pad + std::string(base_type_name(d.type)) + " " + d.name;
+        if (is_array(d.type)) {
+          out += "[" + std::to_string(d.array_size) + "]";
+        } else if (d.init) {
+          out += " = " + expr(*d.init);
+        }
+        return out + ";\n";
+      }
+      case StmtKind::Block: {
+        const auto& b = as<BlockStmt>(s);
+        if (b.transparent) {
+          std::string out;
+          for (const auto& child : b.stmts) out += stmt(*child, indent);
+          return out;
+        }
+        std::string out = pad + "{\n";
+        for (const auto& child : b.stmts) out += stmt(*child, indent + 1);
+        return out + pad + "}\n";
+      }
+      case StmtKind::If: {
+        const auto& i = as<IfStmt>(s);
+        std::string out = pad + "if (" + expr(*i.cond) + ")\n";
+        out += body_of(*i.then_branch, indent);
+        if (i.else_branch) {
+          out += pad + "else\n";
+          out += body_of(*i.else_branch, indent);
+        }
+        return out;
+      }
+      case StmtKind::For: {
+        const auto& f = as<ForStmt>(s);
+        std::string head = pad + "for (";
+        if (f.init) {
+          // Reuse stmt printing but strip padding/newline; decl or expr stmt.
+          std::string init = stmt(*f.init, 0);
+          if (!init.empty() && init.back() == '\n') init.pop_back();
+          head += init;
+        } else {
+          head += ";";
+        }
+        head += " ";
+        if (f.cond) head += expr(*f.cond);
+        head += "; ";
+        if (f.step) head += expr(*f.step);
+        head += ")\n";
+        return head + body_of(*f.body, indent);
+      }
+      case StmtKind::While: {
+        const auto& w = as<WhileStmt>(s);
+        if (w.is_do_while) {
+          std::string out = pad + "do\n" + body_of(*w.body, indent);
+          out += pad + "while (" + expr(*w.cond) + ");\n";
+          return out;
+        }
+        return pad + "while (" + expr(*w.cond) + ")\n" + body_of(*w.body, indent);
+      }
+      case StmtKind::Return: {
+        const auto& r = as<ReturnStmt>(s);
+        if (r.value) return pad + "return " + expr(*r.value) + ";\n";
+        return pad + "return;\n";
+      }
+      case StmtKind::Break:
+        return pad + "break;\n";
+      case StmtKind::Continue:
+        return pad + "continue;\n";
+    }
+    throw Error("printer: unknown statement kind");
+  }
+
+ private:
+  /// Parenthesize non-atomic subexpressions for unambiguous round-trips.
+  std::string wrap(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+      case ExprKind::VarRef:
+      case ExprKind::Call:
+      case ExprKind::Index:
+        return expr(e);
+      default:
+        return "(" + expr(e) + ")";
+    }
+  }
+
+  std::string body_of(const Stmt& s, int indent) {
+    if (s.kind == StmtKind::Block && !as<BlockStmt>(s).transparent) {
+      return stmt(s, indent);
+    }
+    return stmt(s, indent + 1);
+  }
+};
+
+}  // namespace
+
+std::string print_expr(const Expr& expr) { return Printer().expr(expr); }
+
+std::string print_stmt(const Stmt& stmt, int indent) {
+  return Printer().stmt(stmt, indent);
+}
+
+std::string print_program(const Program& program) {
+  Printer printer;
+  std::string out;
+  for (const auto& g : program.globals) {
+    if (g.builtin) continue;
+    out += std::string(base_type_name(g.type)) + " " + g.name;
+    if (is_array(g.type)) {
+      out += "[" + std::to_string(g.array_size) + "]";
+    } else if (g.init) {
+      out += " = " + printer.expr(*g.init);
+    }
+    out += ";\n";
+  }
+  if (!out.empty()) out += "\n";
+  for (const auto& fn : program.functions) {
+    out += std::string(base_type_name(fn.return_type)) + " " + fn.name + "(";
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      if (i) out += ", ";
+      out += std::string(base_type_name(fn.params[i].type)) + " " + fn.params[i].name;
+      if (is_array(fn.params[i].type)) out += "[]";
+    }
+    out += ")\n";
+    out += printer.stmt(*fn.body, 0);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace vsensor::minic

@@ -1,0 +1,16 @@
+// Pretty-printer: AST -> MiniC source text. Used to emit instrumented
+// source ("map to source + instrument" steps of the paper's workflow) and
+// for parser round-trip tests.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace vsensor::minic {
+
+std::string print_program(const Program& program);
+std::string print_stmt(const Stmt& stmt, int indent = 0);
+std::string print_expr(const Expr& expr);
+
+}  // namespace vsensor::minic

@@ -1,0 +1,329 @@
+#include "minic/sema.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace vsensor::minic {
+
+const std::vector<BuiltinConstant>& builtin_constants() {
+  static const std::vector<BuiltinConstant> kBuiltins = {
+      {"MPI_COMM_WORLD", 0},
+      {"MPI_INT", 4},        // value = size in bytes
+      {"MPI_FLOAT", 4},
+      {"MPI_DOUBLE", 8},
+      {"MPI_CHAR", 1},
+      {"MPI_BYTE", 1},
+      {"MPI_SUM", 1},
+      {"MPI_MAX", 2},
+      {"MPI_MIN", 3},
+      {"MPI_STATUS_IGNORE", 0},
+      {"NULL", 0},
+  };
+  return kBuiltins;
+}
+
+namespace {
+
+struct VarInfo {
+  SymbolRef symbol;
+  Type type = Type::Int;
+};
+
+class Sema {
+ public:
+  explicit Sema(Program& program) : program_(program) {}
+
+  void run() {
+    inject_builtins();
+    resolve_globals();
+    for (size_t i = 0; i < program_.functions.size(); ++i) {
+      resolve_function(program_.functions[i]);
+    }
+  }
+
+ private:
+  [[noreturn]] void error(SourceLoc loc, const std::string& msg) const {
+    throw CompileError(loc.line, loc.col, msg);
+  }
+
+  void inject_builtins() {
+    for (const auto& b : builtin_constants()) {
+      bool exists = false;
+      for (const auto& g : program_.globals) {
+        if (g.name == b.name) {
+          exists = true;
+          break;
+        }
+      }
+      if (exists) continue;
+      Global g;
+      g.type = Type::Int;
+      g.name = b.name;
+      g.builtin = true;
+      g.builtin_value = b.value;
+      program_.globals.push_back(std::move(g));
+    }
+  }
+
+  void resolve_globals() {
+    for (size_t i = 0; i < program_.globals.size(); ++i) {
+      auto& g = program_.globals[i];
+      if (global_index_.count(g.name)) {
+        error(g.loc, "redefinition of global '" + g.name + "'");
+      }
+      global_index_[g.name] = static_cast<int>(i);
+      if (g.init) check_constant_expr(*g.init);
+    }
+  }
+
+  void check_constant_expr(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+        return;
+      case ExprKind::Unary: {
+        const auto& u = as<UnaryExpr>(e);
+        if (u.op == UnaryExpr::Op::Neg) {
+          check_constant_expr(*u.operand);
+          return;
+        }
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto& b = as<BinaryExpr>(e);
+        check_constant_expr(*b.lhs);
+        check_constant_expr(*b.rhs);
+        return;
+      }
+      default:
+        break;
+    }
+    error(e.loc, "global initializer must be a constant expression");
+  }
+
+  void resolve_function(Function& fn) {
+    if (function_seen_.count(fn.name)) {
+      error(fn.loc, "redefinition of function '" + fn.name + "'");
+    }
+    function_seen_.insert(fn.name);
+
+    current_ = &fn;
+    scopes_.clear();
+    scopes_.emplace_back();  // parameter scope
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      const auto& p = fn.params[i];
+      if (scopes_.back().count(p.name)) {
+        error(p.loc, "duplicate parameter '" + p.name + "'");
+      }
+      scopes_.back()[p.name] =
+          VarInfo{{SymbolRef::Kind::Param, static_cast<int>(i)}, p.type};
+    }
+    loop_depth_ = 0;
+    resolve_block(*fn.body, /*new_scope=*/true);
+    current_ = nullptr;
+  }
+
+  void resolve_block(BlockStmt& block, bool new_scope) {
+    if (new_scope) scopes_.emplace_back();
+    for (auto& stmt : block.stmts) resolve_stmt(*stmt);
+    if (new_scope) scopes_.pop_back();
+  }
+
+  void resolve_stmt(Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::Expr:
+        resolve_expr(*as<ExprStmt>(stmt).expr);
+        return;
+      case StmtKind::Decl:
+        resolve_decl(as<DeclStmt>(stmt));
+        return;
+      case StmtKind::Block: {
+        auto& block = as<BlockStmt>(stmt);
+        resolve_block(block, /*new_scope=*/!block.transparent);
+        return;
+      }
+      case StmtKind::If: {
+        auto& s = as<IfStmt>(stmt);
+        check_scalar(resolve_expr(*s.cond), s.cond->loc, "if condition");
+        resolve_stmt(*s.then_branch);
+        if (s.else_branch) resolve_stmt(*s.else_branch);
+        return;
+      }
+      case StmtKind::For: {
+        auto& s = as<ForStmt>(stmt);
+        scopes_.emplace_back();  // the init declaration scopes over the loop
+        if (s.init) resolve_stmt(*s.init);
+        if (s.cond) check_scalar(resolve_expr(*s.cond), s.cond->loc, "for condition");
+        if (s.step) resolve_expr(*s.step);
+        ++loop_depth_;
+        resolve_stmt(*s.body);
+        --loop_depth_;
+        scopes_.pop_back();
+        return;
+      }
+      case StmtKind::While: {
+        auto& s = as<WhileStmt>(stmt);
+        check_scalar(resolve_expr(*s.cond), s.cond->loc, "while condition");
+        ++loop_depth_;
+        resolve_stmt(*s.body);
+        --loop_depth_;
+        return;
+      }
+      case StmtKind::Return: {
+        auto& s = as<ReturnStmt>(stmt);
+        if (s.value) {
+          if (current_->return_type == Type::Void) {
+            error(s.loc, "void function returns a value");
+          }
+          check_scalar(resolve_expr(*s.value), s.value->loc, "return value");
+        } else if (current_->return_type != Type::Void) {
+          error(s.loc, "non-void function returns nothing");
+        }
+        return;
+      }
+      case StmtKind::Break:
+        if (loop_depth_ == 0) error(stmt.loc, "'break' outside of a loop");
+        return;
+      case StmtKind::Continue:
+        if (loop_depth_ == 0) error(stmt.loc, "'continue' outside of a loop");
+        return;
+    }
+  }
+
+  void resolve_decl(DeclStmt& decl) {
+    auto& scope = scopes_.back();
+    if (scope.count(decl.name)) {
+      error(decl.loc, "redeclaration of '" + decl.name + "' in the same scope");
+    }
+    const int index = static_cast<int>(current_->local_names.size());
+    current_->local_names.push_back(decl.name);
+    current_->local_types.push_back(decl.type);
+    current_->local_array_sizes.push_back(decl.array_size);
+    decl.symbol = {SymbolRef::Kind::Local, index};
+    if (decl.init) {
+      check_scalar(resolve_expr(*decl.init), decl.init->loc, "initializer");
+    }
+    // Register after the initializer: `int x = x;` must not self-resolve.
+    scope[decl.name] = VarInfo{decl.symbol, decl.type};
+  }
+
+  const VarInfo* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  void check_scalar(Type t, SourceLoc loc, const char* what) const {
+    if (is_array(t)) error(loc, std::string(what) + " cannot be a whole array");
+    if (t == Type::Void) error(loc, std::string(what) + " cannot be void");
+  }
+
+  Type resolve_expr(Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::IntLit:
+        return Type::Int;
+      case ExprKind::FloatLit:
+        return Type::Double;
+      case ExprKind::StringLit:
+        return Type::Int;  // only valid as an external call argument
+      case ExprKind::VarRef: {
+        auto& v = as<VarRefExpr>(expr);
+        if (const VarInfo* info = lookup(v.name)) {
+          v.symbol = info->symbol;
+          return info->type;
+        }
+        const auto g = global_index_.find(v.name);
+        if (g != global_index_.end()) {
+          v.symbol = {SymbolRef::Kind::Global, g->second};
+          return program_.globals[static_cast<size_t>(g->second)].type;
+        }
+        error(v.loc, "use of undeclared variable '" + v.name + "'");
+      }
+      case ExprKind::Unary: {
+        auto& u = as<UnaryExpr>(expr);
+        const Type t = resolve_expr(*u.operand);
+        if (u.op == UnaryExpr::Op::AddrOf) return t;  // pointer, only for calls
+        check_scalar(t, u.loc, "unary operand");
+        return u.op == UnaryExpr::Op::Not ? Type::Int : t;
+      }
+      case ExprKind::Binary: {
+        auto& b = as<BinaryExpr>(expr);
+        const Type lt = resolve_expr(*b.lhs);
+        const Type rt = resolve_expr(*b.rhs);
+        check_scalar(lt, b.lhs->loc, "operand");
+        check_scalar(rt, b.rhs->loc, "operand");
+        if (b.op == BinaryExpr::Op::Mod && (lt == Type::Double || rt == Type::Double)) {
+          error(b.loc, "'%' requires integer operands");
+        }
+        switch (b.op) {
+          case BinaryExpr::Op::Add:
+          case BinaryExpr::Op::Sub:
+          case BinaryExpr::Op::Mul:
+          case BinaryExpr::Op::Div:
+            return (lt == Type::Double || rt == Type::Double) ? Type::Double
+                                                              : Type::Int;
+          default:
+            return Type::Int;  // comparisons and logical ops
+        }
+      }
+      case ExprKind::Assign: {
+        auto& a = as<AssignExpr>(expr);
+        const Type tt = resolve_expr(*a.target);
+        check_scalar(tt, a.target->loc, "assignment target");
+        check_scalar(resolve_expr(*a.value), a.value->loc, "assigned value");
+        return tt;
+      }
+      case ExprKind::IncDec: {
+        auto& i = as<IncDecExpr>(expr);
+        const Type t = resolve_expr(*i.target);
+        check_scalar(t, i.target->loc, "++/-- operand");
+        return t;
+      }
+      case ExprKind::Index: {
+        auto& ix = as<IndexExpr>(expr);
+        const Type bt = resolve_expr(*ix.base);
+        if (!is_array(bt)) error(ix.loc, "subscript of a non-array value");
+        check_scalar(resolve_expr(*ix.index), ix.index->loc, "array index");
+        return bt == Type::IntArray ? Type::Int : Type::Double;
+      }
+      case ExprKind::Call: {
+        auto& c = as<CallExpr>(expr);
+        c.callee_index = program_.function_index(c.callee);
+        if (c.callee_index >= 0) {
+          const auto& callee =
+              program_.functions[static_cast<size_t>(c.callee_index)];
+          if (callee.params.size() != c.args.size()) {
+            error(c.loc, "call to '" + c.callee + "' with " +
+                             std::to_string(c.args.size()) + " args, expected " +
+                             std::to_string(callee.params.size()));
+          }
+        }
+        for (auto& arg : c.args) resolve_expr(*arg);
+        if (c.callee_index >= 0) {
+          return program_.functions[static_cast<size_t>(c.callee_index)].return_type;
+        }
+        return Type::Int;  // externals default to int
+      }
+    }
+    error(expr.loc, "unresolvable expression");
+  }
+
+  Program& program_;
+  Function* current_ = nullptr;
+  std::map<std::string, int> global_index_;
+  std::set<std::string> function_seen_;
+  std::vector<std::map<std::string, VarInfo>> scopes_;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+void run_sema(Program& program) { Sema(program).run(); }
+
+}  // namespace vsensor::minic

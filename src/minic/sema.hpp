@@ -1,0 +1,25 @@
+// MiniC semantic analysis: symbol resolution, light type checking, and
+// injection of the builtin MPI constants.
+#pragma once
+
+#include "minic/ast.hpp"
+
+namespace vsensor::minic {
+
+/// Builtin integer constants injected into every program's global scope.
+/// Datatype constants carry their byte size so message sizes fall out of
+/// `count * datatype` naturally in the interpreter.
+struct BuiltinConstant {
+  const char* name;
+  long long value;
+};
+
+/// The full builtin table (MPI_COMM_WORLD, MPI_INT, MPI_DOUBLE, ...).
+const std::vector<BuiltinConstant>& builtin_constants();
+
+/// Resolve every name, assign symbol indices, type-check, and verify
+/// structural rules (break/continue inside loops, constant global
+/// initializers). Mutates `program` in place. Throws CompileError.
+void run_sema(Program& program);
+
+}  // namespace vsensor::minic

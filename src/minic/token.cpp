@@ -1,0 +1,57 @@
+#include "minic/token.hpp"
+
+namespace vsensor::minic {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::Identifier: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::StringLit: return "string literal";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwDouble: return "'double'";
+    case Tok::KwVoid: return "'void'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semicolon: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Assign: return "'='";
+    case Tok::PlusAssign: return "'+='";
+    case Tok::MinusAssign: return "'-='";
+    case Tok::StarAssign: return "'*='";
+    case Tok::SlashAssign: return "'/='";
+    case Tok::PlusPlus: return "'++'";
+    case Tok::MinusMinus: return "'--'";
+    case Tok::Eq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Gt: return "'>'";
+    case Tok::Le: return "'<='";
+    case Tok::Ge: return "'>='";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Bang: return "'!'";
+    case Tok::Amp: return "'&'";
+    case Tok::Eof: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace vsensor::minic

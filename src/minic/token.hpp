@@ -1,0 +1,82 @@
+// Token definitions for the MiniC front end.
+//
+// MiniC is the C subset the static module analyzes: enough to express the
+// paper's example programs and kernels (loops, branches, functions, globals,
+// 1-D arrays, MPI calls), lexed/parsed/type-checked in this module.
+#pragma once
+
+#include <string>
+
+namespace vsensor::minic {
+
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+  bool operator==(const SourceLoc&) const = default;
+};
+
+enum class Tok {
+  // literals / identifiers
+  Identifier,
+  IntLit,
+  FloatLit,
+  StringLit,
+  // keywords
+  KwInt,
+  KwDouble,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwDo,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  // punctuation
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  // operators
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PlusPlus,
+  MinusMinus,
+  Eq,
+  Ne,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  Amp,
+  // end of input
+  Eof,
+};
+
+const char* tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;
+  long long int_value = 0;
+  double float_value = 0.0;
+  SourceLoc loc;
+};
+
+}  // namespace vsensor::minic

@@ -1,0 +1,108 @@
+#include "report/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace vsensor::report {
+
+namespace {
+
+/// Average of non-empty cells in the block [r0,r1) x [b0,b1); returns
+/// {value, has_data}.
+std::pair<double, bool> block_average(const rt::PerformanceMatrix& m, int r0, int r1,
+                                      int b0, int b1) {
+  double sum = 0.0;
+  int n = 0;
+  for (int r = r0; r < r1; ++r) {
+    for (int b = b0; b < b1; ++b) {
+      if (m.has(r, b)) {
+        sum += m.at(r, b);
+        ++n;
+      }
+    }
+  }
+  if (n == 0) return {0.0, false};
+  return {sum / n, true};
+}
+
+}  // namespace
+
+std::string render_ascii(const rt::PerformanceMatrix& matrix,
+                         const RenderOptions& opts) {
+  // Darkest character = best performance, like the paper's deep blue.
+  static constexpr const char* kShades = " .:-=+*#%@";
+  static constexpr int kShadeCount = 10;
+
+  const int rows = opts.max_rows > 0 ? std::min(opts.max_rows, matrix.ranks())
+                                     : matrix.ranks();
+  const int cols = opts.max_cols > 0 ? std::min(opts.max_cols, matrix.buckets())
+                                     : matrix.buckets();
+  std::ostringstream os;
+  os << "rank \\ time -> (each col = "
+     << matrix.resolution() * matrix.buckets() / cols << "s; '@'=best, ' '=<="
+     << opts.floor << " of best, '.'=no data)\n";
+  for (int row = 0; row < rows; ++row) {
+    const int r0 = row * matrix.ranks() / rows;
+    const int r1 = std::max(r0 + 1, (row + 1) * matrix.ranks() / rows);
+    os << "r" << r0;
+    if (r1 - r0 > 1) os << "-" << (r1 - 1);
+    os << "\t|";
+    for (int col = 0; col < cols; ++col) {
+      const int b0 = col * matrix.buckets() / cols;
+      const int b1 = std::max(b0 + 1, (col + 1) * matrix.buckets() / cols);
+      const auto [value, has_data] = block_average(matrix, r0, r1, b0, b1);
+      if (!has_data) {
+        os << '.';
+        continue;
+      }
+      // Map [floor, 1.0] onto the shade ramp; clamp below floor.
+      const double clamped = std::clamp((value - opts.floor) / (1.0 - opts.floor),
+                                        0.0, 1.0);
+      const int shade = std::min(kShadeCount - 1,
+                                 static_cast<int>(clamped * kShadeCount));
+      os << kShades[shade];
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::string render_csv(const rt::PerformanceMatrix& matrix) {
+  std::ostringstream os;
+  os << "rank,bucket,t_begin,value\n";
+  for (int r = 0; r < matrix.ranks(); ++r) {
+    for (int b = 0; b < matrix.buckets(); ++b) {
+      if (!matrix.has(r, b)) continue;
+      os << r << ',' << b << ',' << b * matrix.resolution() << ',' << matrix.at(r, b)
+         << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string render_ppm(const rt::PerformanceMatrix& matrix, double floor) {
+  std::ostringstream os;
+  os << "P6\n" << matrix.buckets() << ' ' << matrix.ranks() << "\n255\n";
+  for (int r = 0; r < matrix.ranks(); ++r) {
+    for (int b = 0; b < matrix.buckets(); ++b) {
+      unsigned char rgb[3];
+      if (!matrix.has(r, b)) {
+        rgb[0] = rgb[1] = rgb[2] = 230;  // light grey: no data
+      } else {
+        // 1.0 -> deep blue (8, 48, 107); floor -> white (255, 255, 255).
+        const double v =
+            std::clamp((matrix.at(r, b) - floor) / (1.0 - floor), 0.0, 1.0);
+        rgb[0] = static_cast<unsigned char>(255 - v * (255 - 8));
+        rgb[1] = static_cast<unsigned char>(255 - v * (255 - 48));
+        rgb[2] = static_cast<unsigned char>(255 - v * (255 - 107));
+      }
+      os.write(reinterpret_cast<const char*>(rgb), 3);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vsensor::report

@@ -1,0 +1,35 @@
+// Rendering of performance matrices (paper step 8, "Visualize").
+//
+// The paper plots a heat map: deep blue = best performance, white = half of
+// best or worse, so variance shows up as white blocks. Terminal output maps
+// the same scale onto ASCII shades; PPM output reproduces the blue-white
+// colormap as an image.
+#pragma once
+
+#include <string>
+
+#include "runtime/matrix.hpp"
+
+namespace vsensor::report {
+
+struct RenderOptions {
+  /// Downsample to at most this many character rows/cols (0 = no limit).
+  int max_rows = 32;
+  int max_cols = 100;
+  /// Normalized performance at or below this renders as the lightest shade
+  /// (the paper's colorbar saturates at 0.5).
+  double floor = 0.5;
+};
+
+/// ASCII heat map: '@' = best performance, ' ' = worst, '.' = no data.
+std::string render_ascii(const rt::PerformanceMatrix& matrix,
+                         const RenderOptions& opts = {});
+
+/// CSV dump: header "rank,bucket,t_begin,value"; empty cells omitted.
+std::string render_csv(const rt::PerformanceMatrix& matrix);
+
+/// Binary PPM (P6) image using the paper's blue(best)-to-white(worst)
+/// colormap, one pixel per cell. Returns the file contents.
+std::string render_ppm(const rt::PerformanceMatrix& matrix, double floor = 0.5);
+
+}  // namespace vsensor::report

@@ -1,0 +1,61 @@
+#include "report/report.hpp"
+
+#include <sstream>
+
+#include "report/render.hpp"
+#include "support/table.hpp"
+
+namespace vsensor::report {
+
+std::string variance_report(const rt::AnalysisResult& analysis,
+                            const ReportOptions& opts) {
+  std::ostringstream os;
+  os << "=== vSensor variance report ===\n";
+  os << "run time: " << fmt_double(analysis.run_time, 3) << " s, ranks: "
+     << analysis.ranks << "\n\n";
+
+  os << "component summary (mean normalized performance / % cells in variance):\n";
+  for (int t = 0; t < rt::kSensorTypeCount; ++t) {
+    const auto type = static_cast<rt::SensorType>(t);
+    const auto& m = analysis.matrix(type);
+    os << "  " << rt::sensor_type_name(type) << ": " << fmt_double(m.average(), 3)
+       << " / " << fmt_percent(m.fraction_below(0.7)) << "\n";
+  }
+  os << '\n';
+
+  if (analysis.events.empty()) {
+    os << "no durable performance variance detected\n";
+  } else {
+    os << "detected variance events (most severe first):\n";
+    for (const auto& ev : analysis.events) {
+      os << "  - " << ev.describe(analysis.run_time, analysis.ranks) << "\n";
+    }
+  }
+
+  if (opts.include_flagged && !analysis.flagged.empty()) {
+    os << "\nflagged records (normalized < threshold):\n";
+    for (const auto& f : analysis.flagged) {
+      os << "  sensor " << f.record.sensor_id << " rank " << f.record.rank << " t=["
+         << f.record.t_begin << "," << f.record.t_end << ") perf "
+         << fmt_double(f.normalized, 3) << " group " << f.group << "\n";
+    }
+  }
+
+  if (opts.include_matrices) {
+    for (int t = 0; t < rt::kSensorTypeCount; ++t) {
+      const auto type = static_cast<rt::SensorType>(t);
+      const auto& m = analysis.matrix(type);
+      // Skip matrices with no data at all.
+      bool any = false;
+      for (int r = 0; r < m.ranks() && !any; ++r) {
+        for (int b = 0; b < m.buckets() && !any; ++b) any = m.has(r, b);
+      }
+      if (!any) continue;
+      os << '\n' << rt::sensor_type_name(type) << " performance matrix:\n"
+         << render_ascii(m, opts.render);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vsensor::report

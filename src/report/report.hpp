@@ -1,0 +1,22 @@
+// Human-readable variance report assembly (paper step 8).
+#pragma once
+
+#include <string>
+
+#include "report/render.hpp"
+#include "runtime/detector.hpp"
+
+namespace vsensor::report {
+
+struct ReportOptions {
+  bool include_matrices = true;    ///< embed ASCII heat maps
+  bool include_flagged = false;    ///< list individually flagged records
+  RenderOptions render;
+};
+
+/// Render a full report: per-component summary, detected events with
+/// root-cause hints, and optional heat maps.
+std::string variance_report(const rt::AnalysisResult& analysis,
+                            const ReportOptions& opts = {});
+
+}  // namespace vsensor::report

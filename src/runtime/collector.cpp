@@ -1,0 +1,38 @@
+#include "runtime/collector.hpp"
+
+namespace vsensor::rt {
+
+void Collector::set_sensors(std::vector<SensorInfo> sensors) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sensors_ = std::move(sensors);
+}
+
+void Collector::ingest(std::span<const SliceRecord> batch) {
+  if (batch.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.insert(records_.end(), batch.begin(), batch.end());
+  bytes_ += batch.size() * kRecordWireBytes;
+  batches_ += 1;
+}
+
+std::vector<SliceRecord> Collector::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+uint64_t Collector::record_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+uint64_t Collector::bytes_received() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+uint64_t Collector::batch_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+}  // namespace vsensor::rt

@@ -1,0 +1,47 @@
+// The analysis server (paper §5.4).
+//
+// The paper dedicates one extra process to inter-process analysis; ranks
+// buffer slice records locally and periodically push them in batches. Here
+// the server is an in-process thread-safe object ingesting concurrently from
+// all rank threads; the wire volume of every batch is accounted so the
+// trace-volume comparison against tracing tools (§6.4) is faithful.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace vsensor::rt {
+
+class Collector {
+ public:
+  /// Register the sensor table (identical on every rank; registration is
+  /// deterministic because instrumentation is static).
+  void set_sensors(std::vector<SensorInfo> sensors);
+
+  /// Receive one batch from a rank. Thread-safe.
+  void ingest(std::span<const SliceRecord> batch);
+
+  const std::vector<SensorInfo>& sensors() const { return sensors_; }
+
+  /// All records received so far (stable order only after the run joined).
+  std::vector<SliceRecord> records() const;
+
+  uint64_t record_count() const;
+  /// Total bytes shipped to the server (batches x record wire size).
+  uint64_t bytes_received() const;
+  /// Number of batch transfers (network messages to the server).
+  uint64_t batch_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SensorInfo> sensors_;
+  std::vector<SliceRecord> records_;
+  uint64_t bytes_ = 0;
+  uint64_t batches_ = 0;
+};
+
+}  // namespace vsensor::rt

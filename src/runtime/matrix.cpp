@@ -1,0 +1,82 @@
+#include "runtime/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace vsensor::rt {
+
+PerformanceMatrix::PerformanceMatrix(int ranks, int buckets, double resolution)
+    : ranks_(ranks),
+      buckets_(buckets),
+      resolution_(resolution),
+      sum_(static_cast<size_t>(ranks) * static_cast<size_t>(buckets), 0.0),
+      weight_(static_cast<size_t>(ranks) * static_cast<size_t>(buckets), 0.0) {
+  VS_CHECK_MSG(ranks > 0 && buckets > 0, "matrix must be non-empty");
+  VS_CHECK_MSG(resolution > 0.0, "matrix resolution must be positive");
+}
+
+size_t PerformanceMatrix::index(int rank, int bucket) const {
+  VS_CHECK(rank >= 0 && rank < ranks_ && bucket >= 0 && bucket < buckets_);
+  return static_cast<size_t>(rank) * static_cast<size_t>(buckets_) +
+         static_cast<size_t>(bucket);
+}
+
+void PerformanceMatrix::accumulate(int rank, int bucket, double value, double weight) {
+  VS_CHECK_MSG(!finalized_, "accumulate after finalize");
+  VS_CHECK_MSG(weight > 0.0, "weight must be positive");
+  const size_t i = index(rank, bucket);
+  sum_[i] += value * weight;
+  weight_[i] += weight;
+}
+
+void PerformanceMatrix::finalize() {
+  VS_CHECK_MSG(!finalized_, "finalize called twice");
+  for (size_t i = 0; i < sum_.size(); ++i) {
+    if (weight_[i] > 0.0) sum_[i] /= weight_[i];
+  }
+  finalized_ = true;
+}
+
+bool PerformanceMatrix::has(int rank, int bucket) const {
+  return weight_[index(rank, bucket)] > 0.0;
+}
+
+double PerformanceMatrix::at(int rank, int bucket) const {
+  VS_CHECK_MSG(finalized_, "read before finalize");
+  return sum_[index(rank, bucket)];
+}
+
+double PerformanceMatrix::average() const {
+  VS_CHECK_MSG(finalized_, "read before finalize");
+  double total = 0.0;
+  uint64_t n = 0;
+  for (size_t i = 0; i < sum_.size(); ++i) {
+    if (weight_[i] > 0.0) {
+      total += sum_[i];
+      ++n;
+    }
+  }
+  return n ? total / static_cast<double>(n) : 1.0;
+}
+
+double PerformanceMatrix::fraction_below(double threshold) const {
+  VS_CHECK_MSG(finalized_, "read before finalize");
+  uint64_t low = 0;
+  uint64_t n = 0;
+  for (size_t i = 0; i < sum_.size(); ++i) {
+    if (weight_[i] > 0.0) {
+      ++n;
+      if (sum_[i] < threshold) ++low;
+    }
+  }
+  return n ? static_cast<double>(low) / static_cast<double>(n) : 0.0;
+}
+
+int PerformanceMatrix::bucket_of(double time) const {
+  const int b = static_cast<int>(std::floor(time / resolution_));
+  return std::clamp(b, 0, buckets_ - 1);
+}
+
+}  // namespace vsensor::rt

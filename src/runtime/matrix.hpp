@@ -1,0 +1,52 @@
+// Performance matrix: normalized performance over (rank, time) cells,
+// one matrix per component type (paper §5.5, Fig 14).
+#pragma once
+
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace vsensor::rt {
+
+class PerformanceMatrix {
+ public:
+  /// `resolution` is the width of one time bucket (paper: 200 ms).
+  PerformanceMatrix(int ranks, int buckets, double resolution);
+
+  int ranks() const { return ranks_; }
+  int buckets() const { return buckets_; }
+  double resolution() const { return resolution_; }
+
+  /// Accumulate one normalized-performance observation with a weight
+  /// (typically the record's execution count).
+  void accumulate(int rank, int bucket, double value, double weight);
+
+  /// Divide accumulated sums by weights; call once after all records.
+  void finalize();
+
+  /// True if any observation landed in the cell.
+  bool has(int rank, int bucket) const;
+
+  /// Cell value after finalize(); 0 for empty cells (check has() first).
+  double at(int rank, int bucket) const;
+
+  /// Mean over non-empty cells; 1.0 for an all-empty matrix.
+  double average() const;
+
+  /// Fraction of non-empty cells below `threshold`.
+  double fraction_below(double threshold) const;
+
+  int bucket_of(double time) const;
+
+ private:
+  size_t index(int rank, int bucket) const;
+
+  int ranks_;
+  int buckets_;
+  double resolution_;
+  std::vector<double> sum_;
+  std::vector<double> weight_;
+  bool finalized_ = false;
+};
+
+}  // namespace vsensor::rt

@@ -1,0 +1,116 @@
+#include "runtime/session_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace vsensor::rt {
+
+namespace {
+constexpr const char* kMagic = "vsensor-session";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_session(std::ostream& out, const Session& session) {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "ranks " << session.ranks << " run_time " << session.run_time << '\n';
+  for (size_t i = 0; i < session.sensors.size(); ++i) {
+    const auto& s = session.sensors[i];
+    out << "sensor " << i << ' ' << static_cast<int>(s.type) << ' ' << s.line
+        << ' ' << s.file << ' ' << s.name << '\n';
+  }
+  out.precision(17);
+  for (const auto& r : session.records) {
+    out << "record " << r.sensor_id << ' ' << r.rank << ' ' << r.t_begin << ' '
+        << r.t_end << ' ' << r.avg_duration << ' ' << r.min_duration << ' '
+        << r.count << ' ' << r.metric << ' ' << r.flags << '\n';
+  }
+}
+
+void save_session_file(const std::string& path, const Collector& collector,
+                       int ranks, double run_time) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open session file for writing: " + path);
+  Session session;
+  session.ranks = ranks;
+  session.run_time = run_time;
+  session.sensors = collector.sensors();
+  session.records = collector.records();
+  save_session(out, session);
+  if (!out) throw Error("failed while writing session file: " + path);
+}
+
+Session load_session(std::istream& in) {
+  Session session;
+  std::string line;
+
+  if (!std::getline(in, line)) throw Error("empty session file");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kMagic) throw Error("not a vsensor session file");
+    if (version != kVersion) {
+      throw Error("unsupported session version: " + std::to_string(version));
+    }
+  }
+
+  if (!std::getline(in, line)) throw Error("session file truncated");
+  {
+    std::istringstream meta(line);
+    std::string k1;
+    std::string k2;
+    meta >> k1 >> session.ranks >> k2 >> session.run_time;
+    if (k1 != "ranks" || k2 != "run_time" || session.ranks <= 0) {
+      throw Error("malformed session metadata line");
+    }
+  }
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "sensor") {
+      size_t id = 0;
+      int type = 0;
+      SensorInfo info;
+      ls >> id >> type >> info.line >> info.file;
+      std::getline(ls, info.name);
+      if (!info.name.empty() && info.name.front() == ' ') {
+        info.name.erase(0, 1);
+      }
+      if (!ls || type < 0 || type >= kSensorTypeCount) {
+        throw Error("malformed sensor line: " + line);
+      }
+      if (id != session.sensors.size()) {
+        throw Error("sensor ids must be dense and in order");
+      }
+      info.type = static_cast<SensorType>(type);
+      session.sensors.push_back(std::move(info));
+    } else if (kind == "record") {
+      SliceRecord r;
+      ls >> r.sensor_id >> r.rank >> r.t_begin >> r.t_end >> r.avg_duration >>
+          r.min_duration >> r.count >> r.metric >> r.flags;
+      if (!ls) throw Error("malformed record line: " + line);
+      if (r.sensor_id < 0 ||
+          static_cast<size_t>(r.sensor_id) >= session.sensors.size()) {
+        throw Error("record references unknown sensor: " + line);
+      }
+      session.records.push_back(r);
+    } else {
+      throw Error("unknown session line kind: " + kind);
+    }
+  }
+  return session;
+}
+
+Session load_session_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open session file: " + path);
+  return load_session(in);
+}
+
+}  // namespace vsensor::rt

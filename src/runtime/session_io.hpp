@@ -1,0 +1,37 @@
+// Session persistence: the paper's shared-file transport (§5.4 — processes
+// report "by sending messages to analysis-server or by updating shared
+// files"). A session file carries the sensor table and every slice record,
+// so analysis and visualization can run offline (tools/vsensor-report).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/collector.hpp"
+#include "runtime/types.hpp"
+
+namespace vsensor::rt {
+
+struct Session {
+  int ranks = 0;
+  double run_time = 0.0;
+  std::vector<SensorInfo> sensors;
+  std::vector<SliceRecord> records;
+};
+
+/// Text format, line-oriented:
+///   vsensor-session 1
+///   ranks <N> run_time <seconds>
+///   sensor <id> <type> <line> <name> (name may contain spaces; file is
+///                                     URL-free token, stored after line)
+///   record <sensor> <rank> <t_begin> <t_end> <avg> <min> <count> <metric> <flags>
+void save_session(std::ostream& out, const Session& session);
+void save_session_file(const std::string& path, const Collector& collector,
+                       int ranks, double run_time);
+
+/// Throws vsensor::Error on malformed input.
+Session load_session(std::istream& in);
+Session load_session_file(const std::string& path);
+
+}  // namespace vsensor::rt

@@ -1,0 +1,57 @@
+#include "runtime/slicer.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace vsensor::rt {
+
+SliceAccumulator::SliceAccumulator(int sensor_id, int rank, double slice_seconds)
+    : sensor_id_(sensor_id), rank_(rank), slice_seconds_(slice_seconds) {
+  VS_CHECK_MSG(slice_seconds > 0.0, "slice length must be positive");
+}
+
+SliceRecord SliceAccumulator::make_record() const {
+  SliceRecord rec;
+  rec.sensor_id = sensor_id_;
+  rec.rank = rank_;
+  rec.t_begin = static_cast<double>(slice_index_) * slice_seconds_;
+  rec.t_end = rec.t_begin + slice_seconds_;
+  rec.avg_duration = sum_ / static_cast<double>(count_);
+  rec.min_duration = min_;
+  rec.count = count_;
+  rec.metric = static_cast<float>(metric_sum_ / static_cast<double>(count_));
+  return rec;
+}
+
+std::optional<SliceRecord> SliceAccumulator::add(double end_time, double duration,
+                                                 double metric) {
+  VS_CHECK_MSG(duration >= 0.0, "negative sensor duration");
+  const auto idx = static_cast<int64_t>(std::floor(end_time / slice_seconds_));
+  std::optional<SliceRecord> completed;
+  if (idx != slice_index_ && count_ > 0) {
+    completed = make_record();
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    metric_sum_ = 0.0;
+    count_ = 0;
+  }
+  slice_index_ = idx;
+  sum_ += duration;
+  min_ = std::min(min_, duration);
+  metric_sum_ += metric;
+  ++count_;
+  return completed;
+}
+
+std::optional<SliceRecord> SliceAccumulator::flush() {
+  if (count_ == 0) return std::nullopt;
+  auto rec = make_record();
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  metric_sum_ = 0.0;
+  count_ = 0;
+  return rec;
+}
+
+}  // namespace vsensor::rt

@@ -1,0 +1,39 @@
+// Per-sensor slice aggregation: the data-smoothing stage of §5.1.
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "runtime/types.hpp"
+
+namespace vsensor::rt {
+
+/// Accumulates individual sensor executions and emits one SliceRecord per
+/// time slice. High-frequency OS noise averages out inside a slice, so
+/// downstream detection sees only durable variance (paper Fig 12).
+class SliceAccumulator {
+ public:
+  SliceAccumulator(int sensor_id, int rank, double slice_seconds);
+
+  /// Record one execution finishing at `end_time` with length `duration`.
+  /// Returns the completed record of the *previous* slice if `end_time`
+  /// crossed a slice boundary.
+  std::optional<SliceRecord> add(double end_time, double duration, double metric);
+
+  /// Emit the in-progress slice, if any (end of run).
+  std::optional<SliceRecord> flush();
+
+ private:
+  SliceRecord make_record() const;
+
+  int sensor_id_;
+  int rank_;
+  double slice_seconds_;
+  int64_t slice_index_ = -1;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double metric_sum_ = 0.0;
+  uint32_t count_ = 0;
+};
+
+}  // namespace vsensor::rt

@@ -1,0 +1,75 @@
+// Cost models for collective operations.
+//
+// Standard log-tree / linear-exchange models: a collective over P ranks pays
+// O(log P) latency terms for tree-structured operations and O(P) terms for
+// personalized all-to-all exchange. These match the asymptotics that make
+// MPI_Alltoall "vulnerable to network problems" (paper §6.5, Fig 22).
+#include <cmath>
+
+#include "simmpi/engine.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::simmpi {
+
+const char* coll_name(CollKind kind) {
+  switch (kind) {
+    case CollKind::Barrier:
+      return "MPI_Barrier";
+    case CollKind::Bcast:
+      return "MPI_Bcast";
+    case CollKind::Reduce:
+      return "MPI_Reduce";
+    case CollKind::Allreduce:
+      return "MPI_Allreduce";
+    case CollKind::Alltoall:
+      return "MPI_Alltoall";
+    case CollKind::Allgather:
+      return "MPI_Allgather";
+    case CollKind::Gather:
+      return "MPI_Gather";
+    case CollKind::Scatter:
+      return "MPI_Scatter";
+  }
+  return "MPI_Unknown";
+}
+
+namespace {
+double log2_ceil(int p) {
+  if (p <= 1) return 0.0;
+  return std::ceil(std::log2(static_cast<double>(p)));
+}
+}  // namespace
+
+double p2p_cost(const NetworkParams& net, uint64_t bytes) {
+  return net.latency + static_cast<double>(bytes) / net.bandwidth;
+}
+
+double collective_cost(CollKind kind, const NetworkParams& net, int ranks,
+                       uint64_t bytes) {
+  VS_CHECK(ranks >= 1);
+  if (ranks == 1) return 0.0;
+  const double lg = log2_ceil(ranks);
+  const double b = static_cast<double>(bytes);
+  const double p1 = static_cast<double>(ranks - 1);
+  switch (kind) {
+    case CollKind::Barrier:
+      return net.latency * lg;
+    case CollKind::Bcast:
+    case CollKind::Reduce:
+      return net.latency * lg + b / net.bandwidth;
+    case CollKind::Allreduce:
+      return net.latency * lg + 2.0 * b / net.bandwidth;
+    case CollKind::Alltoall:
+      return net.latency * p1 + p1 * b / net.bandwidth;
+    case CollKind::Allgather:
+      return net.latency * lg + p1 * b / net.bandwidth;
+    case CollKind::Gather:
+    case CollKind::Scatter:
+      // Root-rooted personalized communication: the root moves (P-1)
+      // fragments but the tree pipelines the latency.
+      return net.latency * lg + p1 * b / net.bandwidth;
+  }
+  return 0.0;
+}
+
+}  // namespace vsensor::simmpi

@@ -1,0 +1,100 @@
+// Per-rank communicator handle: the MPI-like API that workloads program to.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "simmpi/engine.hpp"
+
+namespace vsensor::simmpi {
+
+/// Handle passed to each rank function. Mirrors the MPI operations the
+/// paper's workloads use. All times are virtual seconds.
+class Comm {
+ public:
+  Comm(Engine& engine, int rank);
+
+  int rank() const { return rank_; }
+  int size() const { return engine_.config().ranks; }
+  /// Node hosting this rank (rank / ranks_per_node).
+  int node() const { return rank_ / engine_.config().ranks_per_node; }
+
+  /// Current virtual time (MPI_Wtime equivalent).
+  double now() const { return now_; }
+
+  /// Execute `seconds` of nominal-speed computation. The actual elapsed
+  /// virtual time depends on the node's speed model (bad node, noise, ...).
+  void compute(double seconds);
+
+  /// Computation expressed as abstract work units; also feeds the simulated
+  /// PMU instruction counter used for sensor validation (Table 1).
+  void compute_units(uint64_t units, double units_per_second = 1e9);
+
+  /// Blocking standard-mode send (rendezvous semantics).
+  void send(int dst, int tag, uint64_t bytes);
+
+  /// Blocking receive matching (src, tag) in FIFO channel order.
+  void recv(int src, int tag, uint64_t bytes);
+
+  /// Simultaneous exchange; deadlock-free for symmetric neighbor patterns.
+  void sendrecv(int dst, int send_tag, uint64_t send_bytes, int src, int recv_tag,
+                uint64_t recv_bytes);
+
+  /// Non-blocking handle: completed by wait(). Movable, single-use.
+  class Request {
+   public:
+    Request() = default;
+    bool valid() const { return entry_ != nullptr; }
+
+   private:
+    friend class Comm;
+    std::shared_ptr<void> entry_;
+    double post_time = 0.0;
+    uint64_t bytes = 0;
+    bool is_send = false;
+  };
+
+  /// Post a send without blocking; the clock does not advance until wait().
+  Request isend(int dst, int tag, uint64_t bytes);
+  /// Post a receive without blocking.
+  Request irecv(int src, int tag, uint64_t bytes);
+  /// Complete a pending request; advances the clock to the completion time
+  /// if it is later than now.
+  void wait(Request& request);
+  /// Complete all requests (MPI_Waitall).
+  void waitall(std::span<Request> requests);
+
+  void barrier();
+  void bcast(int root, uint64_t bytes);
+  void reduce(int root, uint64_t bytes);
+  void allreduce(uint64_t bytes);
+  /// `bytes` is the per-rank-pair payload (each rank sends `bytes` to every
+  /// other rank), matching MPI_Alltoall sendcount semantics.
+  void alltoall(uint64_t bytes);
+  void allgather(uint64_t bytes);
+  /// `bytes` is the per-rank fragment at the root.
+  void gather(int root, uint64_t bytes);
+  void scatter(int root, uint64_t bytes);
+
+  /// Advance the clock without touching compute/MPI accounting; models
+  /// instrumentation-probe overhead charged by the vSensor runtime.
+  void charge_overhead(double seconds);
+
+  const RankStats& stats() const { return stats_; }
+
+ private:
+  void run_collective(CollKind kind, int root, uint64_t bytes);
+  void emit(TraceEvent::Kind kind, double t0, uint64_t bytes, int peer, int tag,
+            const char* name);
+
+  Engine& engine_;
+  int rank_;
+  double now_ = 0.0;
+  uint64_t coll_seq_ = 0;
+  RankStats stats_;
+
+  friend class Engine;
+};
+
+}  // namespace vsensor::simmpi

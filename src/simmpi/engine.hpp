@@ -1,0 +1,149 @@
+// simMPI engine: deterministic virtual-time simulation of an MPI job.
+//
+// Each rank runs on its own thread with a private virtual clock. Computation
+// advances the clock through the NodeModel; communication synchronizes clocks
+// through rendezvous (p2p) and sequence-matched collectives, with costs from
+// NetworkParams x CongestionModel. All timing derives from the models, never
+// from the host, so results are bit-reproducible regardless of host load or
+// thread scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "simmpi/models.hpp"
+#include "simmpi/trace.hpp"
+
+namespace vsensor::simmpi {
+
+class Comm;
+
+/// Job configuration: topology, performance models, and hooks.
+struct Config {
+  int ranks = 1;
+  int ranks_per_node = 24;  ///< Tianhe-2 nodes have 24 cores
+  NetworkParams net;
+  NodeModel nodes;
+  CongestionModel congestion;
+  std::shared_ptr<TraceSink> trace;  ///< optional; receives all MPI events
+  bool trace_compute = false;        ///< also emit Compute events (verbose)
+  double deadlock_timeout = 60.0;    ///< real seconds before declaring deadlock
+};
+
+/// Per-rank outcome of a simulated run.
+struct RankStats {
+  double finish_time = 0.0;  ///< virtual time at rank function return
+  double comp_time = 0.0;    ///< virtual seconds spent in compute()
+  double mpi_time = 0.0;     ///< virtual seconds spent inside MPI operations
+  double overhead_time = 0.0;  ///< virtual seconds charged as probe overhead
+  uint64_t messages = 0;       ///< p2p sends + collective calls
+  uint64_t bytes_sent = 0;
+  uint64_t pmu_instructions = 0;  ///< simulated instruction counter
+};
+
+struct RunResult {
+  std::vector<RankStats> ranks;
+  /// Virtual makespan: max finish time over ranks.
+  double makespan() const;
+  double total_comp_time() const;
+  double total_mpi_time() const;
+};
+
+/// The body of one MPI rank.
+using RankFn = std::function<void(Comm&)>;
+
+enum class CollKind {
+  Barrier,
+  Bcast,
+  Reduce,
+  Allreduce,
+  Alltoall,
+  Allgather,
+  Gather,
+  Scatter,
+};
+
+const char* coll_name(CollKind kind);
+
+/// Cost (virtual seconds) of one collective over P ranks moving `bytes`
+/// per rank-pair (Alltoall) or per rank (others), before congestion scaling.
+double collective_cost(CollKind kind, const NetworkParams& net, int ranks,
+                       uint64_t bytes);
+
+/// Cost of one point-to-point message before congestion scaling.
+double p2p_cost(const NetworkParams& net, uint64_t bytes);
+
+class Engine {
+ public:
+  explicit Engine(Config cfg);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Run `fn` on every rank; blocks until all ranks return. Rethrows the
+  /// first exception raised by any rank.
+  RunResult run(const RankFn& fn);
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  friend class Comm;
+
+  struct P2PEntry {
+    double sender_time = 0.0;
+    double receiver_time = 0.0;
+    uint64_t bytes = 0;
+    bool has_sender = false;
+    bool has_receiver = false;
+    bool complete = false;
+    double done_time = 0.0;
+  };
+  using P2PEntryPtr = std::shared_ptr<P2PEntry>;
+
+  struct CollEntry {
+    CollKind kind = CollKind::Barrier;
+    int root = -1;
+    uint64_t bytes = 0;
+    int arrived = 0;
+    double max_time = 0.0;
+    bool complete = false;
+    double done_time = 0.0;
+  };
+  using CollEntryPtr = std::shared_ptr<CollEntry>;
+
+  // P2P: one FIFO of in-flight entries per (src, dst, tag) channel.
+  struct ChannelKey {
+    int src, dst, tag;
+    auto operator<=>(const ChannelKey&) const = default;
+  };
+
+  P2PEntryPtr post_send(int src, int dst, int tag, uint64_t bytes, double now);
+  P2PEntryPtr post_recv(int src, int dst, int tag, uint64_t bytes, double now);
+  void try_complete(const P2PEntryPtr& entry, std::deque<P2PEntryPtr>& queue);
+  double await_p2p(const P2PEntryPtr& entry);
+
+  double collective(int rank, uint64_t seq, CollKind kind, int root,
+                    uint64_t bytes, double now);
+
+  void abort_all() noexcept;
+  void check_not_aborted() const;
+
+  Config cfg_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<ChannelKey, std::deque<P2PEntryPtr>> channels_;
+  std::map<uint64_t, CollEntryPtr> collectives_;
+  bool aborted_ = false;
+};
+
+/// Convenience wrapper: build an engine and run one job.
+RunResult run(Config cfg, const RankFn& fn);
+
+}  // namespace vsensor::simmpi

@@ -1,0 +1,117 @@
+#include "simmpi/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace vsensor::simmpi {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kMinSpeed = 1e-3;  // guards against non-terminating advance()
+}  // namespace
+
+void CongestionModel::set_base(double factor) {
+  VS_CHECK_MSG(factor > 0.0, "congestion factor must be positive");
+  base_ = factor;
+}
+
+void CongestionModel::add_window(double t0, double t1, double factor) {
+  VS_CHECK_MSG(t0 < t1, "congestion window must have positive length");
+  VS_CHECK_MSG(factor > 0.0, "congestion factor must be positive");
+  windows_.push_back({t0, t1, factor});
+}
+
+double CongestionModel::factor_at(double t) const {
+  double f = base_;
+  for (const auto& w : windows_) {
+    if (t >= w.t0 && t < w.t1) f *= w.factor;
+  }
+  return f;
+}
+
+void NodeModel::set_node_speed(int node, double speed) {
+  VS_CHECK_MSG(node >= 0, "node id must be non-negative");
+  VS_CHECK_MSG(speed >= kMinSpeed, "node speed too small");
+  if (static_cast<size_t>(node) >= node_speed_.size()) {
+    node_speed_.resize(static_cast<size_t>(node) + 1, 1.0);
+  }
+  node_speed_[static_cast<size_t>(node)] = speed;
+}
+
+void NodeModel::add_noise_window(int node, double t0, double t1, double factor) {
+  VS_CHECK_MSG(t0 < t1, "noise window must have positive length");
+  VS_CHECK_MSG(factor >= kMinSpeed, "noise factor too small");
+  windows_.push_back({node, t0, t1, factor});
+}
+
+void NodeModel::set_os_noise(double amplitude, double period, uint64_t seed) {
+  VS_CHECK_MSG(amplitude >= 0.0 && amplitude < 1.0, "amplitude must be in [0,1)");
+  VS_CHECK_MSG(period > 0.0, "period must be positive");
+  os_amplitude_ = amplitude;
+  os_period_ = period;
+  os_seed_ = seed;
+}
+
+double NodeModel::persistent_speed(int node) const {
+  if (node >= 0 && static_cast<size_t>(node) < node_speed_.size()) {
+    return node_speed_[static_cast<size_t>(node)];
+  }
+  return 1.0;
+}
+
+double NodeModel::os_factor(int node, double t) const {
+  if (os_amplitude_ <= 0.0) return 1.0;
+  const auto slice = static_cast<uint64_t>(std::floor(t / os_period_));
+  const uint64_t h = hash_combine(hash_combine(os_seed_, static_cast<uint64_t>(node)), slice);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+  return 1.0 - os_amplitude_ * u;
+}
+
+double NodeModel::speed_at(int node, double t) const {
+  double s = persistent_speed(node) * os_factor(node, t);
+  for (const auto& w : windows_) {
+    if (w.node == node && t >= w.t0 && t < w.t1) s *= w.factor;
+  }
+  return std::max(s, kMinSpeed);
+}
+
+double NodeModel::next_boundary(int node, double t) const {
+  double b = kInf;
+  if (os_amplitude_ > 0.0) {
+    double next = (std::floor(t / os_period_) + 1.0) * os_period_;
+    // Floating point can land `next` exactly on (or below) t when t sits on
+    // a slice boundary; a zero-length segment would make advance() spin
+    // forever. Step one ulp so the floor re-evaluates in the next slice —
+    // the speed model stays consistent with speed_at(), which uses the same
+    // floor, at the cost of an ulp-sized segment.
+    if (next <= t) next = std::nextafter(t, kInf);
+    b = std::min(b, next);
+  }
+  for (const auto& w : windows_) {
+    if (w.node != node) continue;
+    if (w.t0 > t) b = std::min(b, w.t0);
+    if (w.t1 > t) b = std::min(b, w.t1);
+  }
+  return b;
+}
+
+double NodeModel::advance(int node, double t, double work) const {
+  VS_CHECK_MSG(work >= 0.0, "negative work");
+  // Fast path: constant speed for the whole region.
+  while (work > 0.0) {
+    const double s = speed_at(node, t);
+    const double boundary = next_boundary(node, t);
+    const double finish = t + work / s;
+    if (finish <= boundary) return finish;
+    // Consume the piecewise-constant segment [t, boundary).
+    work -= (boundary - t) * s;
+    t = boundary;
+  }
+  return t;
+}
+
+}  // namespace vsensor::simmpi

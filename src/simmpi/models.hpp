@@ -1,0 +1,93 @@
+// Performance models for the simMPI virtual-time engine.
+//
+// The paper's experiments run on Tianhe-2, whose variance sources are
+// (a) per-node compute degradation (bad nodes, injected noiser processes,
+// OS jitter) and (b) network slowdowns (congestion windows). These models
+// reproduce those phenomena deterministically:
+//
+//  * NodeModel   — piecewise-constant per-node speed: persistent factors
+//                  (bad node), time-windowed factors (noise injection), and
+//                  hash-derived per-slice OS jitter.
+//  * CongestionModel — time-varying multiplier on every network operation.
+//  * NetworkParams   — alpha/beta (latency/bandwidth) base cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vsensor::simmpi {
+
+/// Base cost of the interconnect: a message of n bytes costs
+/// latency + n / bandwidth seconds before congestion scaling.
+struct NetworkParams {
+  double latency = 2e-6;      ///< seconds (alpha)
+  double bandwidth = 6e9;     ///< bytes/second (beta)
+};
+
+/// Time-varying multiplicative slowdown of the network. Factors > 1 mean
+/// slower. Overlapping windows multiply.
+class CongestionModel {
+ public:
+  /// Persistent background factor applied at all times (default 1.0).
+  void set_base(double factor);
+
+  /// During virtual time [t0, t1), multiply network cost by `factor`.
+  void add_window(double t0, double t1, double factor);
+
+  /// Total slowdown factor at virtual time t.
+  double factor_at(double t) const;
+
+  bool empty() const { return windows_.empty() && base_ == 1.0; }
+
+ private:
+  struct Window {
+    double t0, t1, factor;
+  };
+  std::vector<Window> windows_;
+  double base_ = 1.0;
+};
+
+/// Per-node compute speed over virtual time. Speed 1.0 is nominal; computing
+/// W seconds of nominal work at speed s takes W/s seconds of virtual time.
+class NodeModel {
+ public:
+  /// Persistent speed of one node (a "bad node" has speed < 1).
+  void set_node_speed(int node, double speed);
+
+  /// During [t0, t1), multiply the node's speed by `factor` (e.g. a noiser
+  /// process stealing cycles gives factor ~0.5).
+  void add_noise_window(int node, double t0, double t1, double factor);
+
+  /// Enable fine-grained OS jitter: each (node, slice-of-`period`) draws a
+  /// deterministic speed multiplier in [1 - amplitude, 1].
+  void set_os_noise(double amplitude, double period, uint64_t seed);
+
+  /// Instantaneous speed of `node` at virtual time t.
+  double speed_at(int node, double t) const;
+
+  /// Earliest time > t at which speed_at(node, .) may change. Returns +inf
+  /// if the speed is constant from t on.
+  double next_boundary(int node, double t) const;
+
+  /// Time at which `work` seconds of nominal-speed compute started at `t`
+  /// finishes on `node`.
+  double advance(int node, double t, double work) const;
+
+  bool has_os_noise() const { return os_amplitude_ > 0.0; }
+
+ private:
+  struct Window {
+    int node;
+    double t0, t1, factor;
+  };
+  std::vector<Window> windows_;
+  std::vector<double> node_speed_;  // indexed by node; 1.0 default
+  double os_amplitude_ = 0.0;
+  double os_period_ = 1e-3;
+  uint64_t os_seed_ = 0;
+
+  double persistent_speed(int node) const;
+  double os_factor(int node, double t) const;
+};
+
+}  // namespace vsensor::simmpi

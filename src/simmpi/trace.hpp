@@ -1,0 +1,29 @@
+// Trace hooks: the ITAC-like tracer and mpiP-like profiler baselines attach
+// here to observe every simulated MPI event.
+#pragma once
+
+#include <cstdint>
+
+namespace vsensor::simmpi {
+
+struct TraceEvent {
+  enum class Kind { Send, Recv, Collective, Compute };
+  Kind kind;
+  int rank = -1;
+  double t_begin = 0.0;  ///< virtual time the rank entered the operation
+  double t_end = 0.0;    ///< virtual time the operation completed
+  uint64_t bytes = 0;
+  int peer = -1;  ///< destination/source rank for p2p; -1 for collectives
+  int tag = -1;
+  const char* name = "";  ///< operation name, e.g. "MPI_Alltoall"
+};
+
+/// Receives every traced event. Implementations must be thread-safe: events
+/// arrive concurrently from all rank threads.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& ev) = 0;
+};
+
+}  // namespace vsensor::simmpi

@@ -1,0 +1,66 @@
+// Error handling primitives shared by every vSensor module.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace vsensor {
+
+/// Base exception for all vSensor errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Raised when MiniC source fails to lex/parse/type-check.
+class CompileError : public Error {
+ public:
+  CompileError(int line, int col, const std::string& msg)
+      : Error(format(line, col, msg)), line_(line), col_(col) {}
+
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  static std::string format(int line, int col, const std::string& msg) {
+    std::ostringstream os;
+    os << "minic:" << line << ":" << col << ": error: " << msg;
+    return os.str();
+  }
+
+  int line_;
+  int col_;
+};
+
+/// Raised by the simMPI engine on protocol misuse (mismatched collectives,
+/// out-of-range ranks, ...).
+class SimError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace vsensor
+
+/// Internal invariant check; throws vsensor::Error (never disabled — these
+/// guard correctness of the analysis, not performance-critical paths).
+#define VS_CHECK(expr)                                                        \
+  do {                                                                        \
+    if (!(expr)) ::vsensor::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define VS_CHECK_MSG(expr, msg)                                                  \
+  do {                                                                           \
+    if (!(expr)) ::vsensor::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,60 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace vsensor {
+
+BoundedHistogram::BoundedHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  VS_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  VS_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be increasing");
+}
+
+void BoundedHistogram::add(double value, uint64_t weight) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<size_t>(it - bounds_.begin())] += weight;
+  total_ += weight;
+}
+
+void BoundedHistogram::merge(const BoundedHistogram& other) {
+  VS_CHECK_MSG(bounds_ == other.bounds_, "merging histograms with different buckets");
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+std::string BoundedHistogram::label(size_t bucket) const {
+  VS_CHECK(bucket < counts_.size());
+  if (bucket == 0) return "<" + format_duration(bounds_.front());
+  if (bucket == counts_.size() - 1) return ">" + format_duration(bounds_.back());
+  return format_duration(bounds_[bucket - 1]) + "~" + format_duration(bounds_[bucket]);
+}
+
+BoundedHistogram make_sense_length_histogram() {
+  return BoundedHistogram({100e-6, 10e-3, 1.0});
+}
+
+std::string format_duration(double seconds) {
+  std::ostringstream os;
+  auto emit = [&](double v, const char* unit) {
+    if (v == std::floor(v)) {
+      os << static_cast<long long>(v) << unit;
+    } else {
+      os << v << unit;
+    }
+  };
+  if (seconds < 1e-3) {
+    emit(seconds * 1e6, "us");
+  } else if (seconds < 1.0) {
+    emit(seconds * 1e3, "ms");
+  } else {
+    emit(seconds, "s");
+  }
+  return os.str();
+}
+
+}  // namespace vsensor

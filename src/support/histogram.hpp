@@ -1,0 +1,40 @@
+// Histograms used by the sense-distribution experiments (Figs 16-17).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vsensor {
+
+/// Histogram over explicit bucket boundaries. A value v falls into bucket i
+/// where bounds[i-1] <= v < bounds[i]; bucket 0 is (-inf, bounds[0]) and the
+/// last bucket is [bounds.back(), +inf).
+class BoundedHistogram {
+ public:
+  explicit BoundedHistogram(std::vector<double> upper_bounds);
+
+  void add(double value, uint64_t weight = 1);
+  void merge(const BoundedHistogram& other);
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t count(size_t bucket) const { return counts_.at(bucket); }
+  uint64_t total() const { return total_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Human-readable label of bucket i, e.g. "<100us", "100us~10ms", ">1s".
+  std::string label(size_t bucket) const;
+
+ private:
+  std::vector<double> bounds_;  // strictly increasing upper bounds, seconds
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// The paper's duration buckets: <100us, 100us~10ms, 10ms~1s, >1s.
+BoundedHistogram make_sense_length_histogram();
+
+/// Format a duration in seconds as a compact human unit (e.g. "100us", "1s").
+std::string format_duration(double seconds);
+
+}  // namespace vsensor

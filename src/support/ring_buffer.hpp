@@ -1,0 +1,53 @@
+// Fixed-capacity ring buffer used for per-sensor history windows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace vsensor {
+
+/// Keeps the most recent `capacity` elements; overwrites the oldest.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : data_(capacity) {
+    VS_CHECK_MSG(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  void push(T value) {
+    data_[head_] = std::move(value);
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) ++size_;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return data_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == data_.size(); }
+
+  /// Element i in age order: 0 = oldest retained, size()-1 = newest.
+  const T& operator[](size_t i) const {
+    VS_CHECK(i < size_);
+    const size_t start = (head_ + data_.size() - size_) % data_.size();
+    return data_[(start + i) % data_.size()];
+  }
+
+  const T& newest() const {
+    VS_CHECK(size_ > 0);
+    return (*this)[size_ - 1];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> data_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace vsensor

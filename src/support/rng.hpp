@@ -1,0 +1,47 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the simulator (OS noise, PMU jitter, workload
+// shuffles) flows through SplitMix64/Xoshiro256** seeded explicitly, so every
+// experiment is bit-reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace vsensor {
+
+/// SplitMix64 — used to seed Xoshiro and for stateless hashing of
+/// (node, time-slice) pairs in the noise models.
+uint64_t splitmix64(uint64_t& state);
+
+/// Stateless 64-bit mix of a single value (Stafford variant 13).
+uint64_t mix64(uint64_t x);
+
+/// Combine two values into one hash (order-sensitive).
+uint64_t hash_combine(uint64_t a, uint64_t b);
+
+/// Xoshiro256** — fast, high-quality PRNG for simulation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).
+  uint64_t next_below(uint64_t n);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double next_gaussian();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace vsensor

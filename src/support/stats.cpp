@@ -1,0 +1,71 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace vsensor {
+
+void StreamingStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::cv() const {
+  if (n_ == 0 || mean_ == 0.0) return 0.0;
+  return stddev() / mean_;
+}
+
+double percentile(std::span<const double> sorted, double p) {
+  VS_CHECK_MSG(!sorted.empty(), "percentile of empty sample");
+  VS_CHECK(p >= 0.0 && p <= 100.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double percentile_of(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return percentile(values, p);
+}
+
+double max_min_ratio(std::span<const double> values) {
+  if (values.empty()) return 1.0;
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  if (*mn <= 0.0) return 1.0;
+  return *mx / *mn;
+}
+
+}  // namespace vsensor

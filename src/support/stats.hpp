@@ -1,0 +1,45 @@
+// Streaming statistics (Welford) and small batch helpers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace vsensor {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+  /// Coefficient of variation (stddev / mean); 0 when mean == 0.
+  double cv() const;
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile of a sample (linear interpolation); p in [0, 100].
+double percentile(std::span<const double> sorted, double p);
+
+/// Sorts a copy and returns the percentile.
+double percentile_of(std::vector<double> values, double p);
+
+/// max/min ratio of a non-empty sample; used for the paper's Ps statistic
+/// (workload max error, Table 1). Returns 1.0 for empty/degenerate input.
+double max_min_ratio(std::span<const double> values);
+
+}  // namespace vsensor

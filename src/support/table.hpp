@@ -1,0 +1,35 @@
+// Plain-text table and CSV emission for bench harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vsensor {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+/// Every bench binary prints its paper table/figure through this.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  std::string to_string() const;
+  /// Comma-separated values, one line per row, header first.
+  std::string to_csv() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting helpers for table cells.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 2);  ///< 0.0312 -> "3.12%"
+std::string fmt_bytes(double bytes);                          ///< 9227468 -> "8.8 MB"
+
+}  // namespace vsensor

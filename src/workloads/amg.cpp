@@ -1,0 +1,83 @@
+// mini-AMG: algebraic multigrid V-cycle skeleton (BoomerAMG).
+//
+// AMG rebuilds its grid hierarchy adaptively, so per-cycle workloads drift
+// as coarsening changes operator sizes — the reason the paper finds almost
+// no fixed-workload snippets in AMG (Table 1: 0.18 % coverage; Fig 17: no
+// v-sensor for half the lifetime). Only the initial residual evaluation on
+// the unchanging finest grid is a sensor; it stops firing once the solve
+// phase hands over to the adaptive cycles.
+#include "workloads/apps.hpp"
+
+namespace vsensor::workloads {
+
+namespace {
+
+class AmgWorkload final : public Workload {
+ public:
+  std::string name() const override { return "AMG"; }
+  double paper_kloc() const override { return 75.0; }
+  std::string minic_source() const override { return minic_model("AMG"); }
+
+  enum {
+    kFineResidual = 0,
+    kFineSmooth,  // 2 computation sensors
+    kAllreduceResidual,  // 1 network sensor
+    kSensorCount,
+  };
+
+  std::vector<rt::SensorInfo> sensors() const override {
+    using rt::SensorType;
+    return {
+        {"amg:fine_residual", SensorType::Computation, "amg.c", 2210},
+        {"amg:fine_smooth", SensorType::Computation, "amg.c", 2230},
+        {"amg:allreduce_residual", SensorType::Network, "amg.c", 2216},
+    };
+  }
+
+  void run_rank(RankContext& ctx, const WorkloadParams& params) const override {
+    auto& comm = ctx.comm();
+    const auto residual_units = static_cast<uint64_t>(2.0e6 * params.scale);
+    const auto smooth_units = static_cast<uint64_t>(3.0e6 * params.scale);
+    constexpr int kLevels = 6;
+
+    // Setup phase (a few steps): fixed finest-grid work, sensors fire.
+    const int setup_iters = std::max(1, params.iterations / 12);
+    for (int iter = 0; iter < setup_iters; ++iter) {
+      {
+        Sense s(ctx, kFineResidual);
+        ctx.compute(residual_units);
+      }
+      {
+        Sense s(ctx, kAllreduceResidual);
+        comm.allreduce(8);
+      }
+      {
+        Sense s(ctx, kFineSmooth);
+        ctx.compute(smooth_units);
+      }
+    }
+
+    // Solve phase: V-cycles over an adaptively re-coarsened hierarchy.
+    // Workload drifts with the refinement state — no sensors fire here.
+    uint64_t refine_state = params.seed + static_cast<uint64_t>(comm.rank());
+    for (int iter = setup_iters; iter < params.iterations; ++iter) {
+      for (int level = 0; level < kLevels; ++level) {
+        // Grid size at this level drifts with refinement decisions.
+        const uint64_t drift = (splitmix64(refine_state) % 100);
+        const auto level_units = static_cast<uint64_t>(
+            8 * (smooth_units >> level) * (60 + drift) / 100);
+        ctx.compute(level_units);
+        if (comm.size() > 1 && level < 2) {
+          comm.allreduce(8);  // coarse-grid residual
+        }
+      }
+      comm.barrier();
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_amg() { return std::make_unique<AmgWorkload>(); }
+
+}  // namespace vsensor::workloads

@@ -1,0 +1,22 @@
+// Internal: concrete workload factories (one per evaluation program).
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace vsensor::workloads {
+
+std::unique_ptr<Workload> make_bt();
+std::unique_ptr<Workload> make_cg();
+std::unique_ptr<Workload> make_ft();
+std::unique_ptr<Workload> make_lu();
+std::unique_ptr<Workload> make_sp();
+std::unique_ptr<Workload> make_amg();
+std::unique_ptr<Workload> make_lulesh();
+std::unique_ptr<Workload> make_raxml();
+
+/// MiniC model source for a workload (defined in minic_models.cpp).
+std::string minic_model(const std::string& workload_name);
+
+}  // namespace vsensor::workloads

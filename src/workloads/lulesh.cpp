@@ -1,0 +1,94 @@
+// mini-LULESH: Lagrangian shock hydrodynamics skeleton (LLNL LULESH).
+//
+// Each leapfrog step computes nodal forces and element updates (fixed
+// workload), exchanges ghost faces, and reduces the global timestep
+// constraint. One material-model loop has an iteration-dependent trip count
+// (Newton iterations), producing the big non-fixed snippet in the main loop
+// that the paper blames for LULESH's long sense intervals (Fig 17).
+#include "workloads/apps.hpp"
+
+namespace vsensor::workloads {
+
+namespace {
+
+class LuleshWorkload final : public Workload {
+ public:
+  std::string name() const override { return "LULESH"; }
+  double paper_kloc() const override { return 5.3; }
+  std::string minic_source() const override { return minic_model("LULESH"); }
+
+  enum {
+    kCalcForce = 0,
+    kPositionUpdate,
+    kKinematics,
+    kTimeConstraint,  // 4 computation sensors
+    kGhostExchange,
+    kAllreduceDt,  // 2 network sensors
+    kSensorCount,
+  };
+
+  std::vector<rt::SensorInfo> sensors() const override {
+    using rt::SensorType;
+    return {
+        {"lulesh:calc_force", SensorType::Computation, "lulesh.cc", 1020},
+        {"lulesh:position_update", SensorType::Computation, "lulesh.cc", 1150},
+        {"lulesh:kinematics", SensorType::Computation, "lulesh.cc", 1210},
+        {"lulesh:time_constraint", SensorType::Computation, "lulesh.cc", 1480},
+        {"lulesh:ghost_exchange", SensorType::Network, "lulesh.cc", 1100},
+        {"lulesh:allreduce_dt", SensorType::Network, "lulesh.cc", 1510},
+    };
+  }
+
+  void run_rank(RankContext& ctx, const WorkloadParams& params) const override {
+    auto& comm = ctx.comm();
+    const int rank = comm.rank();
+    const int size = comm.size();
+    const int next = (rank + 1) % size;
+    const int prev = (rank + size - 1) % size;
+    const auto force_units = static_cast<uint64_t>(6.0e6 * params.scale);
+    const auto update_units = static_cast<uint64_t>(2.0e6 * params.scale);
+    const auto constraint_units = static_cast<uint64_t>(1.0e6 * params.scale);
+    const uint64_t ghost_bytes = 48 * 1024;
+
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      {
+        Sense s(ctx, kCalcForce);
+        ctx.compute(force_units);
+      }
+      if (size > 1) {
+        Sense s(ctx, kGhostExchange);
+        comm.sendrecv(next, 50, ghost_bytes, prev, 50, ghost_bytes);
+      }
+      {
+        Sense s(ctx, kPositionUpdate);
+        ctx.compute(update_units);
+      }
+      // Material EOS: Newton iterations converge at a rate that depends on
+      // the evolving state — a big NON-fixed snippet (no sensor), which
+      // stretches the intervals between senses.
+      {
+        const auto newton_iters = 2 + (iter * 7) % 6;  // varies 2..7
+        ctx.compute(static_cast<uint64_t>(newton_iters) *
+                    static_cast<uint64_t>(9.0e6 * params.scale));
+      }
+      {
+        Sense s(ctx, kKinematics);
+        ctx.compute(update_units);
+      }
+      {
+        Sense s(ctx, kTimeConstraint);
+        ctx.compute(constraint_units);
+      }
+      {
+        Sense s(ctx, kAllreduceDt);
+        comm.allreduce(8);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_lulesh() { return std::make_unique<LuleshWorkload>(); }
+
+}  // namespace vsensor::workloads

@@ -1,0 +1,91 @@
+// mini-BT: block-tridiagonal ADI solver skeleton (NPB BT).
+//
+// Each step computes the right-hand side, then runs the three directional
+// line solves. Face exchanges use boundary-dependent p2p (uninstrumented,
+// as in Table 1 where BT carries 87 Comp and no Net sensors).
+#include "workloads/apps.hpp"
+
+namespace vsensor::workloads {
+
+namespace {
+
+class BtWorkload final : public Workload {
+ public:
+  std::string name() const override { return "BT"; }
+  double paper_kloc() const override { return 11.3; }
+  std::string minic_source() const override { return minic_model("BT"); }
+
+  enum {
+    kComputeRhs = 0,
+    kXSolve,
+    kYSolve,
+    kZSolve,
+    kAdd,
+    kCopyFaces,  // 6 computation sensors
+    kSensorCount,
+  };
+
+  std::vector<rt::SensorInfo> sensors() const override {
+    using rt::SensorType;
+    return {
+        {"bt:compute_rhs", SensorType::Computation, "bt.c", 410},
+        {"bt:x_solve", SensorType::Computation, "bt.c", 450},
+        {"bt:y_solve", SensorType::Computation, "bt.c", 470},
+        {"bt:z_solve", SensorType::Computation, "bt.c", 490},
+        {"bt:add", SensorType::Computation, "bt.c", 510},
+        {"bt:copy_faces", SensorType::Computation, "bt.c", 395},
+    };
+  }
+
+  void run_rank(RankContext& ctx, const WorkloadParams& params) const override {
+    auto& comm = ctx.comm();
+    const int rank = comm.rank();
+    const int size = comm.size();
+    const int next = (rank + 1) % size;
+    const int prev = (rank + size - 1) % size;
+    const auto solve_units = static_cast<uint64_t>(4.0e6 * params.scale);
+    const auto rhs_units = static_cast<uint64_t>(5.0e6 * params.scale);
+    const auto small_units = static_cast<uint64_t>(1.0e6 * params.scale);
+    const uint64_t face_bytes = 24 * 1024;
+
+    const auto unsensed_units = static_cast<uint64_t>(2.8e6 * params.scale);
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      ctx.compute(unsensed_units);  // boundary conditions, not instrumented
+      {
+        Sense s(ctx, kCopyFaces);
+        ctx.compute(small_units);
+      }
+      if (size > 1) {
+        comm.sendrecv(next, 30, face_bytes, prev, 30, face_bytes);
+      }
+      {
+        Sense s(ctx, kComputeRhs);
+        ctx.compute(rhs_units);
+      }
+      {
+        Sense s(ctx, kXSolve);
+        ctx.compute(solve_units);
+      }
+      if (size > 1) comm.sendrecv(next, 31, face_bytes, prev, 31, face_bytes);
+      {
+        Sense s(ctx, kYSolve);
+        ctx.compute(solve_units);
+      }
+      if (size > 1) comm.sendrecv(prev, 32, face_bytes, next, 32, face_bytes);
+      {
+        Sense s(ctx, kZSolve);
+        ctx.compute(solve_units);
+      }
+      {
+        Sense s(ctx, kAdd);
+        ctx.compute(small_units);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_bt() { return std::make_unique<BtWorkload>(); }
+
+}  // namespace vsensor::workloads

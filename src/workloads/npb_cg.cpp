@@ -1,0 +1,139 @@
+// mini-CG: conjugate-gradient solver skeleton (NPB CG).
+//
+// Per outer iteration, a fixed number of CG steps each perform a sparse
+// matrix-vector product (fixed rows x nnz per rank), vector updates, local
+// dot products (computation sensors), and the global reductions plus
+// row/column neighbor exchanges of the 2D process grid (network sensors).
+// All per-step workloads are compile-time fixed, which is why CG is sensor-
+// rich in the paper (Table 1: 7 Comp + 5 Net instrumented).
+#include "workloads/apps.hpp"
+
+namespace vsensor::workloads {
+
+namespace {
+
+class CgWorkload final : public Workload {
+ public:
+  std::string name() const override { return "CG"; }
+  double paper_kloc() const override { return 2.0; }
+  std::string minic_source() const override { return minic_model("CG"); }
+
+  // Sensor ids (registration order).
+  enum {
+    kMatvec = 0,
+    kAxpyP,
+    kAxpyX,
+    kDotRho,
+    kDotPq,
+    kNormLocal,
+    kResidual,  // 7 computation sensors
+    kAllreduceRho,
+    kAllreducePq,
+    kAllreduceNorm,
+    kExchangeRow,
+    kExchangeCol,  // 5 network sensors
+    kSensorCount,
+  };
+
+  std::vector<rt::SensorInfo> sensors() const override {
+    using rt::SensorType;
+    return {
+        {"cg:matvec", SensorType::Computation, "cg.c", 112},
+        {"cg:axpy_p", SensorType::Computation, "cg.c", 131},
+        {"cg:axpy_x", SensorType::Computation, "cg.c", 137},
+        {"cg:dot_rho", SensorType::Computation, "cg.c", 120},
+        {"cg:dot_pq", SensorType::Computation, "cg.c", 125},
+        {"cg:norm_local", SensorType::Computation, "cg.c", 145},
+        {"cg:residual", SensorType::Computation, "cg.c", 151},
+        {"cg:allreduce_rho", SensorType::Network, "cg.c", 122},
+        {"cg:allreduce_pq", SensorType::Network, "cg.c", 127},
+        {"cg:allreduce_norm", SensorType::Network, "cg.c", 147},
+        {"cg:exchange_row", SensorType::Network, "cg.c", 115},
+        {"cg:exchange_col", SensorType::Network, "cg.c", 117},
+    };
+  }
+
+  void run_rank(RankContext& ctx, const WorkloadParams& params) const override {
+    auto& comm = ctx.comm();
+    const int rank = comm.rank();
+    const int size = comm.size();
+    // 1D ring neighbors stand in for the 2D grid's row/col partners.
+    const int next = (rank + 1) % size;
+    const int prev = (rank + size - 1) % size;
+
+    // Fixed per-rank workload: rows/P rows with fixed nnz per row.
+    const auto matvec_units =
+        static_cast<uint64_t>(6.0e6 * params.scale);  // ~6 ms
+    const auto vector_units =
+        static_cast<uint64_t>(4.0e5 * params.scale);  // ~0.4 ms
+    const uint64_t exchange_bytes = 64 * 1024;        // boundary vector slab
+    constexpr int kInnerSteps = 25;
+
+    // Un-instrumented solver work (preconditioner, orthogonalization):
+    // real CG's sensors cover only ~15% of run time (Table 1).
+    const auto unsensed_units =
+        static_cast<uint64_t>(4.3e7 * params.scale);
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      for (int step = 0; step < kInnerSteps; ++step) {
+        ctx.compute(unsensed_units);
+        {
+          Sense s(ctx, kMatvec);
+          ctx.compute(matvec_units);
+        }
+        if (size > 1) {
+          {
+            Sense s(ctx, kExchangeRow);
+            comm.sendrecv(next, 10, exchange_bytes, prev, 10, exchange_bytes);
+          }
+          {
+            Sense s(ctx, kExchangeCol);
+            comm.sendrecv(prev, 11, exchange_bytes, next, 11, exchange_bytes);
+          }
+        }
+        {
+          Sense s(ctx, kDotRho);
+          ctx.compute(vector_units);
+        }
+        {
+          Sense s(ctx, kAllreduceRho);
+          comm.allreduce(8);
+        }
+        {
+          Sense s(ctx, kDotPq);
+          ctx.compute(vector_units);
+        }
+        {
+          Sense s(ctx, kAllreducePq);
+          comm.allreduce(8);
+        }
+        {
+          Sense s(ctx, kAxpyP);
+          ctx.compute(vector_units);
+        }
+        {
+          Sense s(ctx, kAxpyX);
+          ctx.compute(vector_units);
+        }
+      }
+      // End-of-iteration residual check.
+      {
+        Sense s(ctx, kNormLocal);
+        ctx.compute(vector_units);
+      }
+      {
+        Sense s(ctx, kAllreduceNorm);
+        comm.allreduce(8);
+      }
+      {
+        Sense s(ctx, kResidual);
+        ctx.compute(vector_units / 2);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_cg() { return std::make_unique<CgWorkload>(); }
+
+}  // namespace vsensor::workloads

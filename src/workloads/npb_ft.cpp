@@ -1,0 +1,92 @@
+// mini-FT: 3-D FFT kernel skeleton (NPB FT).
+//
+// Per time step, three 1-D FFT passes (fixed local work) bracket the global
+// transpose, an MPI_Alltoall over all processes — the operation the paper's
+// Fig 22 case study identifies as vulnerable to network degradation. A
+// checksum reduction ends each step.
+#include "workloads/apps.hpp"
+
+namespace vsensor::workloads {
+
+namespace {
+
+class FtWorkload final : public Workload {
+ public:
+  std::string name() const override { return "FT"; }
+  double paper_kloc() const override { return 2.5; }
+  std::string minic_source() const override { return minic_model("FT"); }
+
+  enum {
+    kFftX = 0,
+    kFftY,
+    kFftZ,
+    kEvolve,
+    kChecksumLocal,  // 5 computation sensors
+    kAlltoall,
+    kAllreduceChecksum,  // 2 network sensors
+    kSensorCount,
+  };
+
+  std::vector<rt::SensorInfo> sensors() const override {
+    using rt::SensorType;
+    return {
+        {"ft:fft_x", SensorType::Computation, "ft.c", 210},
+        {"ft:fft_y", SensorType::Computation, "ft.c", 216},
+        {"ft:fft_z", SensorType::Computation, "ft.c", 222},
+        {"ft:evolve", SensorType::Computation, "ft.c", 188},
+        {"ft:checksum_local", SensorType::Computation, "ft.c", 240},
+        {"ft:alltoall", SensorType::Network, "ft.c", 219},
+        {"ft:allreduce_checksum", SensorType::Network, "ft.c", 243},
+    };
+  }
+
+  void run_rank(RankContext& ctx, const WorkloadParams& params) const override {
+    auto& comm = ctx.comm();
+    // Local FFT pencil work is fixed: (N^3 / P) log N butterflies.
+    const auto fft_units = static_cast<uint64_t>(5.0e6 * params.scale);  // ~5 ms
+    const auto evolve_units = static_cast<uint64_t>(2.0e6 * params.scale);
+    const auto checksum_units = static_cast<uint64_t>(5.0e5 * params.scale);
+    // Transpose payload per rank pair: N^3 / P^2 complex elements. Sized so
+    // the alltoall dominates communication, as in FT proper.
+    const uint64_t alltoall_bytes = 32 * 1024;
+
+    const auto unsensed_units = static_cast<uint64_t>(2.3e7 * params.scale);
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      ctx.compute(unsensed_units);  // layout transforms, not instrumented
+      {
+        Sense s(ctx, kEvolve);
+        ctx.compute(evolve_units);
+      }
+      {
+        Sense s(ctx, kFftX);
+        ctx.compute(fft_units);
+      }
+      {
+        Sense s(ctx, kFftY);
+        ctx.compute(fft_units);
+      }
+      if (comm.size() > 1) {
+        Sense s(ctx, kAlltoall);
+        comm.alltoall(alltoall_bytes);
+      }
+      {
+        Sense s(ctx, kFftZ);
+        ctx.compute(fft_units);
+      }
+      {
+        Sense s(ctx, kChecksumLocal);
+        ctx.compute(checksum_units);
+      }
+      {
+        Sense s(ctx, kAllreduceChecksum);
+        comm.allreduce(16);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_ft() { return std::make_unique<FtWorkload>(); }
+
+}  // namespace vsensor::workloads

@@ -1,0 +1,97 @@
+// mini-SP: scalar-pentadiagonal ADI solver skeleton (NPB SP).
+//
+// Structure mirrors BT but with cheaper per-line solves and instrumentable
+// collective synchronization (Table 1: 61 Comp + 6 Net).
+#include "workloads/apps.hpp"
+
+namespace vsensor::workloads {
+
+namespace {
+
+class SpWorkload final : public Workload {
+ public:
+  std::string name() const override { return "SP"; }
+  double paper_kloc() const override { return 6.3; }
+  std::string minic_source() const override { return minic_model("SP"); }
+
+  enum {
+    kComputeRhs = 0,
+    kXSolve,
+    kYSolve,
+    kZSolve,
+    kTxinvr,  // 5 computation sensors
+    kExchangeX,
+    kExchangeY,
+    kAllreduceNorm,  // 3 network sensors
+    kSensorCount,
+  };
+
+  std::vector<rt::SensorInfo> sensors() const override {
+    using rt::SensorType;
+    return {
+        {"sp:compute_rhs", SensorType::Computation, "sp.c", 380},
+        {"sp:x_solve", SensorType::Computation, "sp.c", 420},
+        {"sp:y_solve", SensorType::Computation, "sp.c", 440},
+        {"sp:z_solve", SensorType::Computation, "sp.c", 460},
+        {"sp:txinvr", SensorType::Computation, "sp.c", 400},
+        {"sp:exchange_x", SensorType::Network, "sp.c", 425},
+        {"sp:exchange_y", SensorType::Network, "sp.c", 445},
+        {"sp:allreduce_norm", SensorType::Network, "sp.c", 480},
+    };
+  }
+
+  void run_rank(RankContext& ctx, const WorkloadParams& params) const override {
+    auto& comm = ctx.comm();
+    const int rank = comm.rank();
+    const int size = comm.size();
+    const int next = (rank + 1) % size;
+    const int prev = (rank + size - 1) % size;
+    const auto solve_units = static_cast<uint64_t>(2.5e6 * params.scale);
+    const auto rhs_units = static_cast<uint64_t>(3.0e6 * params.scale);
+    const auto small_units = static_cast<uint64_t>(8.0e5 * params.scale);
+    const uint64_t face_bytes = 12 * 1024;
+
+    const auto unsensed_units = static_cast<uint64_t>(1.4e7 * params.scale);
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      ctx.compute(unsensed_units);  // flux evaluations, not instrumented
+      {
+        Sense s(ctx, kComputeRhs);
+        ctx.compute(rhs_units);
+      }
+      {
+        Sense s(ctx, kTxinvr);
+        ctx.compute(small_units);
+      }
+      {
+        Sense s(ctx, kXSolve);
+        ctx.compute(solve_units);
+      }
+      if (size > 1) {
+        Sense s(ctx, kExchangeX);
+        comm.sendrecv(next, 40, face_bytes, prev, 40, face_bytes);
+      }
+      {
+        Sense s(ctx, kYSolve);
+        ctx.compute(solve_units);
+      }
+      if (size > 1) {
+        Sense s(ctx, kExchangeY);
+        comm.sendrecv(prev, 41, face_bytes, next, 41, face_bytes);
+      }
+      {
+        Sense s(ctx, kZSolve);
+        ctx.compute(solve_units);
+      }
+      {
+        Sense s(ctx, kAllreduceNorm);
+        comm.allreduce(8);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_sp() { return std::make_unique<SpWorkload>(); }
+
+}  // namespace vsensor::workloads

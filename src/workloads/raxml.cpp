@@ -1,0 +1,85 @@
+// mini-RAxML: maximum-likelihood phylogenetics skeleton (RAxML).
+//
+// Tree evaluation repeatedly scores fixed-size alignment partitions: many
+// short fixed-workload likelihood kernels (high sense frequency, Table 1:
+// 7 MHz) interleaved with broadcast/reduction synchronization of branch
+// lengths and scores.
+#include "workloads/apps.hpp"
+
+namespace vsensor::workloads {
+
+namespace {
+
+class RaxmlWorkload final : public Workload {
+ public:
+  std::string name() const override { return "RAXML"; }
+  double paper_kloc() const override { return 36.2; }
+  std::string minic_source() const override { return minic_model("RAXML"); }
+
+  enum {
+    kLikelihoodA = 0,
+    kLikelihoodB,
+    kLikelihoodC,
+    kBranchOpt,  // 4 computation sensors
+    kBcastTree,
+    kAllreduceScore,  // 2 network sensors
+    kSensorCount,
+  };
+
+  std::vector<rt::SensorInfo> sensors() const override {
+    using rt::SensorType;
+    return {
+        {"raxml:likelihood_a", SensorType::Computation, "raxml.c", 520},
+        {"raxml:likelihood_b", SensorType::Computation, "raxml.c", 540},
+        {"raxml:likelihood_c", SensorType::Computation, "raxml.c", 560},
+        {"raxml:branch_opt", SensorType::Computation, "raxml.c", 610},
+        {"raxml:bcast_tree", SensorType::Network, "raxml.c", 505},
+        {"raxml:allreduce_score", SensorType::Network, "raxml.c", 590},
+    };
+  }
+
+  void run_rank(RankContext& ctx, const WorkloadParams& params) const override {
+    auto& comm = ctx.comm();
+    // Partition scores: short fixed kernels (tens of microseconds).
+    const auto kernel_units = static_cast<uint64_t>(6.0e4 * params.scale);
+    const auto branch_units = static_cast<uint64_t>(5.0e5 * params.scale);
+    constexpr int kPartitions = 48;
+
+    const auto unsensed_units = static_cast<uint64_t>(4.2e7 * params.scale);
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      ctx.compute(unsensed_units);  // tree rearrangement search, not sensed
+      {
+        Sense s(ctx, kBcastTree);
+        comm.bcast(0, 4096);
+      }
+      for (int p = 0; p < kPartitions; ++p) {
+        {
+          Sense s(ctx, kLikelihoodA);
+          ctx.compute(kernel_units);
+        }
+        {
+          Sense s(ctx, kLikelihoodB);
+          ctx.compute(kernel_units);
+        }
+        {
+          Sense s(ctx, kLikelihoodC);
+          ctx.compute(kernel_units);
+        }
+      }
+      {
+        Sense s(ctx, kAllreduceScore);
+        comm.allreduce(8);
+      }
+      {
+        Sense s(ctx, kBranchOpt);
+        ctx.compute(branch_units);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_raxml() { return std::make_unique<RaxmlWorkload>(); }
+
+}  // namespace vsensor::workloads

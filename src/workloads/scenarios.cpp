@@ -1,0 +1,65 @@
+#include "workloads/scenarios.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace vsensor::workloads {
+
+simmpi::Config baseline_config(int ranks, uint64_t seed) {
+  simmpi::Config cfg;
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = 24;  // Tianhe-2: two 12-core Xeon E5-2692v2 per node
+  cfg.net.latency = 2e-6;
+  cfg.net.bandwidth = 6e9;  // ~TH-Express2 per-node effective bandwidth
+  // Fine-grained OS jitter: high-frequency, short-duration noise that the
+  // smoothing stage is designed to filter out (Fig 12).
+  cfg.nodes.set_os_noise(0.08, 1e-3, seed);
+  return cfg;
+}
+
+void inject_noiser(simmpi::Config& config, int rank_begin, int rank_end, double t0,
+                   double duration, double slowdown) {
+  VS_CHECK_MSG(rank_begin <= rank_end, "empty rank range");
+  VS_CHECK_MSG(duration > 0.0, "noiser duration must be positive");
+  const int node_begin = rank_begin / config.ranks_per_node;
+  const int node_end = rank_end / config.ranks_per_node;
+  for (int node = node_begin; node <= node_end; ++node) {
+    config.nodes.add_noise_window(node, t0, t0 + duration, slowdown);
+  }
+}
+
+void inject_bad_node(simmpi::Config& config, int node, double memory_speed) {
+  VS_CHECK_MSG(memory_speed > 0.0 && memory_speed <= 1.0,
+               "memory speed factor must be in (0, 1]");
+  config.nodes.set_node_speed(node, memory_speed);
+}
+
+void inject_network_congestion(simmpi::Config& config, double t0, double t1,
+                               double factor) {
+  VS_CHECK_MSG(factor >= 1.0, "congestion factor must be >= 1");
+  config.congestion.add_window(t0, t1, factor);
+}
+
+void apply_background_noise(simmpi::Config& config, uint64_t seed, int submission,
+                            double run_horizon) {
+  Rng rng(hash_combine(seed, static_cast<uint64_t>(submission)));
+  // A shared system occasionally suffers long congestion episodes; most
+  // submissions see none, a few see severe ones (Fig 1's 3x spread).
+  const int episodes = static_cast<int>(rng.next_below(3));
+  for (int e = 0; e < episodes; ++e) {
+    const double t0 = rng.uniform(0.0, run_horizon);
+    const double len = rng.uniform(0.1 * run_horizon, 0.8 * run_horizon);
+    const double factor = rng.uniform(2.0, 20.0);
+    config.congestion.add_window(t0, t0 + len, factor);
+  }
+  // Occasional slow node (zombie process, thermal throttling).
+  if (rng.next_below(5) == 0) {
+    const int nodes = (config.ranks + config.ranks_per_node - 1) /
+                      config.ranks_per_node;
+    const int node = static_cast<int>(rng.next_below(static_cast<uint64_t>(nodes)));
+    config.nodes.add_noise_window(node, 0.0, run_horizon,
+                                  rng.uniform(0.4, 0.8));
+  }
+}
+
+}  // namespace vsensor::workloads

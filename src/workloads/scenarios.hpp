@@ -1,0 +1,35 @@
+// Noise/fault scenarios reproducing the paper's case studies (§6.4-§6.5).
+#pragma once
+
+#include <cstdint>
+
+#include "simmpi/engine.hpp"
+
+namespace vsensor::workloads {
+
+/// Baseline simMPI configuration: Tianhe-2-like topology (24 ranks/node),
+/// light OS jitter so matrices show the paper's scattered speckle (Fig 14).
+simmpi::Config baseline_config(int ranks, uint64_t seed = 1);
+
+/// §6.4 noise injection: a noiser process competes for CPU/memory on the
+/// nodes hosting [rank_begin, rank_end] during [t0, t0 + duration).
+/// `slowdown` is the compute-speed factor while the noiser runs (~0.5).
+void inject_noiser(simmpi::Config& config, int rank_begin, int rank_end, double t0,
+                   double duration, double slowdown = 0.5);
+
+/// Fig 21: one bad node whose memory subsystem runs at `memory_speed`
+/// (paper: 55% of the others), slowing every rank it hosts.
+void inject_bad_node(simmpi::Config& config, int node, double memory_speed = 0.55);
+
+/// Fig 22: network-wide congestion window multiplying all communication
+/// cost by `factor` during [t0, t1).
+void inject_network_congestion(simmpi::Config& config, double t0, double t1,
+                               double factor);
+
+/// Fig 1: per-submission background state of a busy shared system — random
+/// congestion windows and node noise drawn deterministically from
+/// (seed, submission).
+void apply_background_noise(simmpi::Config& config, uint64_t seed, int submission,
+                            double run_horizon);
+
+}  // namespace vsensor::workloads

@@ -1,0 +1,107 @@
+#include "workloads/workload.hpp"
+
+#include <mutex>
+
+#include "support/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace vsensor::workloads {
+
+std::vector<std::unique_ptr<Workload>> make_all_workloads() {
+  std::vector<std::unique_ptr<Workload>> all;
+  all.push_back(make_bt());
+  all.push_back(make_cg());
+  all.push_back(make_ft());
+  all.push_back(make_lu());
+  all.push_back(make_sp());
+  all.push_back(make_amg());
+  all.push_back(make_lulesh());
+  all.push_back(make_raxml());
+  return all;
+}
+
+RankContext::RankContext(simmpi::Comm& comm, rt::SensorRuntime* sensors,
+                         std::vector<PmuSamples>* pmu, double pmu_jitter,
+                         uint64_t pmu_seed)
+    : comm_(comm),
+      sensors_(sensors),
+      pmu_(pmu),
+      pmu_jitter_(pmu_jitter),
+      pmu_rng_(hash_combine(pmu_seed, static_cast<uint64_t>(comm.rank()))) {
+  if (sensors_ != nullptr) {
+    tick_units_.assign(sensors_->sensors().size(), 0);
+  }
+}
+
+void RankContext::sense_begin(int sensor_id) {
+  if (sensors_ == nullptr) return;
+  tick_units_[static_cast<size_t>(sensor_id)] = comm_.stats().pmu_instructions;
+  sensors_->tick(sensor_id);
+}
+
+void RankContext::sense_end(int sensor_id, double metric) {
+  if (sensors_ == nullptr) return;
+  sensors_->tock(sensor_id, metric);
+  if (pmu_ != nullptr) {
+    double units = static_cast<double>(comm_.stats().pmu_instructions -
+                                       tick_units_[static_cast<size_t>(sensor_id)]);
+    if (pmu_jitter_ > 0.0) {
+      const double u =
+          static_cast<double>(splitmix64(pmu_rng_) >> 11) * 0x1.0p-53;
+      units *= 1.0 + pmu_jitter_ * u;
+    }
+    (*pmu_)[static_cast<size_t>(sensor_id)].add(units);
+  }
+}
+
+double WorkloadRun::workload_max_error() const {
+  double pm = 1.0;
+  for (const auto& per_rank : pmu) {
+    for (const auto& s : per_rank) pm = std::max(pm, s.ps());
+  }
+  return pm - 1.0;
+}
+
+WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
+                         const RunOptions& options, rt::Collector* collector) {
+  const auto sensor_table = workload.sensors();
+  if (collector != nullptr) collector->set_sensors(sensor_table);
+
+  WorkloadRun run;
+  run.pmu.assign(static_cast<size_t>(sim_config.ranks), {});
+  std::vector<rt::SenseStats> sense(static_cast<size_t>(sim_config.ranks));
+
+  run.mpi = simmpi::run(std::move(sim_config), [&](simmpi::Comm& comm) {
+    const auto r = static_cast<size_t>(comm.rank());
+    run.pmu[r].assign(sensor_table.size(), PmuSamples{});
+
+    std::unique_ptr<rt::SensorRuntime> sensors;
+    if (options.instrumented) {
+      sensors = std::make_unique<rt::SensorRuntime>(
+          options.runtime, comm.rank(), collector,
+          [&comm] { return comm.now(); },
+          [&comm](double s) { comm.charge_overhead(s); });
+      for (const auto& info : sensor_table) sensors->register_sensor(info);
+    }
+    RankContext ctx(comm, sensors.get(), &run.pmu[r], options.pmu_jitter,
+                    options.pmu_seed);
+    workload.run_rank(ctx, options.params);
+    if (sensors) {
+      sensors->flush();
+      sense[r] = sensors->sense_stats();
+    }
+  });
+
+  for (const auto& s : sense) run.sense.merge(s);
+  run.makespan = run.mpi.makespan();
+  return run;
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  for (auto& w : make_all_workloads()) {
+    if (w->name() == name) return std::move(w);
+  }
+  throw Error("unknown workload: " + name);
+}
+
+}  // namespace vsensor::workloads

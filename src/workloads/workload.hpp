@@ -1,0 +1,126 @@
+// Mini-app workload framework.
+//
+// Each workload mirrors the loop/communication structure of one of the
+// paper's evaluation programs (NPB BT/CG/FT/LU/SP, LULESH, AMG, RAxML) and
+// comes in two forms:
+//  * a C++ rank body on simMPI with hand-placed sensors — the "compiled with
+//    the original compiler" instrumented binary the dynamic module measures;
+//  * a MiniC source model — the input to the static module, providing the
+//    compile-time columns of Table 1 (snippets, v-sensors, selection).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interp/interp.hpp"
+#include "runtime/collector.hpp"
+#include "runtime/sensor.hpp"
+#include "simmpi/comm.hpp"
+#include "support/rng.hpp"
+
+namespace vsensor::workloads {
+
+/// Per-(rank, sensor) PMU validation samples (same role as interp's).
+using PmuSamples = interp::PmuSamples;
+
+/// Handed to each rank body: wraps the communicator, the optional sensor
+/// runtime, and the PMU recorder.
+class RankContext {
+ public:
+  RankContext(simmpi::Comm& comm, rt::SensorRuntime* sensors,
+              std::vector<PmuSamples>* pmu, double pmu_jitter, uint64_t pmu_seed);
+
+  simmpi::Comm& comm() { return comm_; }
+  int rank() const { return comm_.rank(); }
+  int size() const { return comm_.size(); }
+
+  /// Nominal-speed computation expressed in abstract work units.
+  void compute(uint64_t units, double units_per_second = 1e9) {
+    comm_.compute_units(units, units_per_second);
+  }
+
+  void sense_begin(int sensor_id);
+  void sense_end(int sensor_id, double metric = 0.0);
+
+ private:
+  simmpi::Comm& comm_;
+  rt::SensorRuntime* sensors_;
+  std::vector<PmuSamples>* pmu_;
+  std::vector<uint64_t> tick_units_;
+  double pmu_jitter_;
+  uint64_t pmu_rng_;
+};
+
+/// RAII sense bracket.
+class Sense {
+ public:
+  Sense(RankContext& ctx, int sensor_id, double metric = 0.0)
+      : ctx_(ctx), id_(sensor_id), metric_(metric) {
+    ctx_.sense_begin(id_);
+  }
+  ~Sense() { ctx_.sense_end(id_, metric_); }
+  Sense(const Sense&) = delete;
+  Sense& operator=(const Sense&) = delete;
+
+ private:
+  RankContext& ctx_;
+  int id_;
+  double metric_;
+};
+
+struct WorkloadParams {
+  int iterations = 40;   ///< outer time-step/solver iterations
+  double scale = 1.0;    ///< multiplies per-iteration work
+  uint64_t seed = 1;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  /// Source lines of code of the full application this models (paper
+  /// Table 1 "Code KLoc" column records the original program's size).
+  virtual double paper_kloc() const = 0;
+  /// MiniC model for the static module.
+  virtual std::string minic_source() const = 0;
+  /// Sensors the instrumented binary registers (fixed order across ranks).
+  virtual std::vector<rt::SensorInfo> sensors() const = 0;
+  /// One rank's execution.
+  virtual void run_rank(RankContext& ctx, const WorkloadParams& params) const = 0;
+};
+
+/// All eight evaluation workloads, in Table 1 order.
+std::vector<std::unique_ptr<Workload>> make_all_workloads();
+std::unique_ptr<Workload> make_workload(const std::string& name);
+
+/// MiniC source model of a workload (same as Workload::minic_source()).
+std::string minic_model(const std::string& workload_name);
+
+struct RunOptions {
+  WorkloadParams params;
+  rt::RuntimeConfig runtime;
+  bool instrumented = true;
+  double pmu_jitter = 0.0;
+  uint64_t pmu_seed = 7;
+};
+
+struct WorkloadRun {
+  simmpi::RunResult mpi;
+  rt::SenseStats sense;  ///< merged over ranks
+  std::vector<std::vector<PmuSamples>> pmu;  ///< [rank][sensor]
+  double makespan = 0.0;
+
+  /// Pm - 1: the paper's "workload max error" (Table 1).
+  double workload_max_error() const;
+};
+
+/// Execute the workload on a simulated job. Slice records flow into
+/// `collector` when provided (instrumented runs only).
+WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
+                         const RunOptions& options = {},
+                         rt::Collector* collector = nullptr);
+
+}  // namespace vsensor::workloads

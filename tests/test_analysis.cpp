@@ -1,0 +1,428 @@
+// Tests of the v-sensor identification algorithm on the paper's worked
+// examples (Figs 4, 6, 8, 9, 10) plus conservativeness rules (§3.5).
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "ir/ir.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+
+namespace vsensor {
+namespace {
+
+struct Pipeline {
+  minic::Program program;
+  ir::ProgramIR ir;
+  analysis::AnalysisResult result;
+};
+
+Pipeline analyze_source(const std::string& source,
+                        analysis::AnalyzerConfig config = {}) {
+  Pipeline p;
+  p.program = minic::parse(source);
+  minic::run_sema(p.program);
+  p.ir = ir::lower(p.program);
+  p.result = analysis::analyze(p.ir, config);
+  return p;
+}
+
+/// Find the snippet for loop with the given id in the given function.
+const analysis::Snippet* loop_snippet(const Pipeline& p, const std::string& fn,
+                                      int loop_id) {
+  const int f = p.ir.function_index(fn);
+  if (f < 0) return nullptr;
+  for (const auto& s : p.result.snippets) {
+    if (s.func == f && !s.is_call && s.node->loop_id == loop_id) return &s;
+  }
+  return nullptr;
+}
+
+const analysis::Snippet* call_snippet(const Pipeline& p, const std::string& fn,
+                                      int call_id) {
+  const int f = p.ir.function_index(fn);
+  if (f < 0) return nullptr;
+  for (const auto& s : p.result.snippets) {
+    if (s.func == f && s.is_call && s.node->call_id == call_id) return &s;
+  }
+  return nullptr;
+}
+
+/// Is `snippet` a v-sensor of its enclosing loop with the given loop id?
+bool sensor_of_loop(const analysis::Snippet& s, int loop_id) {
+  for (size_t i = 0; i < s.enclosing_loops.size(); ++i) {
+    if (s.enclosing_loops[i]->loop_id == loop_id) return s.sensor_of[i];
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Paper Fig 6: three subloops of an outer loop; only the one whose control
+// is independent of the outer induction variable is a v-sensor.
+constexpr const char* kFig6 = R"(
+int count = 0;
+int main() {
+  int n; int k;
+  for (n = 0; n < 100; ++n) {
+    for (k = 0; k < 10; ++k)
+      count++;
+    for (k = 0; k < n; ++k)
+      count++;
+    for (k = 0; k < 10; ++k)
+      if (k < n)
+        count++;
+  }
+  return 0;
+}
+)";
+
+TEST(AnalysisFig6, FixedSubloopIsSensorOfOuter) {
+  const auto p = analyze_source(kFig6);
+  // Loop ids in preorder: 0 = outer (n), 1..3 = the three subloops.
+  const auto* l1 = loop_snippet(p, "main", 1);
+  ASSERT_NE(l1, nullptr);
+  EXPECT_TRUE(sensor_of_loop(*l1, 0)) << "fixed-trip subloop must be a sensor";
+  EXPECT_TRUE(l1->is_vsensor);
+}
+
+TEST(AnalysisFig6, TripCountDependentSubloopIsNotSensor) {
+  const auto p = analyze_source(kFig6);
+  const auto* l2 = loop_snippet(p, "main", 2);
+  ASSERT_NE(l2, nullptr);
+  EXPECT_FALSE(sensor_of_loop(*l2, 0)) << "loop bounded by n varies with n";
+  EXPECT_FALSE(l2->is_vsensor);
+}
+
+TEST(AnalysisFig6, BranchOnOuterVariableDisqualifies) {
+  const auto p = analyze_source(kFig6);
+  const auto* l3 = loop_snippet(p, "main", 3);
+  ASSERT_NE(l3, nullptr);
+  EXPECT_FALSE(sensor_of_loop(*l3, 0))
+      << "branch `if (k < n)` makes the workload depend on n";
+}
+
+// ---------------------------------------------------------------- Figure 4/8
+
+// Paper Figs 4 and 8: inter-procedural example. foo's workload depends on
+// its first argument x and the global GLBV.
+constexpr const char* kFig4 = R"(
+int GLBV = 40;
+int count = 0;
+int foo(int x, int y) {
+  int i; int j; int value = 0;
+  for (i = 0; i < x; ++i) {
+    value += y;
+    for (j = 0; j < 10; ++j)
+      value -= 1;
+  }
+  if (x > GLBV)
+    value -= x * y;
+  return value;
+}
+
+int main() {
+  int n; int k; int value = 0;
+  for (n = 0; n < 100; ++n) {
+    for (k = 0; k < 10; ++k) {
+      foo(n, k);
+      foo(k, n);
+    }
+    for (k = 0; k < 10; ++k)
+      count++;
+    MPI_Barrier(MPI_COMM_WORLD);
+  }
+  return 0;
+}
+)";
+
+TEST(AnalysisFig8, FooWorkloadParamsAreXAndGlbv) {
+  const auto p = analyze_source(kFig4);
+  const int foo = p.ir.function_index("foo");
+  ASSERT_GE(foo, 0);
+  const auto& summary = p.result.summaries[static_cast<size_t>(foo)];
+  // Workload determined by x (param 0) and the global GLBV, not by y.
+  EXPECT_TRUE(summary.workload_params.count(0));
+  EXPECT_FALSE(summary.workload_params.count(1));
+  ASSERT_EQ(summary.workload_globals.size(), 1u);
+  EXPECT_EQ(ir::var_name(*summary.workload_globals.begin(), p.program), "GLBV");
+}
+
+TEST(AnalysisFig8, Call1IsSensorOfLoop2ButNotLoop1) {
+  const auto p = analyze_source(kFig4);
+  // Call ids in main: C0 = foo(n, k), C1 = foo(k, n), C2 = MPI_Barrier.
+  const auto* c1 = call_snippet(p, "main", 0);
+  ASSERT_NE(c1, nullptr);
+  // Loop ids in main: 0 = n-loop, 1 = k-loop (calls), 2 = k-loop (count).
+  EXPECT_TRUE(sensor_of_loop(*c1, 1))
+      << "foo(n, k): k does not affect foo's workload";
+  EXPECT_FALSE(sensor_of_loop(*c1, 0)) << "n changes over the n-loop";
+}
+
+TEST(AnalysisFig8, Call2IsNotSensorOfEitherLoop) {
+  const auto p = analyze_source(kFig4);
+  const auto* c2 = call_snippet(p, "main", 1);
+  ASSERT_NE(c2, nullptr);
+  EXPECT_FALSE(sensor_of_loop(*c2, 1)) << "foo(k, n): workload follows k";
+  EXPECT_FALSE(sensor_of_loop(*c2, 0));
+}
+
+TEST(AnalysisFig8, CountLoopIsSensorOfOuterAndGlobal) {
+  const auto p = analyze_source(kFig4);
+  const auto* l2 = loop_snippet(p, "main", 2);
+  ASSERT_NE(l2, nullptr);
+  EXPECT_TRUE(sensor_of_loop(*l2, 0));
+  EXPECT_TRUE(l2->fixed_in_function);
+  EXPECT_TRUE(l2->global_scope);
+}
+
+TEST(AnalysisFig8, InnerLoopOfFooIsSensorWithinFoo) {
+  const auto p = analyze_source(kFig4);
+  // foo's loops: 0 = i-loop (depends on x), 1 = j-loop (fixed).
+  const auto* j_loop = loop_snippet(p, "foo", 1);
+  ASSERT_NE(j_loop, nullptr);
+  EXPECT_TRUE(sensor_of_loop(*j_loop, 0)) << "j-loop fixed over i iterations";
+  EXPECT_TRUE(j_loop->fixed_in_function);
+  // foo is called with varying x at some sites, but the j-loop depends on
+  // neither params nor globals, so it is globally fixed.
+  EXPECT_TRUE(j_loop->global_scope);
+}
+
+TEST(AnalysisFig8, ILoopOfFooIsNotGlobalSensor) {
+  const auto p = analyze_source(kFig4);
+  const auto* i_loop = loop_snippet(p, "foo", 0);
+  ASSERT_NE(i_loop, nullptr);
+  // Within foo the i-loop has no enclosing loop; its workload depends on
+  // param x, which varies across call sites -> not global scope.
+  EXPECT_FALSE(i_loop->global_scope);
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+constexpr const char* kFig9 = R"(
+int count = 0;
+int main() {
+  int rank = 0;
+  int n; int k;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  for (n = 0; n < 100; ++n) {
+    for (k = 0; k < 10; ++k)
+      if (rank % 2)
+        count++;
+    for (k = 0; k < 10; ++k)
+      count++;
+  }
+  return 0;
+}
+)";
+
+TEST(AnalysisFig9, RankDependentLoopIsFlagged) {
+  const auto p = analyze_source(kFig9);
+  const auto* l1 = loop_snippet(p, "main", 1);
+  ASSERT_NE(l1, nullptr);
+  EXPECT_TRUE(l1->rank_dependent)
+      << "workload differs between odd and even ranks";
+  // Fixed over iterations for a given rank, though.
+  EXPECT_TRUE(sensor_of_loop(*l1, 0));
+}
+
+TEST(AnalysisFig9, RankIndependentLoopIsClean) {
+  const auto p = analyze_source(kFig9);
+  const auto* l2 = loop_snippet(p, "main", 2);
+  ASSERT_NE(l2, nullptr);
+  EXPECT_FALSE(l2->rank_dependent);
+  EXPECT_TRUE(l2->is_vsensor);
+}
+
+TEST(AnalysisFig9, RankDependentSensorsAreNotInstrumented) {
+  const auto p = analyze_source(kFig9);
+  for (const auto& site : p.result.selected) {
+    const auto* s = p.result.find_snippet(site.node);
+    ASSERT_NE(s, nullptr);
+    EXPECT_FALSE(s->rank_dependent);
+  }
+}
+
+// --------------------------------------------------------------- Figure 10
+
+TEST(AnalysisFig10, RecursionIsNeverFixed) {
+  const auto p = analyze_source(R"(
+int fib(int n) {
+  if (n < 2)
+    return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main() {
+  int i; int x = 0;
+  for (i = 0; i < 10; ++i)
+    x += fib(20);
+  return 0;
+}
+)");
+  const int fib = p.ir.function_index("fib");
+  ASSERT_GE(fib, 0);
+  EXPECT_TRUE(p.result.callgraph.recursive[static_cast<size_t>(fib)]);
+  EXPECT_TRUE(p.result.summaries[static_cast<size_t>(fib)].never_fixed);
+  const auto* call = call_snippet(p, "main", 0);
+  ASSERT_NE(call, nullptr);
+  EXPECT_FALSE(call->is_vsensor) << "calls to recursive functions are never sensors";
+}
+
+TEST(AnalysisFig10, MutualRecursionDetected) {
+  // Note: MiniC needs no prototypes — call resolution sees all functions.
+  const auto p = analyze_source(R"(
+int ping(int n) { if (n <= 0) return 0; return pong(n - 1); }
+int pong(int n) { if (n <= 0) return 0; return ping(n - 1); }
+int main() { return ping(4); }
+)");
+  for (const char* name : {"ping", "pong"}) {
+    const int f = p.ir.function_index(name);
+    ASSERT_GE(f, 0);
+    EXPECT_TRUE(p.result.callgraph.recursive[static_cast<size_t>(f)]) << name;
+    EXPECT_TRUE(p.result.summaries[static_cast<size_t>(f)].never_fixed) << name;
+  }
+}
+
+TEST(AnalysisConservative, UnknownExternalIsNeverFixed) {
+  const auto p = analyze_source(R"(
+int main() {
+  int i;
+  for (i = 0; i < 100; ++i)
+    mystery_function(7);
+  return 0;
+}
+)");
+  const auto* call = call_snippet(p, "main", 0);
+  ASSERT_NE(call, nullptr);
+  EXPECT_TRUE(call->never_fixed);
+  EXPECT_FALSE(call->is_vsensor);
+  EXPECT_TRUE(p.result.selected.empty());
+}
+
+TEST(AnalysisConservative, UserModelRescuesExternal) {
+  analysis::AnalyzerConfig config;
+  analysis::ExternalModel model;
+  model.fixed = true;
+  model.kind = analysis::SnippetKind::Computation;
+  model.workload_args = {0};
+  config.externals.add("mystery_function", model);
+  const auto p = analyze_source(R"(
+int main() {
+  int i;
+  for (i = 0; i < 100; ++i)
+    mystery_function(7);
+  return 0;
+}
+)",
+                                config);
+  const auto* call = call_snippet(p, "main", 0);
+  ASSERT_NE(call, nullptr);
+  EXPECT_FALSE(call->never_fixed);
+  EXPECT_TRUE(call->is_vsensor) << "user-described externals become sensors";
+}
+
+TEST(AnalysisNetwork, FixedMessageSizeIsNetworkSensor) {
+  const auto p = analyze_source(R"(
+double buf[64];
+int main() {
+  int i; int rank = 0; int nprocs = 1; int next;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  next = (rank + 1) % nprocs;
+  for (i = 0; i < 50; ++i)
+    MPI_Send(buf, 64, MPI_DOUBLE, next, 1, MPI_COMM_WORLD);
+  return 0;
+}
+)");
+  // Calls: C0 = Comm_rank, C1 = Comm_size, C2 = Send.
+  const auto* send = call_snippet(p, "main", 2);
+  ASSERT_NE(send, nullptr);
+  EXPECT_TRUE(send->is_vsensor);
+  EXPECT_EQ(send->kind, analysis::SnippetKind::Network);
+  // Destination varies by rank but is not a workload argument by default.
+  EXPECT_FALSE(send->rank_dependent);
+}
+
+TEST(AnalysisNetwork, VaryingMessageSizeIsNotSensor) {
+  const auto p = analyze_source(R"(
+double buf[4096];
+int main() {
+  int i;
+  for (i = 1; i < 50; ++i)
+    MPI_Send(buf, i, MPI_DOUBLE, 0, 1, MPI_COMM_WORLD);
+  return 0;
+}
+)");
+  const auto* send = call_snippet(p, "main", 0);
+  ASSERT_NE(send, nullptr);
+  EXPECT_FALSE(sensor_of_loop(*send, 0)) << "message size varies with i";
+}
+
+TEST(AnalysisSelection, MaxDepthLimitsInstrumentation) {
+  const std::string deep = R"(
+int count = 0;
+int main() {
+  int a; int b; int c; int d;
+  for (a = 0; a < 4; ++a)
+    for (b = 0; b < 4; ++b)
+      for (c = 0; c < 4; ++c)
+        for (d = 0; d < 4; ++d)
+          count++;
+  return 0;
+}
+)";
+  analysis::AnalyzerConfig shallow;
+  shallow.max_depth = 1;
+  const auto ps = analyze_source(deep, shallow);
+  analysis::AnalyzerConfig deep_cfg;
+  deep_cfg.max_depth = 8;
+  const auto pd = analyze_source(deep, deep_cfg);
+  // With generous depth something gets selected; with depth 1 only loops
+  // directly inside the outermost loop qualify.
+  EXPECT_GE(pd.result.selected.size(), ps.result.selected.size());
+  for (const auto& site : ps.result.selected) {
+    const auto* s = ps.result.find_snippet(site.node);
+    ASSERT_NE(s, nullptr);
+    EXPECT_LT(s->depth, 1);
+  }
+}
+
+TEST(AnalysisSelection, NestedSensorsPreferOutermost) {
+  const auto p = analyze_source(R"(
+int count = 0;
+int main() {
+  int n; int i; int j;
+  for (n = 0; n < 100; ++n)
+    for (i = 0; i < 8; ++i)
+      for (j = 0; j < 8; ++j)
+        count++;
+  return 0;
+}
+)");
+  // Both the i-loop and j-loop are global sensors; only the outermost
+  // (i-loop) may be instrumented.
+  ASSERT_EQ(p.result.selected.size(), 1u);
+  EXPECT_EQ(p.result.selected[0].node->loop_id, 1);
+}
+
+TEST(AnalysisSelection, GlobalWrittenGlobalBlocksGlobalScope) {
+  const auto p = analyze_source(R"(
+int N = 10;
+int count = 0;
+int main() {
+  int outer; int k;
+  for (outer = 0; outer < 100; ++outer) {
+    for (k = 0; k < N; ++k)
+      count++;
+    N = N + 1;
+  }
+  return 0;
+}
+)");
+  const auto* inner = loop_snippet(p, "main", 1);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_FALSE(sensor_of_loop(*inner, 0)) << "N is written inside the outer loop";
+  EXPECT_FALSE(inner->global_scope);
+}
+
+}  // namespace
+}  // namespace vsensor

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "baselines/fwq.hpp"
+#include "baselines/profiler.hpp"
+#include "baselines/rerun.hpp"
+#include "baselines/tracer.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workload.hpp"
+
+namespace vsensor::baselines {
+namespace {
+
+TEST(Profiler, SeparatesCompAndMpiTime) {
+  auto profiler = std::make_shared<MpipProfiler>(2);
+  simmpi::Config cfg;
+  cfg.ranks = 2;
+  cfg.trace = profiler;
+  const auto result = simmpi::run(cfg, [](simmpi::Comm& comm) {
+    comm.compute(0.1);
+    comm.barrier();
+    comm.allreduce(64);
+  });
+  const auto profiles = profiler->profiles();
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_GT(profiles[0].ops.count("MPI_Barrier"), 0u);
+  EXPECT_GT(profiles[0].ops.count("MPI_Allreduce"), 0u);
+  EXPECT_NEAR(result.ranks[0].comp_time, 0.1, 1e-9);
+  const std::string table = profiler->render(result);
+  EXPECT_NE(table.find("comp_time"), std::string::npos);
+  const std::string sites = profiler->render_callsites();
+  EXPECT_NE(sites.find("MPI_Allreduce"), std::string::npos);
+}
+
+TEST(Profiler, CannotLocalizeNoiseInTime) {
+  // The paper's Fig 18/19 point: injected compute noise shows up as *MPI*
+  // time on other ranks. Verify the mechanism: with noise on rank 0's node,
+  // rank 1's MPI (waiting) time inflates although its compute is clean.
+  auto run_once = [](bool noisy) {
+    auto profiler = std::make_shared<MpipProfiler>(2);
+    simmpi::Config cfg;
+    cfg.ranks = 2;
+    cfg.ranks_per_node = 1;
+    cfg.trace = profiler;
+    if (noisy) cfg.nodes.add_noise_window(0, 0.0, 10.0, 0.5);
+    const auto result = simmpi::run(cfg, [](simmpi::Comm& comm) {
+      for (int i = 0; i < 10; ++i) {
+        comm.compute(0.01);
+        comm.barrier();
+      }
+    });
+    return std::make_pair(result, profiler->profiles());
+  };
+  const auto [clean_result, clean_prof] = run_once(false);
+  const auto [noisy_result, noisy_prof] = run_once(true);
+  // Rank 1 computes at full speed either way...
+  EXPECT_NEAR(noisy_result.ranks[1].comp_time, clean_result.ranks[1].comp_time,
+              1e-6);
+  // ...but its MPI time balloons from waiting on the noisy rank 0.
+  EXPECT_GT(noisy_prof[1].mpi_time, clean_prof[1].mpi_time * 1.5);
+}
+
+TEST(Tracer, CountsEventsAndBytes) {
+  auto tracer = std::make_shared<ItacTracer>();
+  simmpi::Config cfg;
+  cfg.ranks = 4;
+  cfg.trace = tracer;
+  simmpi::run(cfg, [](simmpi::Comm& comm) {
+    for (int i = 0; i < 3; ++i) comm.allreduce(8);
+  });
+  EXPECT_EQ(tracer->event_count(), 12u);
+  EXPECT_EQ(tracer->trace_bytes(), 12 * ItacTracer::kEventRecordBytes);
+  EXPECT_EQ(tracer->events_for_rank(2).size(), 3u);
+}
+
+TEST(Tracer, VolumeDwarfsSensorRecords) {
+  // The §6.4 comparison mechanism: tracers record every event, vSensor one
+  // record per sensor-slice. Trace volume must exceed sensor volume by a
+  // large factor on a communication-heavy run.
+  // RAxML's short likelihood kernels sense at high frequency, so many
+  // executions aggregate into each slice record — the paper's operating
+  // point (CG.D senses at ~107 kHz against 1 kHz slices).
+  const auto raxml = workloads::make_workload("RAXML");
+  auto cfg = workloads::baseline_config(8);
+  cfg.ranks_per_node = 4;
+  auto tracer = std::make_shared<ItacTracer>(/*keep_events=*/false);
+  cfg.trace = tracer;
+  cfg.trace_compute = true;  // tracers instrument user functions too
+  rt::Collector collector;
+  workloads::RunOptions opts;
+  opts.params.iterations = 20;
+  opts.params.scale = 1.0;
+  opts.runtime.slice_seconds = 10e-3;
+  workloads::run_workload(*raxml, cfg, opts, &collector);
+  EXPECT_GT(tracer->trace_bytes(), 10 * collector.bytes_received());
+}
+
+TEST(Fwq, DetectsNodeSlowdown) {
+  simmpi::Config cfg;
+  cfg.ranks = 4;
+  cfg.nodes.add_noise_window(0, 0.4, 0.6, 0.25);
+  FwqConfig fwq;
+  fwq.quantum = 1e-3;
+  fwq.duration = 1.0;
+  const auto result = run_fwq(cfg, 0, fwq);
+  EXPECT_GT(result.samples.size(), 500u);
+  EXPECT_NEAR(result.max_over_min(), 4.0, 0.2);
+  // Normalized performance dips during the noise window.
+  const auto norm = result.normalized();
+  bool dipped = false;
+  for (size_t i = 0; i < result.samples.size(); ++i) {
+    if (result.samples[i].t > 0.45 && result.samples[i].t < 0.55) {
+      dipped |= norm[i] < 0.5;
+    }
+  }
+  EXPECT_TRUE(dipped);
+}
+
+TEST(Fwq, InterferenceIsIntrusive) {
+  // Co-scheduling the FWQ benchmark slows the application: the paper's
+  // reason it is unsuitable for production runs.
+  const auto cg = workloads::make_workload("CG");
+  auto clean = workloads::baseline_config(4);
+  clean.ranks_per_node = 2;
+  auto with_fwq = clean;
+  FwqConfig fwq;
+  fwq.interference = 0.8;
+  apply_fwq_interference(with_fwq, 0, 0.0, 1e6, fwq);
+  apply_fwq_interference(with_fwq, 1, 0.0, 1e6, fwq);
+  workloads::RunOptions opts;
+  opts.params.iterations = 3;
+  opts.params.scale = 0.1;
+  const auto run_clean = workloads::run_workload(*cg, clean, opts);
+  const auto run_fwq = workloads::run_workload(*cg, with_fwq, opts);
+  EXPECT_GT(run_fwq.makespan, run_clean.makespan * 1.1);
+}
+
+TEST(Rerun, SpreadReflectsBackgroundNoise) {
+  const auto ft = workloads::make_workload("FT");
+  auto job = [&](simmpi::Comm& comm) {
+    workloads::RankContext ctx(comm, nullptr, nullptr, 0.0, 0);
+    workloads::WorkloadParams params;
+    params.iterations = 3;
+    params.scale = 0.05;
+    ft->run_rank(ctx, params);
+  };
+  const auto result = rerun(
+      10,
+      [](int submission) {
+        auto cfg = workloads::baseline_config(4, 11);
+        cfg.ranks_per_node = 2;
+        workloads::apply_background_noise(cfg, 11, submission, 1.0);
+        return cfg;
+      },
+      job);
+  ASSERT_EQ(result.times.size(), 10u);
+  EXPECT_GT(result.spread(), 1.0);
+  EXPECT_GE(result.max(), result.mean());
+  EXPECT_LE(result.min(), result.mean());
+}
+
+}  // namespace
+}  // namespace vsensor::baselines

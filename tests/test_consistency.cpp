@@ -1,0 +1,143 @@
+// Cross-module consistency: the analysis external-model table, the
+// interpreter's builtin bindings, and the MiniC builtin constants must
+// agree, or programs the analyzer accepts would crash in the interpreter.
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "instrument/instrument.hpp"
+#include "interp/builtins.hpp"
+#include "interp/interp.hpp"
+#include "ir/ir.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "workloads/workload.hpp"
+
+namespace vsensor {
+namespace {
+
+// MPI operations the workload models rely on: each must have both an
+// analysis model and an interpreter binding.
+const char* kMpiCore[] = {
+    "MPI_Init",   "MPI_Finalize",  "MPI_Comm_rank", "MPI_Comm_size",
+    "MPI_Wtime",  "MPI_Barrier",   "MPI_Send",      "MPI_Recv",
+    "MPI_Sendrecv", "MPI_Bcast",   "MPI_Reduce",    "MPI_Allreduce",
+    "MPI_Alltoall", "MPI_Allgather", "MPI_Gather",  "MPI_Scatter",
+};
+
+TEST(Consistency, MpiCoreModeledAndBound) {
+  const auto table = analysis::ExternalModelTable::defaults();
+  for (const char* name : kMpiCore) {
+    EXPECT_NE(table.find(name), nullptr) << name << " missing analysis model";
+    EXPECT_TRUE(interp::is_bound_external(name)) << name << " missing binding";
+  }
+}
+
+TEST(Consistency, ProbesAreBoundButNotModeled) {
+  // Probe functions are inserted *after* analysis; they must be executable
+  // but deliberately have no workload model (they are never snippets).
+  EXPECT_TRUE(interp::is_bound_external(instrument::kTickFn));
+  EXPECT_TRUE(interp::is_bound_external(instrument::kTockFn));
+  const auto table = analysis::ExternalModelTable::defaults();
+  EXPECT_EQ(table.find(instrument::kTickFn), nullptr);
+}
+
+TEST(Consistency, BuiltinConstantsCoverMpiDatatypes) {
+  std::map<std::string, long long> values;
+  for (const auto& b : minic::builtin_constants()) values[b.name] = b.value;
+  // Datatype constants carry byte sizes (message size = count * datatype).
+  EXPECT_EQ(values.at("MPI_INT"), 4);
+  EXPECT_EQ(values.at("MPI_DOUBLE"), 8);
+  EXPECT_EQ(values.at("MPI_FLOAT"), 4);
+  EXPECT_EQ(values.at("MPI_CHAR"), 1);
+  EXPECT_EQ(values.at("MPI_COMM_WORLD"), 0);
+}
+
+TEST(Consistency, InterpreterExecutesEveryModeledMpiCall) {
+  // A program exercising the whole MPI surface both analyzes and runs.
+  const char* src = R"(
+double buf[64];
+int main() {
+  int rank = 0; int nprocs = 1; int next; int prev; int i;
+  double t0 = 0.0;
+  MPI_Init(NULL, NULL);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  next = (rank + 1) % nprocs;
+  prev = (rank + nprocs - 1) % nprocs;
+  t0 = MPI_Wtime();
+  for (i = 0; i < 3; ++i) {
+    MPI_Barrier(MPI_COMM_WORLD);
+    if (nprocs > 1) {
+      if (rank == 0)
+        MPI_Send(buf, 8, MPI_DOUBLE, next, 1, MPI_COMM_WORLD);
+      if (rank == 1)
+        MPI_Recv(buf, 8, MPI_DOUBLE, prev, 1, MPI_COMM_WORLD,
+                 MPI_STATUS_IGNORE);
+      MPI_Sendrecv(buf, 4, MPI_DOUBLE, next, 2, buf, 4, MPI_DOUBLE, prev, 2,
+                   MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+    MPI_Bcast(buf, 16, MPI_DOUBLE, 0, MPI_COMM_WORLD);
+    MPI_Reduce(buf, buf, 4, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+    MPI_Allreduce(buf, buf, 2, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+    MPI_Alltoall(buf, 2, MPI_DOUBLE, buf, 2, MPI_DOUBLE, MPI_COMM_WORLD);
+    MPI_Allgather(buf, 2, MPI_DOUBLE, buf, 2, MPI_DOUBLE, MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}
+)";
+  minic::Program program = minic::parse(src);
+  minic::run_sema(program);
+  const auto ir = ir::lower(program);
+  const auto analysis = analysis::analyze(ir);
+  EXPECT_GT(analysis.vsensor_count(), 3);
+  const auto plan = instrument::instrument(program, analysis, "mpi_all.mc");
+
+  simmpi::Config cfg;
+  cfg.ranks = 4;
+  cfg.ranks_per_node = 2;
+  const auto run = interp::run_program(program, plan, cfg);
+  EXPECT_GT(run.mpi.makespan(), 0.0);
+  // Per-rank message counters reflect the collective + p2p traffic.
+  EXPECT_GT(run.mpi.ranks[0].messages, 10u);
+}
+
+TEST(Consistency, WorkloadSensorTypesMatchTable1Shape) {
+  // CG/FT/SP carry both computation and network sensors; BT and LU are
+  // computation-only — matching Table 1's instrumented types.
+  auto has_type = [](const std::vector<rt::SensorInfo>& sensors,
+                     rt::SensorType t) {
+    for (const auto& s : sensors) {
+      if (s.type == t) return true;
+    }
+    return false;
+  };
+  for (const char* name : {"CG", "FT", "SP"}) {
+    const auto w = workloads::make_workload(name);
+    EXPECT_TRUE(has_type(w->sensors(), rt::SensorType::Computation)) << name;
+    EXPECT_TRUE(has_type(w->sensors(), rt::SensorType::Network)) << name;
+  }
+  for (const char* name : {"BT", "LU"}) {
+    const auto w = workloads::make_workload(name);
+    EXPECT_TRUE(has_type(w->sensors(), rt::SensorType::Computation)) << name;
+    EXPECT_FALSE(has_type(w->sensors(), rt::SensorType::Network)) << name;
+  }
+}
+
+TEST(Consistency, ModelAnalysisMatchesWorkloadSensorShape) {
+  // The MiniC models' selected sensors include network types exactly for
+  // the programs whose C++ twins instrument network sensors.
+  for (const char* name : {"CG", "FT", "SP"}) {
+    minic::Program program = minic::parse(workloads::minic_model(name));
+    minic::run_sema(program);
+    const auto ir = ir::lower(program);
+    const auto analysis = analysis::analyze(ir);
+    EXPECT_GT(analysis.selected_count(analysis::SnippetKind::Network), 0)
+        << name;
+    EXPECT_GT(analysis.selected_count(analysis::SnippetKind::Computation), 0)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace vsensor

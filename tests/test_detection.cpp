@@ -1,0 +1,257 @@
+// Integration tests: full pipeline from workload execution through the
+// analysis server to variance events, reproducing the paper's case-study
+// mechanics at test scale (Figs 20, 21, 22) plus the end-to-end MiniC
+// compile -> identify -> instrument -> run -> analyze pipeline.
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "instrument/instrument.hpp"
+#include "interp/interp.hpp"
+#include "ir/ir.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "report/report.hpp"
+#include "runtime/detector.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workload.hpp"
+
+namespace vsensor {
+namespace {
+
+using workloads::baseline_config;
+using workloads::RunOptions;
+using workloads::run_workload;
+
+RunOptions medium_options() {
+  RunOptions opts;
+  opts.params.iterations = 10;
+  opts.params.scale = 0.15;
+  return opts;
+}
+
+rt::AnalysisResult analyze_run(const rt::Collector& collector, int ranks,
+                               double makespan) {
+  // Scale the matrix resolution to the run: the virtual runs here are a few
+  // hundred ms, vs. the paper's 100s runs with 200ms buckets.
+  rt::DetectorConfig cfg;
+  cfg.matrix_resolution = makespan / 50.0;
+  rt::Detector detector(cfg);
+  return detector.analyze(collector, ranks, makespan);
+}
+
+TEST(DetectionIntegration, CleanRunShowsNoSevereEvents) {
+  const auto cg = workloads::make_workload("CG");
+  auto cfg = baseline_config(16);
+  cfg.ranks_per_node = 4;
+  rt::Collector collector;
+  const auto run = run_workload(*cg, cfg, medium_options(), &collector);
+  const auto analysis = analyze_run(collector, 16, run.makespan);
+  // OS jitter may flag (and merging may aggregate) marginal speckle, but a
+  // clean run has no severe event and no event covering a large area.
+  const auto& matrix = analysis.matrix(rt::SensorType::Computation);
+  const double total_cells = static_cast<double>(matrix.ranks()) *
+                             static_cast<double>(matrix.buckets());
+  for (const auto& ev : analysis.events) {
+    EXPECT_GT(ev.severity, 0.55) << ev.describe(run.makespan, 16);
+    EXPECT_LT(ev.cells / total_cells, 0.15) << ev.describe(run.makespan, 16);
+  }
+  EXPECT_GT(matrix.average(), 0.85);
+}
+
+TEST(DetectionIntegration, BadNodeShowsAsPersistentRankBand) {
+  // Fig 21 mechanics: one node with slow memory -> a persistent low band
+  // on exactly its ranks.
+  const auto cg = workloads::make_workload("CG");
+  auto cfg = baseline_config(16);
+  cfg.ranks_per_node = 4;
+  workloads::inject_bad_node(cfg, 2, 0.55);  // ranks 8-11
+  rt::Collector collector;
+  const auto run = run_workload(*cg, cfg, medium_options(), &collector);
+  const auto analysis = analyze_run(collector, 16, run.makespan);
+  ASSERT_FALSE(analysis.events.empty());
+  // The dominant computation event covers ranks 8-11 for ~the whole run.
+  const rt::VarianceEvent* comp_event = nullptr;
+  for (const auto& ev : analysis.events) {
+    if (ev.type == rt::SensorType::Computation &&
+        (comp_event == nullptr || ev.cells > comp_event->cells)) {
+      comp_event = &ev;
+    }
+  }
+  ASSERT_NE(comp_event, nullptr);
+  EXPECT_EQ(comp_event->rank_begin, 8);
+  EXPECT_EQ(comp_event->rank_end, 11);
+  EXPECT_GT(comp_event->t_end - comp_event->t_begin, 0.8 * run.makespan);
+  EXPECT_NE(comp_event->classify(run.makespan, 16).find("bad node"),
+            std::string::npos);
+  // Normalized performance of the slow ranks ~0.55 of the best.
+  EXPECT_NEAR(comp_event->severity, 0.55, 0.08);
+}
+
+TEST(DetectionIntegration, RemovingBadNodeRestoresPerformance) {
+  // The paper reports a 21% speedup after replacing the bad node.
+  const auto cg = workloads::make_workload("CG");
+  auto bad = baseline_config(16);
+  bad.ranks_per_node = 4;
+  workloads::inject_bad_node(bad, 2, 0.55);
+  auto good = baseline_config(16);
+  good.ranks_per_node = 4;
+  const auto run_bad = run_workload(*cg, bad, medium_options());
+  const auto run_good = run_workload(*cg, good, medium_options());
+  const double improvement = (run_bad.makespan - run_good.makespan) /
+                             run_bad.makespan;
+  EXPECT_GT(improvement, 0.10);
+  EXPECT_LT(improvement, 0.50);
+}
+
+TEST(DetectionIntegration, NoiseInjectionLocalizedInTimeAndRanks) {
+  // Fig 20 mechanics: two noiser windows on distinct rank groups must
+  // appear as two compute-variance blocks at the right places.
+  const auto cg = workloads::make_workload("CG");
+  auto cfg = baseline_config(16);
+  cfg.ranks_per_node = 4;
+  RunOptions opts;
+  opts.params.iterations = 16;
+  opts.params.scale = 0.15;
+  // Probe run to learn the horizon, then place windows at 30% and 65%.
+  const auto probe = run_workload(*cg, cfg, opts);
+  const double t1 = 0.30 * probe.makespan;
+  const double t2 = 0.65 * probe.makespan;
+  const double window = 0.15 * probe.makespan;
+  workloads::inject_noiser(cfg, 0, 3, t1, window, 0.5);    // node 0
+  workloads::inject_noiser(cfg, 12, 15, t2, window, 0.5);  // node 3
+  rt::Collector collector;
+  const auto run = run_workload(*cg, cfg, opts, &collector);
+  const auto analysis = analyze_run(collector, 16, run.makespan);
+
+  bool found_first = false;
+  bool found_second = false;
+  for (const auto& ev : analysis.events) {
+    if (ev.type != rt::SensorType::Computation) continue;
+    if (ev.rank_begin <= 1 && ev.rank_end >= 2 && ev.t_begin < t1 + window &&
+        ev.t_end > t1) {
+      found_first = true;
+    }
+    if (ev.rank_begin >= 11 && ev.t_begin < t2 + window && ev.t_end > t2) {
+      found_second = true;
+    }
+  }
+  EXPECT_TRUE(found_first) << "noiser on ranks 0-3 not localized";
+  EXPECT_TRUE(found_second) << "noiser on ranks 12-15 not localized";
+}
+
+TEST(DetectionIntegration, NetworkCongestionHitsNetworkMatrixOnly) {
+  // Fig 22 mechanics: congestion degrades the *network* matrix across all
+  // ranks while computation stays clean.
+  const auto ft = workloads::make_workload("FT");
+  auto cfg = baseline_config(16);
+  cfg.ranks_per_node = 4;
+  RunOptions opts;
+  opts.params.iterations = 20;
+  opts.params.scale = 0.1;
+  const auto probe = run_workload(*ft, cfg, opts);
+  const double t0 = 0.25 * probe.makespan;
+  const double t1 = 0.75 * probe.makespan;
+  workloads::inject_network_congestion(cfg, t0, t1, 12.0);
+  rt::Collector collector;
+  const auto run = run_workload(*ft, cfg, opts, &collector);
+  const auto analysis = analyze_run(collector, 16, run.makespan);
+
+  const rt::VarianceEvent* net_event = nullptr;
+  for (const auto& ev : analysis.events) {
+    if (ev.type == rt::SensorType::Network &&
+        (net_event == nullptr || ev.cells > net_event->cells)) {
+      net_event = &ev;
+    }
+  }
+  ASSERT_NE(net_event, nullptr) << "congestion not detected";
+  // Affects (nearly) all ranks: classified as network degradation.
+  EXPECT_LE(net_event->rank_begin, 1);
+  EXPECT_GE(net_event->rank_end, 14);
+  EXPECT_NE(net_event->classify(run.makespan, 16).find("network"),
+            std::string::npos);
+  // Computation matrix unaffected.
+  EXPECT_GT(analysis.matrix(rt::SensorType::Computation).average(), 0.85);
+}
+
+TEST(DetectionIntegration, CongestionSlowdownFactorVisible) {
+  // Fig 1 / §6.5: congested FT runs several times slower end-to-end.
+  const auto ft = workloads::make_workload("FT");
+  auto clean = baseline_config(8);
+  clean.ranks_per_node = 4;
+  RunOptions opts;
+  opts.params.iterations = 12;
+  opts.params.scale = 0.02;  // communication-leaning
+  const auto base = run_workload(*ft, clean, opts);
+  auto congested = clean;
+  workloads::inject_network_congestion(congested, 0.0, 1e9, 30.0);
+  const auto slow = run_workload(*ft, congested, opts);
+  EXPECT_GT(slow.makespan / base.makespan, 2.0);
+}
+
+TEST(DetectionIntegration, MinicPipelineEndToEnd) {
+  // Full tool chain on a MiniC program with a planted slow node.
+  const std::string src = R"(
+int count = 0;
+double buf[32];
+int main() {
+  int n; int k;
+  for (n = 0; n < 40; ++n) {
+    for (k = 0; k < 2000; ++k)
+      count++;
+    MPI_Allreduce(buf, buf, 4, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  }
+  return 0;
+}
+)";
+  minic::Program program = minic::parse(src);
+  minic::run_sema(program);
+  const auto ir = ir::lower(program);
+  const auto static_analysis = analysis::analyze(ir);
+  ASSERT_GE(static_analysis.selected.size(), 2u);
+  const auto plan = instrument::instrument(program, static_analysis, "demo.c");
+
+  simmpi::Config cfg;
+  cfg.ranks = 8;
+  cfg.ranks_per_node = 2;
+  cfg.nodes.set_node_speed(1, 0.5);  // ranks 2-3 slow
+  rt::Collector collector;
+  interp::InterpConfig icfg;
+  icfg.runtime.slice_seconds = 1e-4;
+  const auto run = interp::run_program(program, plan, cfg, icfg, &collector);
+  ASSERT_GT(collector.record_count(), 0u);
+
+  rt::DetectorConfig dcfg;
+  dcfg.matrix_resolution = run.mpi.makespan() / 40.0;
+  rt::Detector detector(dcfg);
+  const auto analysis = detector.analyze(collector, 8, run.mpi.makespan());
+  const rt::VarianceEvent* best = nullptr;
+  for (const auto& ev : analysis.events) {
+    if (ev.type == rt::SensorType::Computation &&
+        (best == nullptr || ev.cells > best->cells)) {
+      best = &ev;
+    }
+  }
+  ASSERT_NE(best, nullptr) << "slow node not found by the full pipeline";
+  EXPECT_EQ(best->rank_begin, 2);
+  EXPECT_EQ(best->rank_end, 3);
+}
+
+TEST(DetectionIntegration, ReportNamesTheRightComponent) {
+  const auto ft = workloads::make_workload("FT");
+  auto cfg = baseline_config(8);
+  cfg.ranks_per_node = 4;
+  RunOptions opts;
+  opts.params.iterations = 16;
+  opts.params.scale = 0.1;
+  const auto probe = run_workload(*ft, cfg, opts);
+  workloads::inject_network_congestion(cfg, 0.2 * probe.makespan,
+                                       0.8 * probe.makespan, 10.0);
+  rt::Collector collector;
+  const auto run = run_workload(*ft, cfg, opts, &collector);
+  const auto analysis = analyze_run(collector, 8, run.makespan);
+  const std::string text = report::variance_report(analysis);
+  EXPECT_NE(text.find("Network variance"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace vsensor

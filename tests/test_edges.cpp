@@ -1,0 +1,310 @@
+// Edge-case coverage across modules: lexer numerics, interpreter corner
+// semantics, collective cost edges, model boundary conditions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interp/interp.hpp"
+#include "minic/lexer.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/sema.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/engine.hpp"
+#include "support/error.hpp"
+
+namespace vsensor {
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LexerEdges, ScientificNotation) {
+  const auto toks = minic::lex("1e3 2.5e-2 7E+1 0.5");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_DOUBLE_EQ(toks[0].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 0.025);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 70.0);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, 0.5);
+}
+
+TEST(LexerEdges, MalformedExponentRejected) {
+  EXPECT_THROW(minic::lex("1e"), CompileError);
+  EXPECT_THROW(minic::lex("1e+"), CompileError);
+}
+
+TEST(LexerEdges, HugeIntegerRejected) {
+  EXPECT_THROW(minic::lex("99999999999999999999999"), CompileError);
+}
+
+TEST(LexerEdges, AdjacentOperatorsTokenizeGreedily) {
+  const auto toks = minic::lex("a+++b");  // a++ + b, like C
+  EXPECT_EQ(toks[1].kind, minic::Tok::PlusPlus);
+  EXPECT_EQ(toks[2].kind, minic::Tok::Plus);
+}
+
+// ------------------------------------------------------------ interpreter
+
+interp::InterpResult run_src(const std::string& src, int ranks = 1) {
+  minic::Program program = minic::parse(src);
+  minic::run_sema(program);
+  simmpi::Config cfg;
+  cfg.ranks = ranks;
+  return interp::run_program(program, {}, cfg);
+}
+
+TEST(InterpEdges, ShortCircuitSkipsSideEffects) {
+  const auto r = run_src(R"(
+int calls = 0;
+int bump() { calls = calls + 1; return 1; }
+int main() {
+  int a = 0 && bump();
+  int b = 1 || bump();
+  printf("calls", calls);  // both short-circuit: 0
+  printf("a", a);
+  printf("b", b);
+  return 0;
+}
+)");
+  EXPECT_NE(r.rank0_output.find("calls 0.000000"), std::string::npos);
+}
+
+TEST(InterpEdges, PrefixVsPostfixIncrement) {
+  const auto r = run_src(R"(
+int main() {
+  int x = 5;
+  int pre = ++x;   // 6
+  int y = 5;
+  int post = y++;  // 5
+  printf("pre", pre);
+  printf("post", post);
+  printf("y", y);
+  return 0;
+}
+)");
+  EXPECT_NE(r.rank0_output.find("pre 6"), std::string::npos);
+  EXPECT_NE(r.rank0_output.find("post 5"), std::string::npos);
+  EXPECT_NE(r.rank0_output.find("y 6"), std::string::npos);
+}
+
+TEST(InterpEdges, IntDoubleCoercionOnAssignment) {
+  const auto r = run_src(R"(
+int main() {
+  int i = 7;
+  double d = i / 2;      // int division: 3
+  double e = i / 2.0;    // float division: 3.5
+  i = 3.9;               // int slot truncates
+  printf("d", d);
+  printf("e", e);
+  printf("i", i);
+  return 0;
+}
+)");
+  EXPECT_NE(r.rank0_output.find("d 3.000000"), std::string::npos);
+  EXPECT_NE(r.rank0_output.find("e 3.500000"), std::string::npos);
+  EXPECT_NE(r.rank0_output.find("i 3"), std::string::npos);
+}
+
+TEST(InterpEdges, RecursionDepthLimited) {
+  EXPECT_THROW(run_src(R"(
+int inf(int n) { return inf(n + 1); }
+int main() { return inf(0); }
+)"),
+               Error);
+}
+
+TEST(InterpEdges, ArraysPassByReference) {
+  const auto r = run_src(R"(
+double a[4];
+void fill(double v[], int n) {
+  int i;
+  for (i = 0; i < n; ++i)
+    v[i] = i * 2.0;
+}
+int main() {
+  fill(a, 4);
+  printf("a3", a[3]);
+  return 0;
+}
+)");
+  EXPECT_NE(r.rank0_output.find("a3 6"), std::string::npos);
+}
+
+TEST(InterpEdges, NegativeModuloFollowsC) {
+  const auto r = run_src(R"(
+int main() {
+  printf("m", -7 % 3);  // C: -1
+  return 0;
+}
+)");
+  EXPECT_NE(r.rank0_output.find("m -1"), std::string::npos);
+}
+
+// ------------------------------------------------------------ simmpi edges
+
+TEST(SimEdges, ZeroByteMessagesCostLatencyOnly) {
+  simmpi::Config cfg;
+  cfg.ranks = 2;
+  cfg.net.latency = 5e-6;
+  const auto result = simmpi::run(cfg, [](simmpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, 0);
+    } else {
+      comm.recv(0, 1, 0);
+    }
+  });
+  EXPECT_NEAR(result.makespan(), 5e-6, 1e-12);
+}
+
+TEST(SimEdges, SelfSendRejected) {
+  EXPECT_THROW(simmpi::run(simmpi::Config{},
+                           [](simmpi::Comm& comm) { comm.send(0, 1, 8); }),
+               Error);
+}
+
+TEST(SimEdges, CollectiveBytesMismatchThrows) {
+  simmpi::Config cfg;
+  cfg.ranks = 2;
+  EXPECT_THROW(simmpi::run(cfg,
+                           [](simmpi::Comm& comm) {
+                             comm.allreduce(comm.rank() == 0 ? 8 : 16);
+                           }),
+               Error);
+}
+
+TEST(SimEdges, BcastReduceAllgatherCosts) {
+  simmpi::NetworkParams net;
+  net.latency = 1e-6;
+  net.bandwidth = 1e9;
+  using simmpi::CollKind;
+  using simmpi::collective_cost;
+  // Bcast == Reduce under the tree model.
+  EXPECT_DOUBLE_EQ(collective_cost(CollKind::Bcast, net, 16, 4096),
+                   collective_cost(CollKind::Reduce, net, 16, 4096));
+  // Allgather moves (P-1) x bytes: grows linearly in P.
+  const double g8 = collective_cost(CollKind::Allgather, net, 8, 1024);
+  const double g64 = collective_cost(CollKind::Allgather, net, 64, 1024);
+  EXPECT_GT(g64, 7.0 * g8 / 1.5);
+  // Allreduce costs more than Reduce (reduce + broadcast of the result).
+  EXPECT_GT(collective_cost(CollKind::Allreduce, net, 16, 65536),
+            collective_cost(CollKind::Reduce, net, 16, 65536));
+}
+
+TEST(SimEdges, NoiseWindowEdgesAreHalfOpen) {
+  simmpi::NodeModel m;
+  m.add_noise_window(0, 1.0, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.speed_at(0, 1.0), 0.5);   // t0 inclusive
+  EXPECT_DOUBLE_EQ(m.speed_at(0, 2.0), 1.0);   // t1 exclusive
+  EXPECT_DOUBLE_EQ(m.speed_at(0, 0.999999), 1.0);
+}
+
+TEST(SimEdges, OverlappingNoiseWindowsMultiply) {
+  simmpi::NodeModel m;
+  m.add_noise_window(0, 0.0, 2.0, 0.5);
+  m.add_noise_window(0, 1.0, 3.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.speed_at(0, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(m.speed_at(0, 1.5), 0.25);
+  EXPECT_DOUBLE_EQ(m.speed_at(0, 2.5), 0.5);
+}
+
+TEST(SimEdges, RanksPerNodeMapping) {
+  simmpi::Config cfg;
+  cfg.ranks = 7;
+  cfg.ranks_per_node = 3;
+  simmpi::run(cfg, [](simmpi::Comm& comm) {
+    EXPECT_EQ(comm.node(), comm.rank() / 3);
+  });
+}
+
+// ------------------------------------------------------ gather/scatter
+
+TEST(SimEdges, GatherScatterRun) {
+  simmpi::Config cfg;
+  cfg.ranks = 8;
+  const auto result = simmpi::run(cfg, [](simmpi::Comm& comm) {
+    comm.scatter(0, 4096);
+    comm.compute(1e-4);
+    comm.gather(0, 4096);
+  });
+  EXPECT_GT(result.makespan(), 1e-4);
+  // Rooted collectives synchronize everyone under our model.
+  for (const auto& r : result.ranks) {
+    EXPECT_DOUBLE_EQ(r.finish_time, result.ranks[0].finish_time);
+  }
+}
+
+TEST(SimEdges, GatherCostScalesWithRanks) {
+  simmpi::NetworkParams net;
+  net.latency = 1e-6;
+  net.bandwidth = 1e9;
+  const double g8 = simmpi::collective_cost(simmpi::CollKind::Gather, net, 8, 4096);
+  const double g64 =
+      simmpi::collective_cost(simmpi::CollKind::Gather, net, 64, 4096);
+  EXPECT_GT(g64, 4.0 * g8);
+  EXPECT_DOUBLE_EQ(
+      simmpi::collective_cost(simmpi::CollKind::Gather, net, 16, 1024),
+      simmpi::collective_cost(simmpi::CollKind::Scatter, net, 16, 1024));
+}
+
+// ----------------------------------------------------------- do-while
+
+TEST(InterpEdges, DoWhileRunsBodyAtLeastOnce) {
+  const auto r = run_src(R"(
+int main() {
+  int n = 0;
+  do {
+    n = n + 1;
+  } while (0);
+  printf("n", n);
+  return 0;
+}
+)");
+  EXPECT_NE(r.rank0_output.find("n 1"), std::string::npos);
+}
+
+TEST(InterpEdges, DoWhileLoopsUntilFalse) {
+  const auto r = run_src(R"(
+int main() {
+  int n = 0;
+  do {
+    n = n + 1;
+  } while (n < 5);
+  printf("n", n);
+  return 0;
+}
+)");
+  EXPECT_NE(r.rank0_output.find("n 5"), std::string::npos);
+}
+
+TEST(InterpEdges, DoWhilePrintsAndReparses) {
+  minic::Program p = minic::parse(R"(
+int main() {
+  int n = 0;
+  do {
+    n = n + 1;
+  } while (n < 3);
+  return n;
+}
+)");
+  minic::run_sema(p);
+  const std::string printed = minic::print_program(p);
+  EXPECT_NE(printed.find("do"), std::string::npos);
+  EXPECT_NE(printed.find("while (n < 3);"), std::string::npos);
+  minic::Program again = minic::parse(printed);
+  EXPECT_NO_THROW(minic::run_sema(again));
+}
+
+TEST(InterpEdges, GatherScatterFromMiniC) {
+  const auto r = run_src(R"(
+double buf[64];
+int main() {
+  MPI_Scatter(buf, 8, MPI_DOUBLE, buf, 8, MPI_DOUBLE, 0, MPI_COMM_WORLD);
+  MPI_Gather(buf, 8, MPI_DOUBLE, buf, 8, MPI_DOUBLE, 0, MPI_COMM_WORLD);
+  return 0;
+}
+)",
+                         4);
+  EXPECT_GT(r.mpi.makespan(), 0.0);
+}
+
+}  // namespace
+}  // namespace vsensor

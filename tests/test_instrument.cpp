@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "instrument/instrument.hpp"
+#include "ir/ir.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/sema.hpp"
+
+namespace vsensor::instrument {
+namespace {
+
+struct Instrumented {
+  minic::Program program;
+  analysis::AnalysisResult analysis;
+  InstrumentationPlan plan;
+};
+
+Instrumented run_pipeline(const std::string& src,
+                          analysis::AnalyzerConfig config = {}) {
+  Instrumented out;
+  out.program = minic::parse(src);
+  minic::run_sema(out.program);
+  const auto ir = ir::lower(out.program);
+  out.analysis = analysis::analyze(ir, config);
+  out.plan = instrument(out.program, out.analysis, "test.c");
+  return out;
+}
+
+constexpr const char* kSimpleLoop = R"(
+int count = 0;
+int main() {
+  int n; int k;
+  for (n = 0; n < 100; ++n) {
+    for (k = 0; k < 10; ++k)
+      count++;
+  }
+  return 0;
+}
+)";
+
+TEST(Instrument, WrapsSelectedLoopWithProbes) {
+  auto result = run_pipeline(kSimpleLoop);
+  ASSERT_EQ(result.plan.sensors.size(), 1u);
+  const std::string printed = minic::print_program(result.program);
+  EXPECT_NE(printed.find("__vs_tick(0);"), std::string::npos);
+  EXPECT_NE(printed.find("__vs_tock(0);"), std::string::npos);
+  // Probe precedes the inner loop.
+  EXPECT_LT(printed.find("__vs_tick(0);"), printed.find("for (k = 0"));
+}
+
+TEST(Instrument, SensorTableMatchesSelection) {
+  auto result = run_pipeline(kSimpleLoop);
+  const auto table = result.plan.sensor_table();
+  ASSERT_EQ(table.size(), result.analysis.selected.size());
+  EXPECT_EQ(table[0].type, rt::SensorType::Computation);
+  EXPECT_EQ(table[0].file, "test.c");
+  EXPECT_GT(table[0].line, 0);
+}
+
+TEST(Instrument, CallSensorWrapsCallStatement) {
+  auto result = run_pipeline(R"(
+double buf[16];
+int main() {
+  int i;
+  for (i = 0; i < 50; ++i)
+    MPI_Allreduce(buf, buf, 4, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  return 0;
+}
+)");
+  ASSERT_EQ(result.plan.sensors.size(), 1u);
+  EXPECT_EQ(result.plan.sensors[0].info.type, rt::SensorType::Network);
+  const std::string printed = minic::print_program(result.program);
+  const auto tick = printed.find("__vs_tick(0);");
+  const auto call = printed.find("MPI_Allreduce");
+  const auto tock = printed.find("__vs_tock(0);");
+  ASSERT_NE(tick, std::string::npos);
+  ASSERT_NE(call, std::string::npos);
+  ASSERT_NE(tock, std::string::npos);
+  EXPECT_LT(tick, call);
+  EXPECT_LT(call, tock);
+}
+
+TEST(Instrument, NoSensorsMeansNoRewrites) {
+  auto result = run_pipeline(R"(
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 10; ++i)
+    s += unknown_external(i);
+  return s;
+}
+)");
+  EXPECT_TRUE(result.plan.sensors.empty());
+  const std::string printed = minic::print_program(result.program);
+  EXPECT_EQ(printed.find("__vs_tick"), std::string::npos);
+}
+
+TEST(Instrument, InstrumentedSourceStillParses) {
+  auto result = run_pipeline(kSimpleLoop);
+  const std::string printed = minic::print_program(result.program);
+  minic::Program reparsed = minic::parse(printed);
+  EXPECT_NO_THROW(minic::run_sema(reparsed));
+}
+
+TEST(Instrument, DistinctSensorsGetDistinctIds) {
+  auto result = run_pipeline(R"(
+int count = 0;
+double buf[8];
+int main() {
+  int n;
+  for (n = 0; n < 100; ++n) {
+    int k;
+    for (k = 0; k < 10; ++k)
+      count++;
+    MPI_Allreduce(buf, buf, 2, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  }
+  return 0;
+}
+)");
+  ASSERT_EQ(result.plan.sensors.size(), 2u);
+  EXPECT_NE(result.plan.sensors[0].sensor_id, result.plan.sensors[1].sensor_id);
+  // One computation + one network sensor.
+  int comp = 0;
+  int net = 0;
+  for (const auto& s : result.plan.sensors) {
+    comp += s.info.type == rt::SensorType::Computation;
+    net += s.info.type == rt::SensorType::Network;
+  }
+  EXPECT_EQ(comp, 1);
+  EXPECT_EQ(net, 1);
+}
+
+}  // namespace
+}  // namespace vsensor::instrument

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "instrument/instrument.hpp"
+#include "interp/builtins.hpp"
+#include "interp/interp.hpp"
+#include "ir/ir.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "runtime/collector.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::interp {
+namespace {
+
+struct Ready {
+  minic::Program program;
+  instrument::InstrumentationPlan plan;
+};
+
+Ready prepare(const std::string& src, bool instrumented = true) {
+  Ready r;
+  r.program = minic::parse(src);
+  minic::run_sema(r.program);
+  if (instrumented) {
+    const auto ir = ir::lower(r.program);
+    const auto analysis = analysis::analyze(ir);
+    r.plan = instrument::instrument(r.program, analysis, "test.c");
+  }
+  return r;
+}
+
+simmpi::Config sim(int ranks) {
+  simmpi::Config cfg;
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = 4;
+  cfg.deadlock_timeout = 15.0;
+  return cfg;
+}
+
+TEST(Interp, ArithmeticAndControlFlow) {
+  // Compute 10! mod 1000 via loop; verify via printf capture.
+  const auto r = prepare(R"(
+int main() {
+  int i; int fact = 1;
+  for (i = 1; i <= 10; ++i)
+    fact = (fact * i) % 1000;
+  printf("fact", fact);
+  return 0;
+}
+)",
+                         false);
+  const auto result = run_program(r.program, r.plan, sim(1));
+  EXPECT_NE(result.rank0_output.find("800"), std::string::npos);  // 3628800 % 1000
+}
+
+TEST(Interp, WhileBreakContinue) {
+  const auto r = prepare(R"(
+int main() {
+  int i = 0; int acc = 0;
+  while (1) {
+    i = i + 1;
+    if (i > 10)
+      break;
+    if (i % 2 == 0)
+      continue;
+    acc = acc + i;  // 1+3+5+7+9 = 25
+  }
+  printf("acc", acc);
+  return 0;
+}
+)",
+                         false);
+  const auto result = run_program(r.program, r.plan, sim(1));
+  EXPECT_NE(result.rank0_output.find("25"), std::string::npos);
+}
+
+TEST(Interp, ArraysAndFunctions) {
+  const auto r = prepare(R"(
+double a[16];
+double sum(int n) {
+  int i; double s = 0.0;
+  for (i = 0; i < n; ++i)
+    s = s + a[i];
+  return s;
+}
+int main() {
+  int i;
+  for (i = 0; i < 16; ++i)
+    a[i] = i * 1.0;
+  printf("sum", sum(16));  // 120
+  return 0;
+}
+)",
+                         false);
+  const auto result = run_program(r.program, r.plan, sim(1));
+  EXPECT_NE(result.rank0_output.find("120"), std::string::npos);
+}
+
+TEST(Interp, MpiRankAndSize) {
+  const auto r = prepare(R"(
+int main() {
+  int rank = 0; int nprocs = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  if (rank == 0)
+    printf("np", nprocs);
+  MPI_Barrier(MPI_COMM_WORLD);
+  return 0;
+}
+)",
+                         false);
+  const auto result = run_program(r.program, r.plan, sim(4));
+  EXPECT_NE(result.rank0_output.find("4"), std::string::npos);
+  EXPECT_EQ(result.mpi.ranks.size(), 4u);
+}
+
+TEST(Interp, RingExchangeRuns) {
+  const auto r = prepare(R"(
+double buf[32];
+int main() {
+  int rank = 0; int nprocs = 0; int next; int prev; int i;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  next = (rank + 1) % nprocs;
+  prev = (rank + nprocs - 1) % nprocs;
+  for (i = 0; i < 5; ++i)
+    MPI_Sendrecv(buf, 32, MPI_DOUBLE, next, 1, buf, 32, MPI_DOUBLE, prev, 1,
+                 MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  return 0;
+}
+)",
+                         false);
+  const auto result = run_program(r.program, r.plan, sim(6));
+  EXPECT_GT(result.mpi.makespan(), 0.0);
+  EXPECT_EQ(result.mpi.ranks[0].messages, 5u);
+}
+
+TEST(Interp, ComputeAdvancesVirtualTime) {
+  const auto r = prepare(R"(
+int main() {
+  compute_units(1000000);
+  return 0;
+}
+)",
+                         false);
+  InterpConfig cfg;
+  cfg.units_per_second = 1e9;
+  const auto result = run_program(r.program, r.plan, sim(1), cfg);
+  EXPECT_NEAR(result.mpi.makespan(), 1e-3, 1e-5);
+  EXPECT_GE(result.mpi.ranks[0].pmu_instructions, 1000000u);
+}
+
+TEST(Interp, InstrumentedProgramEmitsRecords) {
+  const auto r = prepare(R"(
+int count = 0;
+int main() {
+  int n; int k;
+  for (n = 0; n < 200; ++n) {
+    for (k = 0; k < 50; ++k)
+      count++;
+  }
+  return 0;
+}
+)");
+  ASSERT_FALSE(r.plan.sensors.empty());
+  rt::Collector collector;
+  const auto result = run_program(r.program, r.plan, sim(2), {}, &collector);
+  EXPECT_GT(collector.record_count(), 0u);
+  EXPECT_GT(result.sense.sense_count, 0u);
+  // PMU samples: the k-loop does identical work each execution.
+  for (const auto& rank_samples : result.pmu) {
+    for (const auto& s : rank_samples) {
+      if (s.executions > 0) {
+        EXPECT_NEAR(s.ps(), 1.0, 1e-9);
+      }
+    }
+  }
+  EXPECT_NEAR(result.workload_max_error(), 1.0, 1e-9);
+}
+
+TEST(Interp, PmuJitterWidensPs) {
+  const auto r = prepare(R"(
+int count = 0;
+int main() {
+  int n; int k;
+  for (n = 0; n < 100; ++n)
+    for (k = 0; k < 50; ++k)
+      count++;
+  return 0;
+}
+)");
+  InterpConfig cfg;
+  cfg.pmu_jitter = 0.04;
+  const auto result = run_program(r.program, r.plan, sim(1), cfg);
+  const double pm = result.workload_max_error();
+  EXPECT_GT(pm, 1.0);
+  EXPECT_LT(pm, 1.05);  // bounded by the jitter amplitude
+}
+
+TEST(Interp, SensorsDisabledRunsClean) {
+  const auto r = prepare(R"(
+int count = 0;
+int main() {
+  int n; int k;
+  for (n = 0; n < 50; ++n)
+    for (k = 0; k < 10; ++k)
+      count++;
+  return 0;
+}
+)");
+  InterpConfig cfg;
+  cfg.enable_sensors = false;
+  rt::Collector collector;
+  const auto result = run_program(r.program, r.plan, sim(1), cfg, &collector);
+  EXPECT_EQ(collector.record_count(), 0u);
+  EXPECT_EQ(result.sense.sense_count, 0u);
+}
+
+TEST(Interp, UnknownExternalThrows) {
+  const auto r = prepare("int main() { launch_rockets(); return 0; }", false);
+  EXPECT_THROW(run_program(r.program, r.plan, sim(1)), Error);
+}
+
+TEST(Interp, DivisionByZeroThrows) {
+  const auto r = prepare("int main() { int z = 0; return 5 / z; }", false);
+  EXPECT_THROW(run_program(r.program, r.plan, sim(1)), Error);
+}
+
+TEST(Interp, ArrayBoundsChecked) {
+  const auto r = prepare(R"(
+double a[4];
+int main() { a[9] = 1.0; return 0; }
+)",
+                         false);
+  EXPECT_THROW(run_program(r.program, r.plan, sim(1)), Error);
+}
+
+TEST(Builtins, RegistryCoversMpiCore) {
+  EXPECT_TRUE(is_bound_external("MPI_Alltoall"));
+  EXPECT_TRUE(is_bound_external("__vs_tick"));
+  EXPECT_FALSE(is_bound_external("launch_rockets"));
+}
+
+TEST(Interp, DeterministicVirtualTimes) {
+  const auto r = prepare(R"(
+int main() {
+  int i;
+  for (i = 0; i < 100; ++i)
+    compute_units(10000);
+  MPI_Barrier(MPI_COMM_WORLD);
+  return 0;
+}
+)",
+                         false);
+  simmpi::Config cfg = sim(4);
+  cfg.nodes.set_os_noise(0.05, 1e-3, 7);
+  const auto a = run_program(r.program, r.plan, cfg);
+  const auto b = run_program(r.program, r.plan, cfg);
+  EXPECT_DOUBLE_EQ(a.mpi.makespan(), b.mpi.makespan());
+}
+
+}  // namespace
+}  // namespace vsensor::interp

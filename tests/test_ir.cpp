@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "ir/callgraph.hpp"
+#include "ir/ir.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+
+namespace vsensor::ir {
+namespace {
+
+struct Lowered {
+  minic::Program program;
+  ProgramIR ir;
+};
+
+Lowered lower_source(const std::string& src) {
+  Lowered l;
+  l.program = minic::parse(src);
+  minic::run_sema(l.program);
+  l.ir = lower(l.program);
+  return l;
+}
+
+const FunctionIR& func(const Lowered& l, const std::string& name) {
+  const int i = l.ir.function_index(name);
+  EXPECT_GE(i, 0) << name;
+  return l.ir.functions[static_cast<size_t>(i)];
+}
+
+TEST(Lower, CountsLoopsAndCalls) {
+  const auto l = lower_source(R"(
+int f(int x) { return x; }
+int main() {
+  int i; int j; int s = 0;
+  for (i = 0; i < 10; ++i) {
+    for (j = 0; j < 5; ++j)
+      s += f(j);
+    s += f(i);
+  }
+  while (s > 0)
+    s -= 1;
+  return s;
+}
+)");
+  const auto& m = func(l, "main");
+  EXPECT_EQ(m.num_loops, 3);
+  EXPECT_EQ(m.num_calls, 2);
+  EXPECT_EQ(m.loops.size(), 3u);
+  EXPECT_EQ(m.calls.size(), 2u);
+}
+
+TEST(Lower, LoopControlUsesAndInitDefs) {
+  const auto l = lower_source(R"(
+int main() {
+  int i; int n = 10;
+  for (i = 0; i < n; ++i)
+    n = n - 0;
+  return 0;
+}
+)");
+  const auto& m = func(l, "main");
+  ASSERT_EQ(m.loops.size(), 1u);
+  const Node& loop = *m.loops[0];
+  // init defines i; control uses include i and n.
+  EXPECT_EQ(loop.init_defs.size(), 1u);
+  EXPECT_EQ(var_name(*loop.init_defs.begin(), l.program), "main.i");
+  bool uses_n = false;
+  for (const auto& v : loop.uses) uses_n |= var_name(v, l.program) == "main.n";
+  EXPECT_TRUE(uses_n);
+}
+
+TEST(Lower, CallArgumentsDissected) {
+  const auto l = lower_source(R"(
+double buf[8];
+int main() {
+  int count = 4;
+  MPI_Send(buf, count, MPI_DOUBLE, 0, 7, MPI_COMM_WORLD);
+  return 0;
+}
+)");
+  const auto& m = func(l, "main");
+  ASSERT_EQ(m.calls.size(), 1u);
+  const Node& call = *m.calls[0];
+  EXPECT_EQ(call.callee, "MPI_Send");
+  EXPECT_EQ(call.callee_index, -1);
+  ASSERT_EQ(call.arg_uses.size(), 6u);
+  // arg1 = count variable, arg3 = literal 0.
+  ASSERT_EQ(call.arg_uses[1].size(), 1u);
+  EXPECT_EQ(var_name(*call.arg_uses[1].begin(), l.program), "main.count");
+  ASSERT_TRUE(call.arg_const[3].has_value());
+  EXPECT_EQ(*call.arg_const[3], 0);
+}
+
+TEST(Lower, AddrOfBecomesDef) {
+  const auto l = lower_source(R"(
+int main() {
+  int rank = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  return rank;
+}
+)");
+  const auto& m = func(l, "main");
+  ASSERT_EQ(m.calls.size(), 1u);
+  const Node& call = *m.calls[0];
+  ASSERT_TRUE(call.arg_addr[1].has_value());
+  EXPECT_EQ(var_name(*call.arg_addr[1], l.program), "main.rank");
+  EXPECT_EQ(call.defs.count(*call.arg_addr[1]), 1u);
+}
+
+TEST(Lower, NestedCallsHoistedInOrder) {
+  const auto l = lower_source(R"(
+int f(int x) { return x; }
+int g(int x) { return x; }
+int main() {
+  int s;
+  s = f(g(1));
+  return s;
+}
+)");
+  const auto& m = func(l, "main");
+  ASSERT_EQ(m.calls.size(), 2u);
+  // Inner call g lowered before outer call f.
+  EXPECT_EQ(m.calls[0]->callee, "g");
+  EXPECT_EQ(m.calls[1]->callee, "f");
+  // The assignment statement is fed by the outer call.
+  const Node* assign = nullptr;
+  for (const auto& node : m.body) {
+    if (node->kind == NodeKind::Stmt && !node->defs.empty()) assign = node.get();
+  }
+  ASSERT_NE(assign, nullptr);
+  ASSERT_EQ(assign->feeding_calls.size(), 2u);
+}
+
+TEST(Lower, BranchPartitionsChildren) {
+  const auto l = lower_source(R"(
+int main() {
+  int a = 1; int b = 0;
+  if (a > 0) {
+    b = 1;
+    b = 2;
+  } else {
+    b = 3;
+  }
+  return b;
+}
+)");
+  const auto& m = func(l, "main");
+  const Node* branch = nullptr;
+  for (const auto& node : m.body) {
+    if (node->kind == NodeKind::Branch) branch = node.get();
+  }
+  ASSERT_NE(branch, nullptr);
+  EXPECT_EQ(branch->then_count, 2u);
+  EXPECT_EQ(branch->children.size(), 3u);
+}
+
+TEST(Lower, ReturnMarked) {
+  const auto l = lower_source("int f(int x) { return x + 1; }");
+  const auto& f = func(l, "f");
+  bool found_return = false;
+  for (const auto& node : f.body) {
+    if (node->kind == NodeKind::Stmt && node->is_return) found_return = true;
+  }
+  EXPECT_TRUE(found_return);
+}
+
+TEST(Lower, ArrayStoreDefinesBase) {
+  const auto l = lower_source(R"(
+double a[8];
+int main() {
+  int i = 3;
+  a[i] = 1.0;
+  return 0;
+}
+)");
+  const auto& m = func(l, "main");
+  const Node* store = nullptr;
+  for (const auto& node : m.body) {
+    if (node->kind == NodeKind::Stmt && !node->defs.empty()) store = node.get();
+  }
+  ASSERT_NE(store, nullptr);
+  bool defines_a = false;
+  for (const auto& d : store->defs) defines_a |= var_name(d, l.program) == "a";
+  EXPECT_TRUE(defines_a);
+  bool uses_i = false;
+  for (const auto& u : store->uses) uses_i |= var_name(u, l.program) == "main.i";
+  EXPECT_TRUE(uses_i);
+}
+
+TEST(CallGraph, EdgesAndOrder) {
+  const auto l = lower_source(R"(
+int c() { return 1; }
+int b() { return c(); }
+int a() { return b() + c(); }
+int main() { return a(); }
+)");
+  const auto cg = build_call_graph(l.ir);
+  const int ia = l.ir.function_index("a");
+  const int ib = l.ir.function_index("b");
+  const int ic = l.ir.function_index("c");
+  const int im = l.ir.function_index("main");
+  EXPECT_TRUE(cg.callees[static_cast<size_t>(ia)].count(ib));
+  EXPECT_TRUE(cg.callees[static_cast<size_t>(ia)].count(ic));
+  EXPECT_TRUE(cg.callers[static_cast<size_t>(ib)].count(ia));
+  // Bottom-up: c before b before a before main.
+  auto pos = [&](int f) {
+    for (size_t i = 0; i < cg.bottom_up_order.size(); ++i) {
+      if (cg.bottom_up_order[i] == f) return i;
+    }
+    return size_t{9999};
+  };
+  EXPECT_LT(pos(ic), pos(ib));
+  EXPECT_LT(pos(ib), pos(ia));
+  EXPECT_LT(pos(ia), pos(im));
+  for (const auto r : cg.recursive) EXPECT_FALSE(r);
+}
+
+TEST(CallGraph, SelfRecursionFlagged) {
+  const auto l = lower_source(R"(
+int f(int n) { if (n > 0) return f(n - 1); return 0; }
+int main() { return f(3); }
+)");
+  const auto cg = build_call_graph(l.ir);
+  EXPECT_TRUE(cg.recursive[static_cast<size_t>(l.ir.function_index("f"))]);
+  EXPECT_FALSE(cg.recursive[static_cast<size_t>(l.ir.function_index("main"))]);
+}
+
+TEST(CallGraph, TransitiveCallees) {
+  const auto l = lower_source(R"(
+int c() { return 1; }
+int b() { return c(); }
+int a() { return b(); }
+int main() { return a(); }
+)");
+  const auto cg = build_call_graph(l.ir);
+  const auto t = cg.transitive_callees(l.ir.function_index("a"));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.count(l.ir.function_index("b")));
+  EXPECT_TRUE(t.count(l.ir.function_index("c")));
+}
+
+TEST(CallGraph, ExternalsRecorded) {
+  const auto l = lower_source(R"(
+int main() {
+  printf("hi");
+  MPI_Barrier(MPI_COMM_WORLD);
+  return 0;
+}
+)");
+  const auto cg = build_call_graph(l.ir);
+  const auto& ext = cg.externals[static_cast<size_t>(l.ir.function_index("main"))];
+  EXPECT_TRUE(ext.count("printf"));
+  EXPECT_TRUE(ext.count("MPI_Barrier"));
+}
+
+TEST(Dump, RendersTree) {
+  const auto l = lower_source(R"(
+int main() {
+  int i;
+  for (i = 0; i < 3; ++i)
+    printf("x");
+  return 0;
+}
+)");
+  const std::string text = dump(l.ir);
+  EXPECT_NE(text.find("function main"), std::string::npos);
+  EXPECT_NE(text.find("loop L0"), std::string::npos);
+  EXPECT_NE(text.find("call C0 printf [external]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vsensor::ir

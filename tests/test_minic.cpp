@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "minic/lexer.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/sema.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::minic {
+namespace {
+
+Program parse_checked(const std::string& src) {
+  Program p = parse(src);
+  run_sema(p);
+  return p;
+}
+
+TEST(Lexer, TokenKinds) {
+  const auto toks = lex("int x = 42; // comment\ndouble y = 3.5e2;");
+  ASSERT_GE(toks.size(), 11u);
+  EXPECT_EQ(toks[0].kind, Tok::KwInt);
+  EXPECT_EQ(toks[1].kind, Tok::Identifier);
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[2].kind, Tok::Assign);
+  EXPECT_EQ(toks[3].kind, Tok::IntLit);
+  EXPECT_EQ(toks[3].int_value, 42);
+  EXPECT_EQ(toks[5].kind, Tok::KwDouble);
+  EXPECT_EQ(toks[8].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(toks[8].float_value, 350.0);
+  EXPECT_EQ(toks.back().kind, Tok::Eof);
+}
+
+TEST(Lexer, OperatorsAndLocations) {
+  const auto toks = lex("a += b++ <= !c && d % 2");
+  EXPECT_EQ(toks[1].kind, Tok::PlusAssign);
+  EXPECT_EQ(toks[3].kind, Tok::PlusPlus);
+  EXPECT_EQ(toks[4].kind, Tok::Le);
+  EXPECT_EQ(toks[5].kind, Tok::Bang);
+  EXPECT_EQ(toks[7].kind, Tok::AmpAmp);
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[0].loc.col, 1);
+}
+
+TEST(Lexer, BlockCommentsAndStrings) {
+  const auto toks = lex("/* skip\nthis */ \"he\\\"llo\\n\"");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::StringLit);
+  EXPECT_EQ(toks[0].text, "he\"llo\n");
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_THROW(lex("int x = $;"), CompileError);
+  EXPECT_THROW(lex("/* unterminated"), CompileError);
+  EXPECT_THROW(lex("\"open"), CompileError);
+}
+
+TEST(Parser, FunctionAndLoopStructure) {
+  const auto p = parse_checked(R"(
+int twice(int x) { return x * 2; }
+int main() {
+  int i; int total = 0;
+  for (i = 0; i < 10; ++i)
+    total += twice(i);
+  while (total > 100)
+    total -= 1;
+  return total;
+}
+)");
+  ASSERT_EQ(p.functions.size(), 2u);
+  EXPECT_EQ(p.functions[0].name, "twice");
+  ASSERT_EQ(p.functions[0].params.size(), 1u);
+  EXPECT_EQ(p.functions[1].name, "main");
+}
+
+TEST(Parser, MultiDeclaratorBecomesTransparentBlock) {
+  const auto p = parse_checked(R"(
+int main() {
+  int i, j, value = 0;
+  value = i + j;
+  return value;
+}
+)");
+  const auto& body = *p.functions[0].body;
+  ASSERT_FALSE(body.stmts.empty());
+  ASSERT_EQ(body.stmts[0]->kind, StmtKind::Block);
+  EXPECT_TRUE(as<BlockStmt>(*body.stmts[0]).transparent);
+}
+
+TEST(Parser, SyntaxErrorsReportLocation) {
+  try {
+    parse("int main() { return 0 }");
+    FAIL() << "missing semicolon should throw";
+  } catch (const CompileError& e) {
+    EXPECT_GT(e.line(), 0);
+  }
+  EXPECT_THROW(parse("int main() { if (1 { } }"), CompileError);
+  EXPECT_THROW(parse("int 3x;"), CompileError);
+}
+
+TEST(Sema, RejectsUndeclared) {
+  EXPECT_THROW(parse_checked("int main() { return ghost; }"), CompileError);
+}
+
+TEST(Sema, RejectsRedeclarationInScope) {
+  EXPECT_THROW(parse_checked("int main() { int a; int a; return 0; }"),
+               CompileError);
+}
+
+TEST(Sema, AllowsShadowingInNestedScope) {
+  EXPECT_NO_THROW(parse_checked(R"(
+int main() {
+  int a = 1;
+  { int a = 2; a = a + 1; }
+  return a;
+}
+)"));
+}
+
+TEST(Sema, BreakOutsideLoopRejected) {
+  EXPECT_THROW(parse_checked("int main() { break; return 0; }"), CompileError);
+}
+
+TEST(Sema, BuiltinMpiConstantsAvailable) {
+  EXPECT_NO_THROW(parse_checked(R"(
+int main() {
+  int rank = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  return MPI_INT + MPI_DOUBLE;
+}
+)"));
+}
+
+TEST(Sema, CallArityCheckedForInternalFunctions) {
+  EXPECT_THROW(parse_checked(R"(
+int f(int a, int b) { return a + b; }
+int main() { return f(1); }
+)"),
+               CompileError);
+}
+
+TEST(Sema, ExternalCallsAreUnchecked) {
+  EXPECT_NO_THROW(parse_checked("int main() { some_external(1, 2, 3); return 0; }"));
+}
+
+TEST(Sema, ArrayRulesEnforced) {
+  EXPECT_THROW(parse_checked(R"(
+double a[8];
+int main() { return a + 1; }
+)"),
+               CompileError);
+  EXPECT_THROW(parse_checked("int main() { int x; return x[0]; }"), CompileError);
+  EXPECT_NO_THROW(parse_checked(R"(
+double a[8];
+int main() { a[3] = 1.5; return 0; }
+)"));
+}
+
+TEST(Sema, ModRequiresInts) {
+  EXPECT_THROW(parse_checked("int main() { return 5 % 2.0; }"), CompileError);
+}
+
+TEST(Sema, GlobalInitializerMustBeConstant) {
+  EXPECT_THROW(parse_checked("int g = f(); int main() { return g; }"),
+               CompileError);
+  EXPECT_NO_THROW(parse_checked("int g = -(4 + 2) * 3; int main() { return g; }"));
+}
+
+TEST(Sema, VoidFunctionReturnRules) {
+  EXPECT_THROW(parse_checked("void f() { return 1; } int main() { return 0; }"),
+               CompileError);
+  EXPECT_THROW(parse_checked("int f() { return; } int main() { return 0; }"),
+               CompileError);
+}
+
+TEST(Printer, RoundTripIsStable) {
+  const char* src = R"(
+int GLBV = 40;
+int foo(int x, int y) {
+  int value = 0;
+  int i;
+  for (i = 0; i < x; ++i)
+    value += y;
+  if (x > GLBV)
+    value -= x * y;
+  return value;
+}
+int main() {
+  int n;
+  for (n = 0; n < 100; ++n)
+    foo(n, 3);
+  return 0;
+}
+)";
+  Program p1 = parse(src);
+  run_sema(p1);
+  const std::string printed1 = print_program(p1);
+  Program p2 = parse(printed1);
+  run_sema(p2);
+  const std::string printed2 = print_program(p2);
+  EXPECT_EQ(printed1, printed2) << "print(parse(print(x))) must be a fixpoint";
+}
+
+TEST(Printer, EmitsParensForPrecedence) {
+  Program p = parse("int main() { return (1 + 2) * 3; }");
+  run_sema(p);
+  const std::string printed = print_program(p);
+  EXPECT_NE(printed.find("(1 + 2) * 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vsensor::minic

@@ -1,0 +1,118 @@
+// End-to-end: every workload's MiniC model goes through the full tool chain
+// (parse -> sema -> lower -> identify -> instrument -> interpret on simMPI
+// -> collect -> analyze) and behaves: sensors fire, fixed sensors validate
+// with Ps = 1, and a planted bad node is found in every instrumentable model.
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "instrument/instrument.hpp"
+#include "interp/interp.hpp"
+#include "ir/ir.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/sema.hpp"
+#include "runtime/detector.hpp"
+#include "workloads/workload.hpp"
+
+namespace vsensor {
+namespace {
+
+struct ModelPipeline {
+  minic::Program program;
+  instrument::InstrumentationPlan plan;
+  int snippets = 0;
+  int vsensors = 0;
+};
+
+ModelPipeline build_model(const std::string& name) {
+  ModelPipeline mp;
+  mp.program = minic::parse(workloads::minic_model(name));
+  minic::run_sema(mp.program);
+  const auto ir = ir::lower(mp.program);
+  const auto analysis = analysis::analyze(ir);
+  mp.snippets = analysis.snippet_count();
+  mp.vsensors = analysis.vsensor_count();
+  mp.plan = instrument::instrument(mp.program, analysis, name + ".mc");
+  return mp;
+}
+
+class ModelRun : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ModelRun, FullToolChainExecutes) {
+  const std::string name = GetParam();
+  auto mp = build_model(name);
+  EXPECT_GT(mp.snippets, 5) << name;
+  EXPECT_GT(mp.vsensors, 0) << name;
+  ASSERT_FALSE(mp.plan.sensors.empty()) << name;
+
+  simmpi::Config cfg;
+  cfg.ranks = 4;
+  cfg.ranks_per_node = 2;
+  cfg.deadlock_timeout = 20.0;
+  rt::Collector collector;
+  interp::InterpConfig icfg;
+  icfg.runtime.slice_seconds = 1e-4;
+  const auto run = interp::run_program(mp.program, mp.plan, cfg, icfg, &collector);
+
+  EXPECT_GT(run.mpi.makespan(), 0.0) << name;
+  EXPECT_GT(run.sense.sense_count, 0u) << name;
+  EXPECT_GT(collector.record_count(), 0u) << name;
+  // Fixed-workload sensors execute identical instruction sequences: the
+  // simulated-PMU Ps statistic must be exactly 1 without jitter.
+  EXPECT_NEAR(run.workload_max_error(), 1.0, 1e-9) << name;
+}
+
+TEST_P(ModelRun, InstrumentedSourceReparses) {
+  const std::string name = GetParam();
+  auto mp = build_model(name);
+  const std::string printed = minic::print_program(mp.program);
+  EXPECT_NE(printed.find("__vs_tick"), std::string::npos) << name;
+  minic::Program reparsed = minic::parse(printed);
+  EXPECT_NO_THROW(minic::run_sema(reparsed)) << name;
+}
+
+TEST_P(ModelRun, DeterministicAcrossRuns) {
+  const std::string name = GetParam();
+  auto mp = build_model(name);
+  simmpi::Config cfg;
+  cfg.ranks = 4;
+  cfg.ranks_per_node = 2;
+  cfg.nodes.set_os_noise(0.05, 1e-4, 3);
+  const auto a = interp::run_program(mp.program, mp.plan, cfg);
+  const auto b = interp::run_program(mp.program, mp.plan, cfg);
+  EXPECT_DOUBLE_EQ(a.mpi.makespan(), b.mpi.makespan()) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelRun,
+                         ::testing::Values("CG", "FT", "LU", "BT", "SP", "AMG",
+                                           "LULESH", "RAXML"));
+
+TEST(ModelRunBadNode, CgModelFindsPlantedBadNode) {
+  auto mp = build_model("CG");
+  simmpi::Config cfg;
+  cfg.ranks = 8;
+  cfg.ranks_per_node = 2;
+  cfg.nodes.set_node_speed(2, 0.5);  // ranks 4-5
+  rt::Collector collector;
+  interp::InterpConfig icfg;
+  icfg.runtime.slice_seconds = 1e-4;
+  const auto run = interp::run_program(mp.program, mp.plan, cfg, icfg, &collector);
+
+  rt::DetectorConfig dcfg;
+  dcfg.matrix_resolution = run.mpi.makespan() / 40.0;
+  rt::Detector detector(dcfg);
+  const auto analysis = detector.analyze(collector, 8, run.mpi.makespan());
+  const rt::VarianceEvent* best = nullptr;
+  for (const auto& ev : analysis.events) {
+    if (ev.type == rt::SensorType::Computation &&
+        (best == nullptr || ev.cells > best->cells)) {
+      best = &ev;
+    }
+  }
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->rank_begin, 4);
+  EXPECT_EQ(best->rank_end, 5);
+}
+
+}  // namespace
+}  // namespace vsensor

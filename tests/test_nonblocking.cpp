@@ -1,0 +1,171 @@
+// Non-blocking p2p (Isend/Irecv/Wait) and intra-process on-line history
+// detection inside the sensor runtime.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "runtime/sensor.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/engine.hpp"
+#include "support/error.hpp"
+
+namespace vsensor {
+namespace {
+
+simmpi::Config small(int ranks) {
+  simmpi::Config cfg;
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = 4;
+  cfg.deadlock_timeout = 10.0;
+  return cfg;
+}
+
+TEST(NonBlocking, OverlapHidesTransferTime) {
+  simmpi::Config cfg = small(2);
+  cfg.net.latency = 1e-3;
+  auto result = simmpi::run(cfg, [](simmpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = comm.isend(1, 1, 0);
+      comm.compute(0.5);  // overlap communication with computation
+      comm.wait(req);
+      // The message completed long ago: wait() is free.
+      EXPECT_NEAR(comm.now(), 0.5, 1e-9);
+    } else {
+      comm.recv(0, 1, 0);
+      comm.compute(0.5);
+    }
+  });
+  EXPECT_NEAR(result.makespan(), 0.501, 1e-6);
+}
+
+TEST(NonBlocking, IrecvPostedEarlyMatchesLaterSend) {
+  auto result = simmpi::run(small(2), [](simmpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = comm.irecv(1, 9, 256);
+      comm.compute(0.01);
+      comm.wait(req);
+    } else {
+      comm.compute(0.02);
+      comm.send(0, 9, 256);
+    }
+  });
+  EXPECT_GT(result.makespan(), 0.02);
+}
+
+TEST(NonBlocking, WaitallCompletesEverything) {
+  auto result = simmpi::run(small(4), [](simmpi::Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    std::array<simmpi::Comm::Request, 2> reqs = {
+        comm.isend(next, 3, 1024),
+        comm.irecv(prev, 3, 1024),
+    };
+    comm.waitall(reqs);
+    for (const auto& r : reqs) EXPECT_FALSE(r.valid());
+  });
+  EXPECT_EQ(result.ranks[0].messages, 1u);
+  EXPECT_EQ(result.ranks[0].bytes_sent, 1024u);
+}
+
+TEST(NonBlocking, WaitOnEmptyRequestThrows) {
+  EXPECT_THROW(simmpi::run(small(1),
+                           [](simmpi::Comm& comm) {
+                             simmpi::Comm::Request req;
+                             comm.wait(req);
+                           }),
+               Error);
+}
+
+TEST(NonBlocking, PipelineWithNonBlockingRuns) {
+  // LU-style software pipeline written with irecv/isend.
+  auto result = simmpi::run(small(8), [](simmpi::Comm& comm) {
+    for (int plane = 0; plane < 4; ++plane) {
+      simmpi::Comm::Request rx;
+      if (comm.rank() > 0) rx = comm.irecv(comm.rank() - 1, plane, 4096);
+      if (rx.valid()) comm.wait(rx);
+      comm.compute(1e-3);
+      if (comm.rank() + 1 < comm.size()) {
+        auto tx = comm.isend(comm.rank() + 1, plane, 4096);
+        comm.wait(tx);
+      }
+    }
+  });
+  // The wavefront reaches rank 7 after 8 pipeline stages.
+  EXPECT_GT(result.ranks[7].finish_time, result.ranks[0].finish_time);
+}
+
+// -------------------------------------------- local on-line detection
+
+struct FakeClock {
+  double t = 0.0;
+  rt::SensorRuntime::NowFn now() {
+    return [this] { return t; };
+  }
+  rt::SensorRuntime::ChargeFn charge() {
+    return [this](double s) { t += s; };
+  }
+};
+
+TEST(LocalHistory, StandardTimeTracksFastestSlice) {
+  FakeClock clock;
+  rt::RuntimeConfig cfg;
+  cfg.slice_seconds = 1e-3;
+  rt::SensorRuntime sensors(cfg, 0, nullptr, clock.now(), clock.charge());
+  const int id =
+      sensors.register_sensor({"s", rt::SensorType::Computation, "f.c", 1});
+  // Slow epoch first, then a faster one: the standard ratchets down.
+  for (int i = 0; i < 10; ++i) {
+    sensors.tick(id);
+    clock.t += 200e-6;
+    sensors.tock(id);
+  }
+  const double early = sensors.standard_time(id);
+  for (int i = 0; i < 10; ++i) {
+    sensors.tick(id);
+    clock.t += 100e-6;
+    sensors.tock(id);
+  }
+  EXPECT_GT(early, 0.0);
+  EXPECT_LT(sensors.standard_time(id), early);
+}
+
+TEST(LocalHistory, VarianceFlaggedLocally) {
+  FakeClock clock;
+  rt::RuntimeConfig cfg;
+  cfg.slice_seconds = 1e-3;
+  rt::SensorRuntime sensors(cfg, 0, nullptr, clock.now(), clock.charge());
+  const int id =
+      sensors.register_sensor({"s", rt::SensorType::Computation, "f.c", 1});
+  // Establish a fast standard, then degrade 2x: slices get flagged
+  // on-rank without any server involvement.
+  for (int i = 0; i < 50; ++i) {
+    sensors.tick(id);
+    clock.t += 100e-6;
+    sensors.tock(id);
+  }
+  EXPECT_EQ(sensors.local_variance_flags(), 0u);
+  for (int i = 0; i < 50; ++i) {
+    sensors.tick(id);
+    clock.t += 250e-6;
+    sensors.tock(id);
+  }
+  EXPECT_GT(sensors.local_variance_flags(), 10u);
+}
+
+TEST(LocalHistory, SteadySensorsNeverFlag) {
+  FakeClock clock;
+  rt::RuntimeConfig cfg;
+  cfg.slice_seconds = 1e-3;
+  rt::SensorRuntime sensors(cfg, 0, nullptr, clock.now(), clock.charge());
+  const int id =
+      sensors.register_sensor({"s", rt::SensorType::Computation, "f.c", 1});
+  for (int i = 0; i < 200; ++i) {
+    sensors.tick(id);
+    clock.t += 120e-6;
+    sensors.tock(id);
+  }
+  EXPECT_EQ(sensors.local_variance_flags(), 0u);
+}
+
+}  // namespace
+}  // namespace vsensor

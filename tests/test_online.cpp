@@ -1,0 +1,232 @@
+// On-line (periodic) detection and dynamic-rule grouping at system level.
+#include <gtest/gtest.h>
+
+#include "runtime/collector.hpp"
+#include "runtime/detector.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workload.hpp"
+
+namespace vsensor {
+namespace {
+
+rt::SliceRecord make_record(int sensor, int rank, double t, double avg,
+                            double metric = 0.0) {
+  rt::SliceRecord r;
+  r.sensor_id = sensor;
+  r.rank = rank;
+  r.t_begin = t;
+  r.t_end = t + 1e-3;
+  r.avg_duration = avg;
+  r.min_duration = avg;
+  r.count = 1;
+  r.metric = static_cast<float>(metric);
+  return r;
+}
+
+TEST(OnlineDetection, AnalyzeUntilSeesOnlyThePast) {
+  rt::Collector collector;
+  collector.set_sensors({{"s", rt::SensorType::Computation, "f.c", 1}});
+  std::vector<rt::SliceRecord> batch;
+  for (int rank = 0; rank < 4; ++rank) {
+    for (int slice = 0; slice < 100; ++slice) {
+      const double t = slice * 0.1;
+      // Rank 2 degrades from t = 6s on.
+      const double avg = (rank == 2 && t >= 6.0) ? 220e-6 : 100e-6;
+      batch.push_back(make_record(0, rank, t, avg));
+    }
+  }
+  collector.ingest(batch);
+  rt::Detector detector;
+
+  // Report at 50% progress: nothing wrong yet.
+  const auto early = detector.analyze_until(collector, 4, 5.0);
+  EXPECT_TRUE(early.events.empty());
+
+  // Report at 100%: the degradation is visible.
+  const auto late = detector.analyze_until(collector, 4, 10.0);
+  ASSERT_FALSE(late.events.empty());
+  EXPECT_EQ(late.events.front().rank_begin, 2);
+  EXPECT_GE(late.events.front().t_begin, 5.5);
+}
+
+TEST(OnlineDetection, HorizonBoundsMatrix) {
+  rt::Collector collector;
+  collector.set_sensors({{"s", rt::SensorType::Computation, "f.c", 1}});
+  std::vector<rt::SliceRecord> batch;
+  for (int slice = 0; slice < 50; ++slice) {
+    batch.push_back(make_record(0, 0, slice * 0.1, 100e-6));
+  }
+  collector.ingest(batch);
+  rt::DetectorConfig cfg;
+  cfg.matrix_resolution = 0.1;
+  rt::Detector detector(cfg);
+  const auto result = detector.analyze_until(collector, 1, 2.0);
+  EXPECT_EQ(result.matrix(rt::SensorType::Computation).buckets(), 20);
+}
+
+TEST(OnlineDetection, IncrementalReportsConverge) {
+  // The final analyze_until must agree with a plain analyze.
+  const auto cg = workloads::make_workload("CG");
+  auto cfg = workloads::baseline_config(8);
+  cfg.ranks_per_node = 4;
+  workloads::inject_bad_node(cfg, 1, 0.5);
+  workloads::RunOptions opts;
+  opts.params.iterations = 6;
+  opts.params.scale = 0.1;
+  rt::Collector server;
+  const auto run = workloads::run_workload(*cg, cfg, opts, &server);
+  rt::DetectorConfig dcfg;
+  dcfg.matrix_resolution = run.makespan / 40.0;
+  rt::Detector detector(dcfg);
+  const auto full = detector.analyze(server, 8, run.makespan);
+  const auto until = detector.analyze_until(server, 8, run.makespan);
+  // analyze_until drops the trailing partial-slice records (their t_end
+  // exceeds the horizon), so results agree up to those last records.
+  ASSERT_EQ(full.events.size(), until.events.size());
+  for (size_t i = 0; i < full.events.size(); ++i) {
+    EXPECT_EQ(full.events[i].rank_begin, until.events[i].rank_begin);
+    EXPECT_EQ(full.events[i].rank_end, until.events[i].rank_end);
+    EXPECT_NEAR(full.events[i].severity, until.events[i].severity, 0.02);
+  }
+}
+
+// -------------------------------------- dynamic rules at system level
+
+TEST(DynamicRules, MetricGroupingSuppressesFalsePositives) {
+  // A sensor legitimately alternates between two workloads-per-time regimes
+  // indicated by a cache-miss-like metric. Without grouping the high-miss
+  // records look like variance; with grouping each regime is clean.
+  rt::Collector collector;
+  collector.set_sensors({{"s", rt::SensorType::Computation, "f.c", 1}});
+  std::vector<rt::SliceRecord> batch;
+  for (int slice = 0; slice < 200; ++slice) {
+    const bool high_miss = (slice / 10) % 2 == 1;
+    batch.push_back(make_record(0, 0, slice * 1e-3,
+                                high_miss ? 200e-6 : 100e-6,
+                                high_miss ? 0.8 : 0.1));
+  }
+  collector.ingest(batch);
+
+  rt::DetectorConfig flat;
+  flat.matrix_resolution = 1e-3;
+  const auto no_rules = rt::Detector(flat).analyze(collector, 1, 0.2);
+  EXPECT_FALSE(no_rules.flagged.empty());
+
+  rt::DetectorConfig grouped = flat;
+  grouped.metric_bucket_width = 0.5;
+  const auto with_rules = rt::Detector(grouped).analyze(collector, 1, 0.2);
+  EXPECT_TRUE(with_rules.flagged.empty())
+      << "per-group standards remove the bimodal false positives";
+}
+
+TEST(DynamicRules, RealVarianceStillDetectedWithinGroup) {
+  rt::Collector collector;
+  collector.set_sensors({{"s", rt::SensorType::Computation, "f.c", 1}});
+  std::vector<rt::SliceRecord> batch;
+  for (int slice = 0; slice < 200; ++slice) {
+    const bool high_miss = (slice / 10) % 2 == 1;
+    double avg = high_miss ? 200e-6 : 100e-6;
+    // Genuine slowdown in the low-miss regime near the end.
+    if (!high_miss && slice > 150) avg = 300e-6;
+    batch.push_back(make_record(0, 0, slice * 1e-3, avg,
+                                high_miss ? 0.8 : 0.1));
+  }
+  collector.ingest(batch);
+  rt::DetectorConfig grouped;
+  grouped.matrix_resolution = 1e-3;
+  grouped.metric_bucket_width = 0.5;
+  const auto result = rt::Detector(grouped).analyze(collector, 1, 0.2);
+  ASSERT_FALSE(result.flagged.empty());
+  for (const auto& f : result.flagged) {
+    EXPECT_GT(f.record.t_begin, 0.15) << "only the genuine slowdown flags";
+    EXPECT_LT(f.record.metric, 0.5F);
+  }
+}
+
+TEST(EventMerging, GapBridgedWithinTolerance) {
+  std::vector<rt::VarianceEvent> events;
+  rt::VarianceEvent a;
+  a.type = rt::SensorType::Network;
+  a.t_begin = 0.0;
+  a.t_end = 1.0;
+  a.rank_begin = 0;
+  a.rank_end = 7;
+  a.severity = 0.5;
+  a.cells = 10;
+  rt::VarianceEvent b = a;
+  b.t_begin = 1.5;
+  b.t_end = 2.0;
+  b.severity = 0.6;
+  b.cells = 5;
+  events.push_back(a);
+  events.push_back(b);
+  const auto merged = rt::merge_events(events, /*gap_seconds=*/1.0);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].t_end, 2.0);
+  EXPECT_EQ(merged[0].cells, 15u);
+  EXPECT_NEAR(merged[0].severity, (0.5 * 10 + 0.6 * 5) / 15.0, 1e-12);
+}
+
+TEST(EventMerging, DifferentTypesNeverMerge) {
+  std::vector<rt::VarianceEvent> events(2);
+  events[0].type = rt::SensorType::Network;
+  events[0].t_begin = 0.0;
+  events[0].t_end = 1.0;
+  events[0].cells = 4;
+  events[1].type = rt::SensorType::Computation;
+  events[1].t_begin = 0.5;
+  events[1].t_end = 1.5;
+  events[1].cells = 4;
+  EXPECT_EQ(rt::merge_events(events, 10.0).size(), 2u);
+}
+
+TEST(WaitImbalance, NetworkMirrorOfComputeEventReclassified) {
+  // A bad node slows its ranks' computation; every other rank's collective
+  // sensors stretch from waiting. The network events must cross-reference
+  // the compute event instead of accusing the interconnect.
+  rt::Collector collector;
+  collector.set_sensors({
+      {"comp", rt::SensorType::Computation, "f.c", 1},
+      {"net", rt::SensorType::Network, "f.c", 2},
+  });
+  std::vector<rt::SliceRecord> batch;
+  for (int rank = 0; rank < 8; ++rank) {
+    for (int slice = 0; slice < 50; ++slice) {
+      const bool slow = rank >= 2 && rank <= 3;
+      batch.push_back(make_record(0, rank, slice * 0.2, slow ? 200e-6 : 100e-6));
+      // Collective duration: slow ranks arrive last (short), others wait.
+      batch.push_back(make_record(1, rank, slice * 0.2, slow ? 20e-6 : 120e-6));
+    }
+  }
+  collector.ingest(batch);
+  rt::Detector detector;
+  const auto result = detector.analyze(collector, 8, 10.0);
+  bool saw_wait_label = false;
+  for (const auto& ev : result.events) {
+    if (ev.type == rt::SensorType::Network) {
+      EXPECT_TRUE(ev.likely_wait_on_slow_ranks)
+          << ev.describe(10.0, 8);
+      saw_wait_label |= ev.classify(10.0, 8).find("waiting for slow ranks") !=
+                        std::string::npos;
+    }
+  }
+  EXPECT_TRUE(saw_wait_label);
+}
+
+TEST(EventMerging, DisjointRanksNeverMerge) {
+  std::vector<rt::VarianceEvent> events(2);
+  events[0].rank_begin = 0;
+  events[0].rank_end = 3;
+  events[0].t_begin = 0.0;
+  events[0].t_end = 1.0;
+  events[0].cells = 4;
+  events[1].rank_begin = 8;
+  events[1].rank_end = 11;
+  events[1].t_begin = 0.2;
+  events[1].t_end = 1.2;
+  events[1].cells = 4;
+  EXPECT_EQ(rt::merge_events(events, 10.0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace vsensor

@@ -1,0 +1,277 @@
+// Property-based / parameterized sweeps over invariants of the system.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/collector.hpp"
+#include "runtime/detector.hpp"
+#include "runtime/slicer.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/engine.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace vsensor {
+namespace {
+
+// ------------------------------------------------- NodeModel::advance
+
+class AdvanceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdvanceProperty, AdvanceIsMonotoneAndAdditive) {
+  Rng rng(GetParam());
+  simmpi::NodeModel model;
+  model.set_os_noise(rng.uniform(0.0, 0.3), rng.uniform(1e-4, 1e-2),
+                     rng.next_u64());
+  for (int w = 0; w < 3; ++w) {
+    const double t0 = rng.uniform(0.0, 1.0);
+    model.add_noise_window(0, t0, t0 + rng.uniform(0.01, 0.5),
+                           rng.uniform(0.2, 0.9));
+  }
+  double t = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double work = rng.uniform(0.0, 0.02);
+    const double end = model.advance(0, t, work);
+    // Time moves forward, and never faster than nominal speed.
+    EXPECT_GE(end, t);
+    EXPECT_GE(end - t, work - 1e-12);
+    // Splitting the work in half lands at the same place.
+    const double mid = model.advance(0, t, work / 2);
+    const double end2 = model.advance(0, mid, work / 2);
+    EXPECT_NEAR(end, end2, 1e-9);
+    t = end;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdvanceProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ------------------------------------------------- smoothing (Fig 12)
+
+class SmoothingProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SmoothingProperty, LargerSlicesReduceVariance) {
+  // Generate noisy per-execution durations; aggregate under two slice
+  // lengths; the coarser aggregation must have lower coefficient of
+  // variation — the smoothing property the paper's Fig 12 illustrates.
+  const double fine_slice = GetParam();
+  const double coarse_slice = fine_slice * 32;
+  rt::SliceAccumulator fine(0, 0, fine_slice);
+  rt::SliceAccumulator coarse(0, 0, coarse_slice);
+  Rng rng(42);
+  StreamingStats fine_stats;
+  StreamingStats coarse_stats;
+  double t = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    // ~10us nominal work with heavy multiplicative noise.
+    const double duration = 10e-6 * (1.0 + 0.5 * rng.next_double());
+    t += duration;
+    if (auto rec = fine.add(t, duration, 0.0)) fine_stats.add(rec->avg_duration);
+    if (auto rec = coarse.add(t, duration, 0.0)) {
+      coarse_stats.add(rec->avg_duration);
+    }
+  }
+  ASSERT_GT(fine_stats.count(), 10u);
+  ASSERT_GT(coarse_stats.count(), 10u);
+  EXPECT_LT(coarse_stats.cv(), fine_stats.cv() * 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(SliceLengths, SmoothingProperty,
+                         ::testing::Values(20e-6, 50e-6, 100e-6));
+
+// --------------------------------------- normalization invariants
+
+class NormalizationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NormalizationProperty, NormalizedPerfInUnitInterval) {
+  Rng rng(GetParam());
+  std::vector<rt::SliceRecord> records;
+  for (int i = 0; i < 200; ++i) {
+    rt::SliceRecord rec;
+    rec.sensor_id = 0;
+    rec.rank = static_cast<int>(rng.next_below(8));
+    rec.t_begin = i * 1e-3;
+    rec.t_end = rec.t_begin + 1e-3;
+    rec.avg_duration = rng.uniform(10e-6, 500e-6);
+    rec.count = 1 + static_cast<uint32_t>(rng.next_below(50));
+    rec.metric = static_cast<float>(rng.uniform(0.0, 1.0));
+    records.push_back(rec);
+  }
+  rt::Detector detector;
+  const auto normalized = detector.normalize_records(records);
+  ASSERT_EQ(normalized.size(), records.size());
+  double best = 0.0;
+  for (const double v : normalized) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+    best = std::max(best, v);
+  }
+  // The fastest record normalizes to exactly 1.
+  EXPECT_NEAR(best, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizationProperty,
+                         ::testing::Values(7, 11, 19, 23, 31));
+
+TEST(NormalizationProperty2, GroupingNeverCreatesNewVarianceFlags) {
+  // With dynamic-rule grouping, each group's standard can only move closer
+  // to its members: grouped normalized >= ungrouped normalized.
+  Rng rng(99);
+  std::vector<rt::SliceRecord> records;
+  for (int i = 0; i < 300; ++i) {
+    rt::SliceRecord rec;
+    rec.sensor_id = 0;
+    rec.rank = 0;
+    rec.avg_duration = rng.uniform(10e-6, 200e-6);
+    rec.metric = static_cast<float>(rng.uniform(0.0, 1.0));
+    rec.count = 1;
+    records.push_back(rec);
+  }
+  rt::DetectorConfig flat_cfg;
+  flat_cfg.metric_bucket_width = 0.0;
+  rt::DetectorConfig grouped_cfg;
+  grouped_cfg.metric_bucket_width = 0.25;
+  const auto flat = rt::Detector(flat_cfg).normalize_records(records);
+  const auto grouped = rt::Detector(grouped_cfg).normalize_records(records);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_GE(grouped[i], flat[i] - 1e-12) << i;
+  }
+}
+
+// ------------------------------------------ simulator scale sweep
+
+class ScaleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaleProperty, CollectiveJobsScaleAndStayDeterministic) {
+  const int ranks = GetParam();
+  simmpi::Config cfg;
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = 8;
+  auto job = [](simmpi::Comm& comm) {
+    for (int i = 0; i < 3; ++i) {
+      comm.compute(1e-4);
+      comm.allreduce(64);
+    }
+  };
+  const auto a = simmpi::run(cfg, job);
+  const auto b = simmpi::run(cfg, job);
+  EXPECT_DOUBLE_EQ(a.makespan(), b.makespan());
+  // All ranks finish together after the final allreduce.
+  for (const auto& r : a.ranks) {
+    EXPECT_DOUBLE_EQ(r.finish_time, a.ranks[0].finish_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ScaleProperty,
+                         ::testing::Values(2, 4, 16, 64, 128));
+
+// ---------------------------------- slice records partition time
+
+class SlicerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlicerProperty, CountsAndMassConserved) {
+  Rng rng(GetParam());
+  rt::SliceAccumulator acc(0, 0, 1e-3);
+  uint64_t pushed = 0;
+  double total_duration = 0.0;
+  uint64_t collected = 0;
+  double collected_mass = 0.0;
+  double t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double d = rng.uniform(1e-6, 300e-6);
+    t += d;
+    total_duration += d;
+    ++pushed;
+    if (auto rec = acc.add(t, d, 0.0)) {
+      collected += rec->count;
+      collected_mass += rec->avg_duration * rec->count;
+    }
+  }
+  if (auto rec = acc.flush()) {
+    collected += rec->count;
+    collected_mass += rec->avg_duration * rec->count;
+  }
+  EXPECT_EQ(collected, pushed);
+  EXPECT_NEAR(collected_mass, total_duration, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlicerProperty, ::testing::Values(3, 6, 9, 12));
+
+// ------------------------------------------ monotonicity invariants
+
+class CongestionMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(CongestionMonotone, StrongerCongestionNeverSpeedsUp) {
+  const double factor = GetParam();
+  auto job = [](simmpi::Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    for (int i = 0; i < 5; ++i) {
+      comm.compute(1e-4);
+      comm.sendrecv(next, 1, 32768, prev, 1, 32768);
+      comm.alltoall(4096);
+    }
+  };
+  simmpi::Config base;
+  base.ranks = 8;
+  simmpi::Config congested = base;
+  congested.congestion.add_window(0.0, 1e9, factor);
+  simmpi::Config worse = base;
+  worse.congestion.add_window(0.0, 1e9, factor * 2.0);
+  const double t0 = simmpi::run(base, job).makespan();
+  const double t1 = simmpi::run(congested, job).makespan();
+  const double t2 = simmpi::run(worse, job).makespan();
+  EXPECT_GE(t1, t0);
+  EXPECT_GE(t2, t1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, CongestionMonotone,
+                         ::testing::Values(1.5, 3.0, 8.0, 20.0));
+
+TEST(EngineReuse, SameEngineRunsTwice) {
+  simmpi::Config cfg;
+  cfg.ranks = 4;
+  simmpi::Engine engine(cfg);
+  auto job = [](simmpi::Comm& comm) {
+    comm.compute(1e-3 * (comm.rank() + 1));
+    comm.barrier();
+  };
+  const auto a = engine.run(job);
+  const auto b = engine.run(job);
+  EXPECT_DOUBLE_EQ(a.makespan(), b.makespan());
+}
+
+class ThresholdMonotone : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThresholdMonotone, LowerThresholdFlagsSubset) {
+  Rng rng(GetParam());
+  rt::Collector collector;
+  collector.set_sensors({{"s", rt::SensorType::Computation, "f.c", 1}});
+  std::vector<rt::SliceRecord> records;
+  for (int i = 0; i < 300; ++i) {
+    rt::SliceRecord rec;
+    rec.sensor_id = 0;
+    rec.rank = static_cast<int>(rng.next_below(4));
+    rec.t_begin = i * 1e-3;
+    rec.t_end = rec.t_begin + 1e-3;
+    rec.avg_duration = rng.uniform(80e-6, 250e-6);
+    rec.count = 1;
+    records.push_back(rec);
+  }
+  collector.ingest(records);
+  size_t previous = 0;
+  for (const double th : {0.4, 0.6, 0.8, 0.95}) {
+    rt::DetectorConfig cfg;
+    cfg.variance_threshold = th;
+    cfg.matrix_resolution = 1e-3;
+    const auto result = rt::Detector(cfg).analyze(collector, 4, 0.3);
+    EXPECT_GE(result.flagged.size(), previous)
+        << "higher threshold must flag at least as many records";
+    previous = result.flagged.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThresholdMonotone, ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace vsensor

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "report/render.hpp"
+#include "report/report.hpp"
+#include "runtime/collector.hpp"
+#include "runtime/detector.hpp"
+
+namespace vsensor::report {
+namespace {
+
+rt::PerformanceMatrix make_matrix() {
+  rt::PerformanceMatrix m(4, 10, 0.2);
+  for (int r = 0; r < 4; ++r) {
+    for (int b = 0; b < 10; ++b) {
+      // Rank 2 degraded in buckets 4-6.
+      const double v = (r == 2 && b >= 4 && b <= 6) ? 0.45 : 0.97;
+      m.accumulate(r, b, v, 1.0);
+    }
+  }
+  m.finalize();
+  return m;
+}
+
+TEST(Render, AsciiShowsDegradedRegionAsLightShade) {
+  const auto m = make_matrix();
+  RenderOptions opts;
+  opts.max_rows = 4;
+  opts.max_cols = 10;
+  const std::string art = render_ascii(m, opts);
+  // 4 data rows plus header.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 5);
+  // The degraded cells render as the lightest shade (space).
+  EXPECT_NE(art.find(' '), std::string::npos);
+  EXPECT_NE(art.find("r2"), std::string::npos);
+}
+
+TEST(Render, AsciiDownsamples) {
+  rt::PerformanceMatrix m(128, 500, 0.2);
+  for (int r = 0; r < 128; ++r) {
+    for (int b = 0; b < 500; ++b) m.accumulate(r, b, 1.0, 1.0);
+  }
+  m.finalize();
+  RenderOptions opts;
+  opts.max_rows = 16;
+  opts.max_cols = 80;
+  const std::string art = render_ascii(m, opts);
+  EXPECT_LE(std::count(art.begin(), art.end(), '\n'), 17);
+}
+
+TEST(Render, CsvListsNonEmptyCells) {
+  rt::PerformanceMatrix m(2, 2, 1.0);
+  m.accumulate(0, 0, 0.9, 1.0);
+  m.finalize();
+  const std::string csv = render_csv(m);
+  EXPECT_NE(csv.find("rank,bucket,t_begin,value"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,0,0.9"), std::string::npos);
+  // Only header + one row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(Render, PpmHasCorrectHeaderAndSize) {
+  const auto m = make_matrix();
+  const std::string ppm = render_ppm(m);
+  EXPECT_EQ(ppm.substr(0, 2), "P6");
+  EXPECT_NE(ppm.find("10 4"), std::string::npos);
+  // Header + 3 bytes per pixel.
+  const auto header_end = ppm.find("255\n") + 4;
+  EXPECT_EQ(ppm.size() - header_end, 4u * 10u * 3u);
+}
+
+TEST(Report, SummarizesEventsWithRootCause) {
+  rt::Collector collector;
+  collector.set_sensors({{"s", rt::SensorType::Computation, "f.c", 1}});
+  std::vector<rt::SliceRecord> batch;
+  for (int rank = 0; rank < 8; ++rank) {
+    for (int slice = 0; slice < 40; ++slice) {
+      rt::SliceRecord rec;
+      rec.sensor_id = 0;
+      rec.rank = rank;
+      rec.t_begin = slice * 0.2;
+      rec.t_end = rec.t_begin + 0.2;
+      rec.avg_duration = rank == 3 ? 220e-6 : 100e-6;
+      rec.min_duration = rec.avg_duration;
+      rec.count = 10;
+      batch.push_back(rec);
+    }
+  }
+  collector.ingest(batch);
+  rt::Detector detector;
+  const auto analysis = detector.analyze(collector, 8, 8.0);
+  const std::string text = variance_report(analysis);
+  EXPECT_NE(text.find("vSensor variance report"), std::string::npos);
+  EXPECT_NE(text.find("Computation"), std::string::npos);
+  EXPECT_NE(text.find("ranks 3-3"), std::string::npos);
+  EXPECT_NE(text.find("bad node"), std::string::npos);
+}
+
+TEST(Report, CleanRunSaysSo) {
+  rt::Collector collector;
+  collector.set_sensors({{"s", rt::SensorType::Network, "f.c", 1}});
+  std::vector<rt::SliceRecord> batch;
+  for (int rank = 0; rank < 4; ++rank) {
+    for (int slice = 0; slice < 20; ++slice) {
+      rt::SliceRecord rec;
+      rec.sensor_id = 0;
+      rec.rank = rank;
+      rec.t_begin = slice * 0.2;
+      rec.t_end = rec.t_begin + 0.2;
+      rec.avg_duration = 50e-6;
+      rec.min_duration = rec.avg_duration;
+      rec.count = 4;
+      batch.push_back(rec);
+    }
+  }
+  collector.ingest(batch);
+  rt::Detector detector;
+  const auto analysis = detector.analyze(collector, 4, 4.0);
+  const std::string text = variance_report(analysis);
+  EXPECT_NE(text.find("no durable performance variance detected"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vsensor::report

@@ -1,0 +1,132 @@
+// Session file round-trip and robustness (the §5.4 shared-file transport).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/detector.hpp"
+#include "runtime/session_io.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace vsensor::rt {
+namespace {
+
+Session make_session() {
+  Session s;
+  s.ranks = 4;
+  s.run_time = 1.25;
+  s.sensors = {
+      {"cg:matvec kernel", SensorType::Computation, "cg.c", 112},
+      {"cg:allreduce", SensorType::Network, "cg.c", 122},
+  };
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    SliceRecord r;
+    r.sensor_id = static_cast<int>(rng.next_below(2));
+    r.rank = static_cast<int>(rng.next_below(4));
+    r.t_begin = i * 1e-3;
+    r.t_end = r.t_begin + 1e-3;
+    r.avg_duration = rng.uniform(50e-6, 150e-6);
+    r.min_duration = r.avg_duration * 0.9;
+    r.count = 1 + static_cast<uint32_t>(rng.next_below(20));
+    r.metric = static_cast<float>(rng.uniform(0.0, 1.0));
+    r.flags = i % 7 == 0 ? 1 : 0;
+    s.records.push_back(r);
+  }
+  return s;
+}
+
+TEST(SessionIo, RoundTripPreservesEverything) {
+  const Session original = make_session();
+  std::stringstream buffer;
+  save_session(buffer, original);
+  const Session loaded = load_session(buffer);
+
+  EXPECT_EQ(loaded.ranks, original.ranks);
+  EXPECT_DOUBLE_EQ(loaded.run_time, original.run_time);
+  ASSERT_EQ(loaded.sensors.size(), original.sensors.size());
+  for (size_t i = 0; i < original.sensors.size(); ++i) {
+    EXPECT_EQ(loaded.sensors[i].name, original.sensors[i].name);
+    EXPECT_EQ(loaded.sensors[i].type, original.sensors[i].type);
+    EXPECT_EQ(loaded.sensors[i].file, original.sensors[i].file);
+    EXPECT_EQ(loaded.sensors[i].line, original.sensors[i].line);
+  }
+  ASSERT_EQ(loaded.records.size(), original.records.size());
+  for (size_t i = 0; i < original.records.size(); ++i) {
+    EXPECT_EQ(loaded.records[i].sensor_id, original.records[i].sensor_id);
+    EXPECT_EQ(loaded.records[i].rank, original.records[i].rank);
+    EXPECT_DOUBLE_EQ(loaded.records[i].avg_duration,
+                     original.records[i].avg_duration);
+    EXPECT_EQ(loaded.records[i].count, original.records[i].count);
+    EXPECT_FLOAT_EQ(loaded.records[i].metric, original.records[i].metric);
+    EXPECT_EQ(loaded.records[i].flags, original.records[i].flags);
+  }
+}
+
+TEST(SessionIo, SensorNamesWithSpacesSurvive) {
+  Session s;
+  s.ranks = 1;
+  s.run_time = 0.1;
+  s.sensors = {{"the stencil relax loop", SensorType::Computation, "a.c", 3}};
+  std::stringstream buffer;
+  save_session(buffer, s);
+  const Session loaded = load_session(buffer);
+  EXPECT_EQ(loaded.sensors[0].name, "the stencil relax loop");
+}
+
+TEST(SessionIo, AnalysisOfLoadedSessionMatchesDirect) {
+  const Session session = make_session();
+  std::stringstream buffer;
+  save_session(buffer, session);
+  const Session loaded = load_session(buffer);
+
+  auto analyze = [](const Session& s) {
+    Collector c;
+    c.set_sensors(s.sensors);
+    c.ingest(s.records);
+    DetectorConfig cfg;
+    cfg.matrix_resolution = s.run_time / 20.0;
+    return Detector(cfg).analyze(c, s.ranks, s.run_time);
+  };
+  const auto a = analyze(session);
+  const auto b = analyze(loaded);
+  EXPECT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.flagged.size(), b.flagged.size());
+  EXPECT_DOUBLE_EQ(a.matrix(SensorType::Computation).average(),
+                   b.matrix(SensorType::Computation).average());
+}
+
+TEST(SessionIo, RejectsGarbage) {
+  std::stringstream not_a_session("hello world\n1 2 3\n");
+  EXPECT_THROW(load_session(not_a_session), Error);
+
+  std::stringstream empty("");
+  EXPECT_THROW(load_session(empty), Error);
+
+  std::stringstream bad_version("vsensor-session 99\nranks 1 run_time 1\n");
+  EXPECT_THROW(load_session(bad_version), Error);
+
+  std::stringstream dangling_record(
+      "vsensor-session 1\nranks 1 run_time 1\nrecord 5 0 0 1 1 1 1 0 0\n");
+  EXPECT_THROW(load_session(dangling_record), Error);
+
+  std::stringstream truncated_record(
+      "vsensor-session 1\nranks 1 run_time 1\n"
+      "sensor 0 0 1 f.c s\nrecord 0 0 0.5\n");
+  EXPECT_THROW(load_session(truncated_record), Error);
+}
+
+TEST(SessionIo, FileRoundTrip) {
+  const Session original = make_session();
+  Collector collector;
+  collector.set_sensors(original.sensors);
+  collector.ingest(original.records);
+  const std::string path = "/tmp/vsensor_test_session.vsr";
+  save_session_file(path, collector, original.ranks, original.run_time);
+  const Session loaded = load_session_file(path);
+  EXPECT_EQ(loaded.records.size(), original.records.size());
+  EXPECT_THROW(load_session_file("/nonexistent/path.vsr"), Error);
+}
+
+}  // namespace
+}  // namespace vsensor::rt

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+#include "ir/ir.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workload.hpp"
+
+namespace vsensor::workloads {
+namespace {
+
+RunOptions quick_options(int iterations = 4, double scale = 0.05) {
+  RunOptions opts;
+  opts.params.iterations = iterations;
+  opts.params.scale = scale;
+  return opts;
+}
+
+TEST(Workloads, AllEightExist) {
+  const auto all = make_all_workloads();
+  ASSERT_EQ(all.size(), 8u);
+  std::vector<std::string> names;
+  for (const auto& w : all) names.push_back(w->name());
+  const std::vector<std::string> expected{"BT",  "CG",     "FT",    "LU",
+                                          "SP",  "AMG",    "LULESH", "RAXML"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(Workloads, EveryMinicModelParsesAndAnalyzes) {
+  for (const auto& w : make_all_workloads()) {
+    SCOPED_TRACE(w->name());
+    minic::Program program;
+    ASSERT_NO_THROW(program = minic::parse(w->minic_source()));
+    ASSERT_NO_THROW(minic::run_sema(program));
+    const auto ir = ir::lower(program);
+    const auto result = analysis::analyze(ir);
+    EXPECT_GT(result.snippet_count(), 0) << w->name();
+  }
+}
+
+TEST(Workloads, EveryWorkloadRunsInstrumented) {
+  for (const auto& w : make_all_workloads()) {
+    SCOPED_TRACE(w->name());
+    auto cfg = baseline_config(8);
+    cfg.ranks_per_node = 4;
+    rt::Collector collector;
+    const auto run = run_workload(*w, cfg, quick_options(), &collector);
+    EXPECT_GT(run.makespan, 0.0);
+    EXPECT_GT(run.sense.sense_count, 0u);
+    EXPECT_GT(collector.record_count(), 0u);
+  }
+}
+
+TEST(Workloads, SensorTablesAreWellFormed) {
+  for (const auto& w : make_all_workloads()) {
+    SCOPED_TRACE(w->name());
+    const auto sensors = w->sensors();
+    EXPECT_FALSE(sensors.empty());
+    for (const auto& s : sensors) {
+      EXPECT_FALSE(s.name.empty());
+      EXPECT_FALSE(s.file.empty());
+      EXPECT_GT(s.line, 0);
+    }
+  }
+}
+
+TEST(Workloads, FixedWorkloadValidatesWithZeroError) {
+  const auto cg = make_workload("CG");
+  auto cfg = baseline_config(4);
+  cfg.ranks_per_node = 2;
+  const auto run = run_workload(*cg, cfg, quick_options());
+  // Without PMU jitter the per-sensor instruction counts are identical.
+  EXPECT_NEAR(run.workload_max_error(), 0.0, 1e-12);
+}
+
+TEST(Workloads, PmuJitterBoundsValidationError) {
+  const auto cg = make_workload("CG");
+  auto cfg = baseline_config(4);
+  cfg.ranks_per_node = 2;
+  RunOptions opts = quick_options();
+  opts.pmu_jitter = 0.05;  // models the paper's <5% PMU error band
+  const auto run = run_workload(*cg, cfg, opts);
+  EXPECT_GT(run.workload_max_error(), 0.0);
+  EXPECT_LT(run.workload_max_error(), 0.06);
+}
+
+TEST(Workloads, UninstrumentedRunIsFaster) {
+  const auto ft = make_workload("FT");
+  auto cfg = baseline_config(4);
+  cfg.ranks_per_node = 2;
+  RunOptions instrumented = quick_options(8, 0.2);
+  RunOptions plain = instrumented;
+  plain.instrumented = false;
+  const auto run_i = run_workload(*ft, cfg, instrumented);
+  const auto run_p = run_workload(*ft, cfg, plain);
+  EXPECT_GE(run_i.makespan, run_p.makespan);
+  // Overhead must stay small (paper: < 4%).
+  EXPECT_LT((run_i.makespan - run_p.makespan) / run_p.makespan, 0.04);
+}
+
+TEST(Workloads, AmgHasLowCoverage) {
+  const auto amg = make_workload("AMG");
+  const auto raxml = make_workload("RAXML");
+  auto cfg = baseline_config(4);
+  cfg.ranks_per_node = 2;
+  const auto opts = quick_options(12, 0.2);
+  const auto run_amg = run_workload(*amg, cfg, opts);
+  const auto run_rax = run_workload(*raxml, cfg, opts);
+  const double cov_amg = run_amg.sense.coverage(run_amg.makespan * 4);
+  const double cov_rax = run_rax.sense.coverage(run_rax.makespan * 4);
+  EXPECT_LT(cov_amg, cov_rax)
+      << "adaptive refinement leaves AMG with the lowest sensor coverage";
+}
+
+TEST(Scenarios, BadNodeSlowsWorkload) {
+  const auto cg = make_workload("CG");
+  auto clean = baseline_config(8);
+  clean.ranks_per_node = 4;
+  auto bad = clean;
+  inject_bad_node(bad, 1, 0.55);
+  const auto opts = quick_options(4, 0.2);
+  const auto run_clean = run_workload(*cg, clean, opts);
+  const auto run_bad = run_workload(*cg, bad, opts);
+  EXPECT_GT(run_bad.makespan, run_clean.makespan * 1.1)
+      << "a 55% memory-speed node must slow the whole bulk-synchronous job";
+}
+
+TEST(Scenarios, CongestionSlowsFt) {
+  const auto ft = make_workload("FT");
+  auto clean = baseline_config(8);
+  clean.ranks_per_node = 4;
+  auto congested = clean;
+  inject_network_congestion(congested, 0.0, 1e6, 10.0);
+  const auto opts = quick_options(6, 0.2);
+  const auto run_clean = run_workload(*ft, clean, opts);
+  const auto run_cong = run_workload(*ft, congested, opts);
+  EXPECT_GT(run_cong.makespan, run_clean.makespan * 1.05);
+}
+
+TEST(Scenarios, NoiserWindowTargetsRanks) {
+  auto cfg = baseline_config(8);
+  cfg.ranks_per_node = 4;
+  inject_noiser(cfg, 4, 7, 0.0, 1.0, 0.5);
+  // Node 1 (ranks 4-7) runs at half speed during the window.
+  EXPECT_LT(cfg.nodes.speed_at(1, 0.5), 0.6);
+  EXPECT_GT(cfg.nodes.speed_at(0, 0.5), 0.9);
+}
+
+TEST(Scenarios, BackgroundNoiseDeterministicPerSubmission) {
+  auto a = baseline_config(4, 3);
+  auto b = baseline_config(4, 3);
+  apply_background_noise(a, 3, 5, 100.0);
+  apply_background_noise(b, 3, 5, 100.0);
+  for (double t : {1.0, 10.0, 50.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.congestion.factor_at(t), b.congestion.factor_at(t));
+  }
+}
+
+}  // namespace
+}  // namespace vsensor::workloads

@@ -1,0 +1,243 @@
+// vsensor-cc — command-line driver for the vSensor tool chain.
+//
+// Mirrors the paper's workflow (Fig 2) on a MiniC translation unit:
+//
+//   vsensor-cc prog.mc --analyze            # identify v-sensors (step 2)
+//   vsensor-cc prog.mc --dump-ir            # inspect the lowered IR
+//   vsensor-cc prog.mc --instrument         # emit instrumented source (3-4)
+//   vsensor-cc prog.mc --run --ranks=16     # run on simMPI + report (6-8)
+//   vsensor-cc prog.mc --run --bad-node=1 --congest=2,5,8
+//
+// Options:
+//   --max-depth=N      selection depth bound (default 3)
+//   --ranks=N          simulated MPI ranks (default 8)
+//   --slice-us=N       smoothing slice in microseconds (default 1000)
+//   --bad-node=K       run with node K at 55% speed
+//   --congest=T0,T1,F  run with network congestion factor F in [T0,T1) ms
+//   --matrix           print per-component heat maps with the report
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/analysis.hpp"
+#include "instrument/instrument.hpp"
+#include "interp/interp.hpp"
+#include "ir/ir.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/sema.hpp"
+#include "report/report.hpp"
+#include "runtime/detector.hpp"
+#include "runtime/session_io.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace vsensor;
+
+struct Options {
+  std::string input;
+  bool dump_ir = false;
+  bool analyze = false;
+  bool instrument = false;
+  bool run = false;
+  bool matrix = false;
+  int max_depth = 3;
+  int ranks = 8;
+  double slice_us = 1000.0;
+  int bad_node = -1;
+  std::string save_records;
+  double congest_t0 = 0.0;
+  double congest_t1 = 0.0;
+  double congest_factor = 1.0;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <prog.mc> [--analyze|--dump-ir|--instrument|--run]\n"
+               "  [--max-depth=N] [--ranks=N] [--slice-us=N] [--matrix]\n"
+               "  [--save-records=FILE]\n"
+               "  [--bad-node=K] [--congest=T0ms,T1ms,FACTOR]\n",
+               argv0);
+  std::exit(2);
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_flag(argv[i], "--dump-ir", &value)) {
+      opts.dump_ir = true;
+    } else if (parse_flag(argv[i], "--analyze", &value)) {
+      opts.analyze = true;
+    } else if (parse_flag(argv[i], "--instrument", &value)) {
+      opts.instrument = true;
+    } else if (parse_flag(argv[i], "--run", &value)) {
+      opts.run = true;
+    } else if (parse_flag(argv[i], "--matrix", &value)) {
+      opts.matrix = true;
+    } else if (parse_flag(argv[i], "--max-depth", &value)) {
+      opts.max_depth = std::stoi(value);
+    } else if (parse_flag(argv[i], "--ranks", &value)) {
+      opts.ranks = std::stoi(value);
+    } else if (parse_flag(argv[i], "--slice-us", &value)) {
+      opts.slice_us = std::stod(value);
+    } else if (parse_flag(argv[i], "--bad-node", &value)) {
+      opts.bad_node = std::stoi(value);
+    } else if (parse_flag(argv[i], "--save-records", &value)) {
+      opts.save_records = value;
+    } else if (parse_flag(argv[i], "--congest", &value)) {
+      std::istringstream is(value);
+      char comma = 0;
+      if (!(is >> opts.congest_t0 >> comma >> opts.congest_t1 >> comma >>
+            opts.congest_factor)) {
+        usage(argv[0]);
+      }
+      opts.congest_t0 *= 1e-3;
+      opts.congest_t1 *= 1e-3;
+    } else if (argv[i][0] == '-') {
+      usage(argv[0]);
+    } else if (opts.input.empty()) {
+      opts.input = argv[i];
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opts.input.empty()) usage(argv[0]);
+  if (!opts.dump_ir && !opts.analyze && !opts.instrument && !opts.run) {
+    opts.analyze = true;  // default action
+  }
+  return opts;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open input file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void print_analysis(const ir::ProgramIR& ir,
+                    const analysis::AnalysisResult& result) {
+  std::printf("snippets: %d, v-sensors: %d, instrumented: %zu\n\n",
+              result.snippet_count(), result.vsensor_count(),
+              result.selected.size());
+  std::printf("%-30s %-6s %-5s %-10s %s\n", "snippet", "line", "kind", "status",
+              "scope");
+  for (const auto& s : result.snippets) {
+    const auto& fn = ir.functions[static_cast<size_t>(s.func)];
+    std::string name = fn.name + ":" +
+                       (s.is_call ? "C" + std::to_string(s.node->call_id)
+                                  : "L" + std::to_string(s.node->loop_id));
+    std::string status = s.never_fixed        ? "never"
+                         : s.rank_dependent   ? "per-rank"
+                         : s.is_vsensor       ? "v-sensor"
+                                              : "varies";
+    std::printf("%-30s %-6d %-5s %-10s %s\n", name.c_str(), s.loc.line,
+                analysis::snippet_kind_name(s.kind), status.c_str(),
+                s.global_scope ? "global" : "");
+  }
+  if (!result.selected.empty()) {
+    std::printf("\ninstrumented sensors:\n");
+    for (const auto& site : result.selected) {
+      std::printf("  [%s] %s\n", analysis::snippet_kind_name(site.kind),
+                  site.label.c_str());
+    }
+  }
+}
+
+int run_tool(const Options& opts) {
+  minic::Program program = minic::parse(read_file(opts.input));
+  minic::run_sema(program);
+  const ir::ProgramIR ir = ir::lower(program);
+
+  if (opts.dump_ir) {
+    std::printf("%s", ir::dump(ir).c_str());
+    return 0;
+  }
+
+  analysis::AnalyzerConfig config;
+  config.max_depth = opts.max_depth;
+  const auto result = analysis::analyze(ir, config);
+
+  if (opts.analyze && !opts.run && !opts.instrument) {
+    print_analysis(ir, result);
+    return 0;
+  }
+
+  const auto plan = instrument::instrument(program, result, opts.input);
+  if (opts.instrument && !opts.run) {
+    std::printf("%s", minic::print_program(program).c_str());
+    return 0;
+  }
+
+  // --run: execute on simMPI and report.
+  simmpi::Config sim;
+  sim.ranks = opts.ranks;
+  // Small nodes so --bad-node affects a proper subset of ranks even for
+  // small demo jobs (uniform slowness is invisible to relative comparison).
+  sim.ranks_per_node = std::max(1, opts.ranks / 4);
+  sim.nodes.set_os_noise(0.05, 1e-3, 1);
+  if (opts.bad_node >= 0) sim.nodes.set_node_speed(opts.bad_node, 0.55);
+  if (opts.congest_factor > 1.0) {
+    sim.congestion.add_window(opts.congest_t0, opts.congest_t1,
+                              opts.congest_factor);
+  }
+  rt::Collector server;
+  interp::InterpConfig icfg;
+  icfg.runtime.slice_seconds = opts.slice_us * 1e-6;
+  const auto run = interp::run_program(program, plan, sim, icfg, &server);
+  std::printf("run finished: %.6f virtual seconds, %llu sensor records\n\n",
+              run.mpi.makespan(),
+              static_cast<unsigned long long>(server.record_count()));
+  if (!run.rank0_output.empty()) {
+    std::printf("--- rank 0 output ---\n%s\n---------------------\n\n",
+                run.rank0_output.c_str());
+  }
+
+  if (!opts.save_records.empty()) {
+    rt::save_session_file(opts.save_records, server, sim.ranks,
+                          run.mpi.makespan());
+    std::printf("session saved: %s\n\n", opts.save_records.c_str());
+  }
+
+  rt::DetectorConfig dcfg;
+  dcfg.matrix_resolution = run.mpi.makespan() / 50.0;
+  rt::Detector detector(dcfg);
+  const auto analysis = detector.analyze(server, sim.ranks, run.mpi.makespan());
+  report::ReportOptions ropts;
+  ropts.include_matrices = opts.matrix;
+  std::printf("%s", report::variance_report(analysis, ropts).c_str());
+  return analysis.events.empty() ? 0 : 3;  // 3 = variance detected
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(parse_args(argc, argv));
+  } catch (const CompileError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "vsensor-cc: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,144 @@
+// vsensor-report — offline analysis of a saved session file.
+//
+// vsensor-cc --run --save-records=session.vsr writes the sensor table and
+// every slice record the analysis server received (the paper's shared-file
+// transport, §5.4); this tool re-runs the detector over the file:
+//
+//   vsensor-report session.vsr
+//   vsensor-report session.vsr --matrix
+//   vsensor-report session.vsr --threshold=0.8 --resolution-ms=5
+//   vsensor-report session.vsr --until=0.5       # on-line view at 50%
+//   vsensor-report session.vsr --series=net --points=40
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "report/report.hpp"
+#include "runtime/detector.hpp"
+#include "runtime/session_io.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace vsensor;
+
+struct Options {
+  std::string input;
+  bool matrix = false;
+  double threshold = 0.7;
+  double resolution_ms = 0.0;  ///< 0 = run_time / 60
+  double until_fraction = 1.0;
+  std::string series;  ///< "", "comp", "net", "io"
+  int series_points = 40;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: vsensor-report <session.vsr> [--matrix]\n"
+               "  [--threshold=F] [--resolution-ms=N] [--until=FRACTION]\n"
+               "  [--series=comp|net|io] [--points=N]\n");
+  std::exit(2);
+}
+
+bool flag_value(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Options parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (flag_value(argv[i], "--matrix", &value)) {
+      opts.matrix = true;
+    } else if (flag_value(argv[i], "--threshold", &value)) {
+      opts.threshold = std::stod(value);
+    } else if (flag_value(argv[i], "--resolution-ms", &value)) {
+      opts.resolution_ms = std::stod(value);
+    } else if (flag_value(argv[i], "--until", &value)) {
+      opts.until_fraction = std::stod(value);
+    } else if (flag_value(argv[i], "--series", &value)) {
+      opts.series = value;
+    } else if (flag_value(argv[i], "--points", &value)) {
+      opts.series_points = std::stoi(value);
+    } else if (argv[i][0] == '-') {
+      usage();
+    } else if (opts.input.empty()) {
+      opts.input = argv[i];
+    } else {
+      usage();
+    }
+  }
+  if (opts.input.empty()) usage();
+  return opts;
+}
+
+rt::SensorType parse_series(const std::string& s) {
+  if (s == "comp") return rt::SensorType::Computation;
+  if (s == "net") return rt::SensorType::Network;
+  if (s == "io") return rt::SensorType::IO;
+  throw Error("unknown series type: " + s + " (use comp|net|io)");
+}
+
+int run_tool(const Options& opts) {
+  const auto session = rt::load_session_file(opts.input);
+  std::printf("session: %d ranks, %.6f s, %zu sensors, %zu records\n\n",
+              session.ranks, session.run_time, session.sensors.size(),
+              session.records.size());
+
+  rt::Collector collector;
+  collector.set_sensors(session.sensors);
+  collector.ingest(session.records);
+
+  rt::DetectorConfig cfg;
+  cfg.variance_threshold = opts.threshold;
+  cfg.matrix_resolution = opts.resolution_ms > 0.0
+                              ? opts.resolution_ms * 1e-3
+                              : session.run_time / 60.0;
+  rt::Detector detector(cfg);
+
+  const double horizon = opts.until_fraction * session.run_time;
+  const auto analysis =
+      opts.until_fraction < 1.0
+          ? detector.analyze_until(collector, session.ranks, horizon)
+          : detector.analyze(collector, session.ranks, session.run_time);
+
+  report::ReportOptions ropts;
+  ropts.include_matrices = opts.matrix;
+  std::printf("%s", report::variance_report(analysis, ropts).c_str());
+
+  if (!opts.series.empty()) {
+    const auto type = parse_series(opts.series);
+    const auto series = detector.component_series(
+        collector, type, horizon / opts.series_points, horizon);
+    std::printf("\n%s performance series:\n", rt::sensor_type_name(type));
+    for (const auto& p : series) {
+      if (p.samples == 0) continue;
+      const int bars = static_cast<int>(p.perf * 40);
+      std::printf("  t=%10.6fs %5.2f |%s\n", p.t, p.perf,
+                  std::string(static_cast<size_t>(std::max(bars, 0)), '#')
+                      .c_str());
+    }
+  }
+  return analysis.events.empty() ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(parse(argc, argv));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "vsensor-report: %s\n", e.what());
+    return 1;
+  }
+}
