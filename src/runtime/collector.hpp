@@ -5,43 +5,111 @@
 // the server is an in-process thread-safe object ingesting concurrently from
 // all rank threads; the wire volume of every batch is accounted so the
 // trace-volume comparison against tracing tools (§6.4) is faithful.
+//
+// Storage is sharded by sensor id: each shard has its own mutex and a
+// bounded ring-buffer store, so concurrent ranks pushing records of
+// different sensors never contend on one global lock and memory stays
+// bounded no matter how long the run is. When a shard overflows, the oldest
+// records are overwritten and counted in dropped_records() — backpressure
+// accounting instead of unbounded growth.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
 #include "runtime/types.hpp"
+#include "support/ring_buffer.hpp"
 
 namespace vsensor::rt {
 
+/// Sink receiving every ingested batch in arrival order. The streaming
+/// detector implements this to fold batches into running statistics as
+/// they arrive (on-line analysis without replaying history).
+class BatchSink {
+ public:
+  virtual ~BatchSink() = default;
+  virtual void on_batch(std::span<const SliceRecord> batch) = 0;
+};
+
+struct CollectorConfig {
+  /// Number of independent storage shards (sensor_id % shards).
+  size_t shards = 16;
+  /// Bound on records retained per shard. Storage is allocated lazily, so
+  /// a generous bound costs nothing until records actually arrive.
+  size_t shard_capacity = 1u << 20;
+};
+
 class Collector {
  public:
+  Collector() : Collector(CollectorConfig{}) {}
+  explicit Collector(CollectorConfig cfg);
+
   /// Register the sensor table (identical on every rank; registration is
   /// deterministic because instrumentation is static).
   void set_sensors(std::vector<SensorInfo> sensors);
 
-  /// Receive one batch from a rank. Thread-safe.
+  /// Receive one batch from a rank. Thread-safe: records scatter to their
+  /// sensor's shard, and each shard mutex is taken at most once per batch.
   void ingest(std::span<const SliceRecord> batch);
+
+  /// Attach a streaming sink; every subsequent batch is forwarded to it
+  /// after being stored. Pass nullptr to detach. Not thread-safe against
+  /// concurrent ingest — attach before the run starts.
+  void attach_sink(BatchSink* sink) { sink_ = sink; }
 
   const std::vector<SensorInfo>& sensors() const { return sensors_; }
 
-  /// All records received so far (stable order only after the run joined).
+  /// All retained records, gathered into one vector (shard-major order;
+  /// stable only after the run joined). This copies — analysis paths
+  /// should prefer visit_records() or take_records().
   std::vector<SliceRecord> records() const;
 
+  /// Locked view: invokes `fn` on contiguous spans of retained records,
+  /// shard by shard under each shard's lock, without copying anything.
+  /// `fn` must not call back into the collector.
+  void visit_records(
+      const std::function<void(std::span<const SliceRecord>)>& fn) const;
+
+  /// Move all retained records out, leaving the shards empty. Cumulative
+  /// counters (ingested/bytes/batches/dropped) are unaffected.
+  std::vector<SliceRecord> take_records();
+
+  /// Records currently retained (ingested minus dropped minus taken).
   uint64_t record_count() const;
+  /// Records ever ingested, including any later dropped or taken.
+  uint64_t ingested_records() const { return ingested_.load(std::memory_order_relaxed); }
+  /// Records overwritten because their shard hit capacity.
+  uint64_t dropped_records() const { return dropped_.load(std::memory_order_relaxed); }
   /// Total bytes shipped to the server (batches x record wire size).
-  uint64_t bytes_received() const;
+  uint64_t bytes_received() const { return bytes_.load(std::memory_order_relaxed); }
   /// Number of batch transfers (network messages to the server).
-  uint64_t batch_count() const;
+  uint64_t batch_count() const { return batches_.load(std::memory_order_relaxed); }
+
+  size_t shard_count() const { return shards_.size(); }
 
  private:
-  mutable std::mutex mu_;
+  struct Shard {
+    mutable std::mutex mu;
+    RingBuffer<SliceRecord> store;
+    explicit Shard(size_t capacity) : store(capacity) {}
+  };
+
+  size_t shard_of(int32_t sensor_id) const;
+
+  CollectorConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<SensorInfo> sensors_;
-  std::vector<SliceRecord> records_;
-  uint64_t bytes_ = 0;
-  uint64_t batches_ = 0;
+  BatchSink* sink_ = nullptr;
+  std::atomic<uint64_t> ingested_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> taken_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> batches_{0};
 };
 
 }  // namespace vsensor::rt

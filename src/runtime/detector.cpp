@@ -43,16 +43,24 @@ std::vector<double> Detector::normalize_records(
 
 AnalysisResult Detector::analyze(const Collector& collector, int ranks,
                                  double run_time) const {
-  const auto records = collector.records();
-  return analyze_records(records, collector.sensors(), ranks, run_time);
+  // Locked view instead of Collector::records(): the full record set is
+  // materialized exactly once per analysis.
+  std::vector<SliceRecord> all;
+  all.reserve(collector.record_count());
+  collector.visit_records([&all](std::span<const SliceRecord> seg) {
+    all.insert(all.end(), seg.begin(), seg.end());
+  });
+  return analyze_records(all, collector.sensors(), ranks, run_time);
 }
 
 AnalysisResult Detector::analyze_until(const Collector& collector, int ranks,
                                        double horizon) const {
   std::vector<SliceRecord> window;
-  for (const auto& rec : collector.records()) {
-    if (rec.t_end <= horizon) window.push_back(rec);
-  }
+  collector.visit_records([&window, horizon](std::span<const SliceRecord> seg) {
+    for (const auto& rec : seg) {
+      if (rec.t_end <= horizon) window.push_back(rec);
+    }
+  });
   return analyze_records(window, collector.sensors(), ranks, horizon);
 }
 
@@ -106,15 +114,20 @@ AnalysisResult Detector::analyze_records(std::span<const SliceRecord> records,
     }
   }
 
+  finalize_analysis(result, cfg_);
+  return result;
+}
+
+void finalize_analysis(AnalysisResult& result, const DetectorConfig& cfg) {
   for (auto& matrix : result.matrices) matrix.finalize();
 
   for (int t = 0; t < kSensorTypeCount; ++t) {
     auto events =
         extract_events(result.matrices[static_cast<size_t>(t)],
-                       static_cast<SensorType>(t), cfg_.variance_threshold,
-                       cfg_.min_event_cells);
+                       static_cast<SensorType>(t), cfg.variance_threshold,
+                       cfg.min_event_cells);
     events = merge_events(std::move(events),
-                          cfg_.merge_gap_buckets * cfg_.matrix_resolution);
+                          cfg.merge_gap_buckets * cfg.matrix_resolution);
     result.events.insert(result.events.end(), events.begin(), events.end());
   }
   // Cross-reference: a Network event that overlaps a Computation event in
@@ -140,7 +153,6 @@ AnalysisResult Detector::analyze_records(std::span<const SliceRecord> records,
             [](const VarianceEvent& a, const VarianceEvent& b) {
               return a.severity < b.severity;
             });
-  return result;
 }
 
 std::vector<VarianceEvent> extract_events(const PerformanceMatrix& matrix,
@@ -210,34 +222,38 @@ std::vector<Detector::SeriesPoint> Detector::component_series(
     double run_time) const {
   VS_CHECK_MSG(resolution > 0.0, "series resolution must be positive");
   VS_CHECK_MSG(run_time > 0.0, "run time must be positive");
-  const auto records = collector.records();
   const auto& sensors = collector.sensors();
 
-  // Per-(sensor, group) standard times, as in analyze_records.
+  // Per-(sensor, group) standard times, as in analyze_records. Two locked
+  // passes over the shards instead of one full copy of the record set.
   std::map<std::pair<int, int>, double> standard;
-  for (const auto& rec : records) {
-    const auto key = std::make_pair(rec.sensor_id, group_of(rec.metric));
-    auto [it, inserted] = standard.try_emplace(key, rec.avg_duration);
-    if (!inserted) it->second = std::min(it->second, rec.avg_duration);
-  }
+  collector.visit_records([&](std::span<const SliceRecord> seg) {
+    for (const auto& rec : seg) {
+      const auto key = std::make_pair(rec.sensor_id, group_of(rec.metric));
+      auto [it, inserted] = standard.try_emplace(key, rec.avg_duration);
+      if (!inserted) it->second = std::min(it->second, rec.avg_duration);
+    }
+  });
 
   const auto buckets = static_cast<size_t>(
       std::max(1, static_cast<int>(std::ceil(run_time / resolution))));
   std::vector<double> sum(buckets, 0.0);
   std::vector<uint32_t> count(buckets, 0);
-  for (const auto& rec : records) {
-    VS_CHECK(rec.sensor_id >= 0 &&
-             static_cast<size_t>(rec.sensor_id) < sensors.size());
-    if (sensors[static_cast<size_t>(rec.sensor_id)].type != type) continue;
-    const double std_time = standard.at({rec.sensor_id, group_of(rec.metric)});
-    const double normalized =
-        rec.avg_duration > 0.0 ? std_time / rec.avg_duration : 1.0;
-    const double mid = 0.5 * (rec.t_begin + rec.t_end);
-    auto b = static_cast<size_t>(std::clamp(
-        static_cast<int>(mid / resolution), 0, static_cast<int>(buckets) - 1));
-    sum[b] += normalized * rec.count;
-    count[b] += rec.count;
-  }
+  collector.visit_records([&](std::span<const SliceRecord> seg) {
+    for (const auto& rec : seg) {
+      VS_CHECK(rec.sensor_id >= 0 &&
+               static_cast<size_t>(rec.sensor_id) < sensors.size());
+      if (sensors[static_cast<size_t>(rec.sensor_id)].type != type) continue;
+      const double std_time = standard.at({rec.sensor_id, group_of(rec.metric)});
+      const double normalized =
+          rec.avg_duration > 0.0 ? std_time / rec.avg_duration : 1.0;
+      const double mid = 0.5 * (rec.t_begin + rec.t_end);
+      auto b = static_cast<size_t>(std::clamp(
+          static_cast<int>(mid / resolution), 0, static_cast<int>(buckets) - 1));
+      sum[b] += normalized * rec.count;
+      count[b] += rec.count;
+    }
+  });
   std::vector<SeriesPoint> series(buckets);
   for (size_t b = 0; b < buckets; ++b) {
     series[b].t = static_cast<double>(b) * resolution;

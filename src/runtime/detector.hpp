@@ -126,6 +126,13 @@ class Detector {
   DetectorConfig cfg_;
 };
 
+/// Shared tail of the analysis pipeline, used by both the batch Detector
+/// and the StreamingDetector so they produce identical variance regions:
+/// finalizes the accumulated matrices, extracts and merges events,
+/// cross-references Network events against Computation events, and sorts
+/// events most-severe-first.
+void finalize_analysis(AnalysisResult& result, const DetectorConfig& cfg);
+
 /// Extract rectangular variance events from a finalized matrix via
 /// connected-component clustering of below-threshold cells.
 std::vector<VarianceEvent> extract_events(const PerformanceMatrix& matrix,

@@ -62,12 +62,11 @@ SensorRuntime::SensorRuntime(RuntimeConfig cfg, int rank, Collector* collector,
                              NowFn now, ChargeFn charge)
     : cfg_(cfg),
       rank_(rank),
-      collector_(collector),
       now_(std::move(now)),
-      charge_(std::move(charge)) {
+      charge_(std::move(charge)),
+      stage_(collector, cfg.batch_records) {
   VS_CHECK_MSG(now_ != nullptr, "SensorRuntime needs a clock");
   VS_CHECK_MSG(charge_ != nullptr, "SensorRuntime needs a charge function");
-  batch_.reserve(std::min<size_t>(cfg_.batch_records, 4096));
 }
 
 SensorRuntime::~SensorRuntime() = default;
@@ -130,7 +129,7 @@ void SensorRuntime::tock(int id, double metric) {
     if (previous_standard > 0.0 && cfg_.local_variance_threshold > 0.0 &&
         previous_standard <
             completed->avg_duration * cfg_.local_variance_threshold) {
-      completed->flags |= 1;  // locally flagged as variance
+      completed->flags |= kRecordFlagLocalVariance;
       ++local_flags_;
     }
     emit(*completed);
@@ -146,17 +145,7 @@ void SensorRuntime::tock(int id, double metric) {
 
 void SensorRuntime::emit(const SliceRecord& rec) {
   records_emitted_ += 1;
-  batch_.push_back(rec);
-  if (batch_.size() >= cfg_.batch_records) send_batch();
-}
-
-void SensorRuntime::send_batch() {
-  if (batch_.empty() || collector_ == nullptr) {
-    batch_.clear();
-    return;
-  }
-  collector_->ingest(batch_);
-  batch_.clear();
+  stage_.push(rec);
 }
 
 void SensorRuntime::flush() {
@@ -174,7 +163,7 @@ void SensorRuntime::flush() {
       sense_stats_.max_interval = std::max(sense_stats_.max_interval, gap);
     }
   }
-  send_batch();
+  stage_.flush();
 }
 
 bool SensorRuntime::disabled(int id) const {

@@ -81,16 +81,14 @@ class SensorRuntime {
  private:
   struct State;
   void emit(const SliceRecord& rec);
-  void send_batch();
 
   RuntimeConfig cfg_;
   int rank_;
-  Collector* collector_;
   NowFn now_;
   ChargeFn charge_;
   std::vector<SensorInfo> infos_;
   std::vector<State> states_;
-  std::vector<SliceRecord> batch_;
+  BatchStage stage_;  ///< per-rank staging buffer (§5.4 batched transfer)
   SenseStats sense_stats_;
   uint64_t records_emitted_ = 0;
   uint64_t local_flags_ = 0;

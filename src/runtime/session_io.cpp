@@ -10,34 +10,41 @@ namespace vsensor::rt {
 namespace {
 constexpr const char* kMagic = "vsensor-session";
 constexpr int kVersion = 1;
-}  // namespace
 
-void save_session(std::ostream& out, const Session& session) {
+void write_header(std::ostream& out, int ranks, double run_time,
+                  const std::vector<SensorInfo>& sensors) {
   out << kMagic << ' ' << kVersion << '\n';
-  out << "ranks " << session.ranks << " run_time " << session.run_time << '\n';
-  for (size_t i = 0; i < session.sensors.size(); ++i) {
-    const auto& s = session.sensors[i];
+  out << "ranks " << ranks << " run_time " << run_time << '\n';
+  for (size_t i = 0; i < sensors.size(); ++i) {
+    const auto& s = sensors[i];
     out << "sensor " << i << ' ' << static_cast<int>(s.type) << ' ' << s.line
         << ' ' << s.file << ' ' << s.name << '\n';
   }
   out.precision(17);
-  for (const auto& r : session.records) {
-    out << "record " << r.sensor_id << ' ' << r.rank << ' ' << r.t_begin << ' '
-        << r.t_end << ' ' << r.avg_duration << ' ' << r.min_duration << ' '
-        << r.count << ' ' << r.metric << ' ' << r.flags << '\n';
-  }
+}
+
+void write_record(std::ostream& out, const SliceRecord& r) {
+  out << "record " << r.sensor_id << ' ' << r.rank << ' ' << r.t_begin << ' '
+      << r.t_end << ' ' << r.avg_duration << ' ' << r.min_duration << ' '
+      << r.count << ' ' << r.metric << ' ' << r.flags << '\n';
+}
+}  // namespace
+
+void save_session(std::ostream& out, const Session& session) {
+  write_header(out, session.ranks, session.run_time, session.sensors);
+  for (const auto& r : session.records) write_record(out, r);
 }
 
 void save_session_file(const std::string& path, const Collector& collector,
                        int ranks, double run_time) {
   std::ofstream out(path);
   if (!out) throw Error("cannot open session file for writing: " + path);
-  Session session;
-  session.ranks = ranks;
-  session.run_time = run_time;
-  session.sensors = collector.sensors();
-  session.records = collector.records();
-  save_session(out, session);
+  // Stream the records straight out of the collector's shards (locked
+  // view) instead of copying the full history into a Session first.
+  write_header(out, ranks, run_time, collector.sensors());
+  collector.visit_records([&out](std::span<const SliceRecord> seg) {
+    for (const auto& r : seg) write_record(out, r);
+  });
   if (!out) throw Error("failed while writing session file: " + path);
 }
 

@@ -54,4 +54,24 @@ std::optional<SliceRecord> SliceAccumulator::flush() {
   return rec;
 }
 
+BatchStage::BatchStage(Collector* collector, size_t capacity)
+    : collector_(collector), capacity_(capacity) {
+  VS_CHECK_MSG(capacity > 0, "batch capacity must be positive");
+  buf_.reserve(std::min<size_t>(capacity, 4096));
+}
+
+void BatchStage::push(const SliceRecord& rec) {
+  buf_.push_back(rec);
+  if (buf_.size() >= capacity_) flush();
+}
+
+void BatchStage::flush() {
+  if (buf_.empty()) return;
+  if (collector_ != nullptr) {
+    collector_->ingest(buf_);
+    ++shipped_batches_;
+  }
+  buf_.clear();
+}
+
 }  // namespace vsensor::rt

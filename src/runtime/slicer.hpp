@@ -1,9 +1,13 @@
-// Per-sensor slice aggregation: the data-smoothing stage of §5.1.
+// Per-sensor slice aggregation (the data-smoothing stage of §5.1) and the
+// per-rank staging buffer that batches completed slices for transfer to
+// the analysis server (§5.4).
 #pragma once
 
 #include <limits>
 #include <optional>
+#include <vector>
 
+#include "runtime/collector.hpp"
 #include "runtime/types.hpp"
 
 namespace vsensor::rt {
@@ -34,6 +38,33 @@ class SliceAccumulator {
   double min_ = std::numeric_limits<double>::infinity();
   double metric_sum_ = 0.0;
   uint32_t count_ = 0;
+};
+
+/// Per-rank staging buffer: completed slices batch locally and ship to the
+/// collector only when `capacity` records accumulated, so the rank takes a
+/// shard lock once per batch instead of once per record (§5.4). One per
+/// rank thread; not thread-safe — cross-thread contention exists only
+/// inside the collector's shards.
+class BatchStage {
+ public:
+  /// `collector` may be null (records are then staged and discarded on
+  /// ship, useful for uninstrumented baselines and benchmarks).
+  BatchStage(Collector* collector, size_t capacity);
+
+  /// Stage one record; ships the batch when the capacity is reached.
+  void push(const SliceRecord& rec);
+
+  /// Ship whatever is staged (end of run / rank completion).
+  void flush();
+
+  size_t staged() const { return buf_.size(); }
+  uint64_t shipped_batches() const { return shipped_batches_; }
+
+ private:
+  Collector* collector_;
+  size_t capacity_;
+  std::vector<SliceRecord> buf_;
+  uint64_t shipped_batches_ = 0;
 };
 
 }  // namespace vsensor::rt

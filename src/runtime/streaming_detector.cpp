@@ -1,0 +1,163 @@
+#include "runtime/streaming_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace vsensor::rt {
+
+StreamingDetector::StreamingDetector(DetectorConfig cfg,
+                                     std::vector<SensorInfo> sensors,
+                                     int ranks, double run_time)
+    : cfg_(cfg),
+      sensors_(std::move(sensors)),
+      ranks_(ranks),
+      run_time_(run_time),
+      buckets_(std::max(
+          1, static_cast<int>(std::ceil(run_time / cfg.matrix_resolution)))),
+      stats_(sensors_.size()),
+      sensor_records_(sensors_.size(), 0) {
+  VS_CHECK_MSG(cfg_.matrix_resolution > 0.0, "matrix resolution must be positive");
+  VS_CHECK_MSG(ranks_ > 0, "need at least one rank");
+  VS_CHECK_MSG(run_time_ > 0.0, "run time must be positive");
+}
+
+int StreamingDetector::group_of(float metric) const {
+  if (cfg_.metric_bucket_width <= 0.0) return 0;
+  return static_cast<int>(
+      std::floor(static_cast<double>(metric) / cfg_.metric_bucket_width));
+}
+
+int StreamingDetector::bucket_of(double time) const {
+  // Mirrors PerformanceMatrix::bucket_of so streaming and batch analysis
+  // land every record in the same cell.
+  const int b = static_cast<int>(std::floor(time / cfg_.matrix_resolution));
+  return std::clamp(b, 0, buckets_ - 1);
+}
+
+void StreamingDetector::on_batch(std::span<const SliceRecord> batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& rec : batch) {
+    VS_CHECK_MSG(rec.sensor_id >= 0 &&
+                     static_cast<size_t>(rec.sensor_id) < sensors_.size(),
+                 "record references unknown sensor");
+    const auto sensor = static_cast<size_t>(rec.sensor_id);
+    const int g = group_of(rec.metric);
+    sensor_records_[sensor] += 1;
+    observed_ += 1;
+
+    // Running minima. A record that lowers a standard normalizes against
+    // itself (to 1.0), exactly as in the batch path where the global
+    // minimum includes every record.
+    auto [std_it, std_new] = standard_.try_emplace({rec.sensor_id, g},
+                                                   rec.avg_duration);
+    if (!std_new) std_it->second = std::min(std_it->second, rec.avg_duration);
+    auto [rank_it, rank_new] = rank_standard_.try_emplace(
+        {rec.sensor_id, g, rec.rank}, rec.avg_duration);
+    if (!rank_new) rank_it->second = std::min(rank_it->second, rec.avg_duration);
+
+    const double inter_norm =
+        rec.avg_duration > 0.0 ? std_it->second / rec.avg_duration : 1.0;
+    const double intra_norm =
+        rec.avg_duration > 0.0 ? rank_it->second / rec.avg_duration : 1.0;
+    if (inter_norm < cfg_.variance_threshold) ++inter_flags_;
+    if (intra_norm < cfg_.variance_threshold) ++intra_flags_;
+
+    // Welford update over normalized performance.
+    RunningStats& st = stats_[sensor];
+    st.count += 1;
+    const double delta = inter_norm - st.mean;
+    st.mean += delta / static_cast<double>(st.count);
+    st.m2 += delta * (inter_norm - st.mean);
+
+    last_[{rec.sensor_id, rec.rank}] =
+        LastSlice{rec.t_end, rec.avg_duration, inter_norm};
+
+    if (rec.rank >= 0 && rec.rank < ranks_) {
+      const double mid = 0.5 * (rec.t_begin + rec.t_end);
+      CellSums& cell =
+          cells_[{rec.sensor_id, g, rec.rank, bucket_of(mid)}];
+      const auto weight = static_cast<double>(rec.count);
+      if (rec.avg_duration > 0.0) {
+        cell.weight_over_avg += weight / rec.avg_duration;
+        cell.weight += weight;
+      } else {
+        cell.unit_weight += weight;
+      }
+    }
+  }
+}
+
+StreamingDetector::RunningStats StreamingDetector::sensor_stats(
+    int sensor_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  VS_CHECK(sensor_id >= 0 && static_cast<size_t>(sensor_id) < stats_.size());
+  return stats_[static_cast<size_t>(sensor_id)];
+}
+
+std::optional<StreamingDetector::LastSlice> StreamingDetector::last_slice(
+    int sensor_id, int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = last_.find({sensor_id, rank});
+  if (it == last_.end()) return std::nullopt;
+  return it->second;
+}
+
+double StreamingDetector::standard_time(int sensor_id, float metric) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = standard_.find({sensor_id, group_of(metric)});
+  return it == standard_.end() ? 0.0 : it->second;
+}
+
+uint64_t StreamingDetector::observed_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_;
+}
+
+uint64_t StreamingDetector::intra_flags() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return intra_flags_;
+}
+
+uint64_t StreamingDetector::inter_flags() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inter_flags_;
+}
+
+AnalysisResult StreamingDetector::finalize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AnalysisResult result{
+      .matrices = {PerformanceMatrix(ranks_, buckets_, cfg_.matrix_resolution),
+                   PerformanceMatrix(ranks_, buckets_, cfg_.matrix_resolution),
+                   PerformanceMatrix(ranks_, buckets_, cfg_.matrix_resolution)},
+      .events = {},
+      .flagged = {},
+      .run_time = run_time_,
+      .ranks = ranks_,
+  };
+
+  // Apply the final standards to the standard-free cell sums. A cell's
+  // records of one (sensor, group) contributed sum(count/avg); multiplying
+  // by the group's final standard yields exactly the batch Detector's
+  // sum(normalized * count) for those records.
+  for (const auto& [key, cell] : cells_) {
+    const auto& [sensor, group, rank, bucket] = key;
+    if (sensor_records_[static_cast<size_t>(sensor)] < cfg_.min_records) {
+      continue;
+    }
+    const double std_time = standard_.at({sensor, group});
+    const double value_sum =
+        std_time * cell.weight_over_avg + cell.unit_weight;
+    const double weight = cell.weight + cell.unit_weight;
+    if (weight <= 0.0) continue;
+    const auto type = sensors_[static_cast<size_t>(sensor)].type;
+    result.matrices[static_cast<size_t>(type)].accumulate(
+        rank, bucket, value_sum / weight, weight);
+  }
+
+  finalize_analysis(result, cfg_);
+  return result;
+}
+
+}  // namespace vsensor::rt

@@ -1,0 +1,112 @@
+// Streaming (incremental) variance detection — the on-line counterpart of
+// the batch Detector (paper §5.4: the dedicated analysis process folds
+// batches as ranks push them, and §2: reports appear during the run).
+//
+// Each ingested batch updates per-sensor running state in O(batch) work:
+//  * the cross-rank standard time per (sensor, dynamic-rule group) — a
+//    running minimum, so arrival order never changes it;
+//  * each rank's own fastest slice (intra-process comparison, Fig 13);
+//  * Welford mean/variance of normalized performance per sensor;
+//  * per-(rank, time-bucket) matrix contributions, stored in a
+//    standard-free form (sum of weight/duration) so the final matrices are
+//    *identical* to the batch Detector's even though the standard time is
+//    only fully known at the end — no history replay, ever.
+//
+// Intra-/inter-process variance flags are raised online against the
+// standards known at arrival time; the final matrices and variance events
+// from finalize() match Detector::analyze_records on the same records.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "runtime/collector.hpp"
+#include "runtime/detector.hpp"
+#include "runtime/types.hpp"
+
+namespace vsensor::rt {
+
+class StreamingDetector final : public BatchSink {
+ public:
+  /// The analysis horizon (`run_time`) and rank count are fixed up front,
+  /// exactly like a batch analysis over the same window; records past the
+  /// horizon clamp into the last bucket, as in the batch path.
+  StreamingDetector(DetectorConfig cfg, std::vector<SensorInfo> sensors,
+                    int ranks, double run_time);
+
+  /// Fold one batch into the running state. Thread-safe; O(batch) work.
+  void on_batch(std::span<const SliceRecord> batch) override;
+  void observe(std::span<const SliceRecord> batch) { on_batch(batch); }
+
+  /// Welford running statistics over normalized performance, per sensor.
+  /// Normalization uses the standard known when each record arrived.
+  struct RunningStats {
+    uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;  ///< sum of squared deviations from the running mean
+    double variance() const {
+      return count > 1 ? m2 / static_cast<double>(count - 1) : 0.0;
+    }
+  };
+  RunningStats sensor_stats(int sensor_id) const;
+
+  /// Last slice folded per (sensor, rank): online inspection state.
+  struct LastSlice {
+    double t_end = 0.0;
+    double avg_duration = 0.0;
+    double normalized = 1.0;  ///< against the standard at arrival time
+  };
+  std::optional<LastSlice> last_slice(int sensor_id, int rank) const;
+
+  /// Cross-rank standard time of the record's (sensor, group); 0 if unseen.
+  double standard_time(int sensor_id, float metric) const;
+
+  uint64_t observed_records() const;
+  /// Slices below threshold against their own rank's fastest slice (§5.3).
+  uint64_t intra_flags() const;
+  /// Slices below threshold against the cross-rank standard (§5.4).
+  uint64_t inter_flags() const;
+
+  /// Final matrices and variance events, identical to
+  /// Detector::analyze_records over the same records (AnalysisResult::flagged
+  /// stays empty — the online flag counters replace the replayed list).
+  AnalysisResult finalize() const;
+
+  const DetectorConfig& config() const { return cfg_; }
+
+ private:
+  // (sensor, group, rank, bucket) -> standard-free matrix contributions.
+  struct CellSums {
+    double weight_over_avg = 0.0;  ///< sum of count/avg_duration
+    double weight = 0.0;           ///< sum of count for those records
+    double unit_weight = 0.0;      ///< sum of count where avg <= 0 (norm = 1)
+  };
+  using CellKey = std::tuple<int, int, int, int>;
+
+  int group_of(float metric) const;
+  int bucket_of(double time) const;
+
+  DetectorConfig cfg_;
+  std::vector<SensorInfo> sensors_;
+  int ranks_;
+  double run_time_;
+  int buckets_;
+
+  mutable std::mutex mu_;
+  std::map<std::pair<int, int>, double> standard_;  ///< (sensor, group) -> min
+  std::map<std::tuple<int, int, int>, double> rank_standard_;
+  std::map<CellKey, CellSums> cells_;
+  std::vector<RunningStats> stats_;         ///< per sensor id
+  std::vector<uint64_t> sensor_records_;    ///< per sensor id
+  std::map<std::pair<int, int>, LastSlice> last_;
+  uint64_t observed_ = 0;
+  uint64_t intra_flags_ = 0;
+  uint64_t inter_flags_ = 0;
+};
+
+}  // namespace vsensor::rt

@@ -43,6 +43,10 @@ struct SliceRecord {
 /// server (packed layout: 2x i32 + 2x f32 + 4x f64 + 2x u32).
 inline constexpr uint64_t kRecordWireBytes = 56;
 
+/// SliceRecord::flags bit: set by the rank's own probe when the slice fell
+/// below the local variance threshold against that rank's history (§5.3).
+inline constexpr uint32_t kRecordFlagLocalVariance = 1u << 0;
+
 /// Tunables of the per-rank runtime (paper §5.1-§5.3 defaults).
 struct RuntimeConfig {
   /// Smoothing slice length; the paper aggregates over 1000 us by default.

@@ -181,6 +181,9 @@ RunResult Engine::run(const RankFn& fn) {
     threads.emplace_back([&, r] {
       try {
         fn(*comms[static_cast<size_t>(r)]);
+        if (cfg_.on_rank_complete) {
+          cfg_.on_rank_complete(*comms[static_cast<size_t>(r)]);
+        }
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(err_mu);

@@ -34,6 +34,12 @@ struct Config {
   std::shared_ptr<TraceSink> trace;  ///< optional; receives all MPI events
   bool trace_compute = false;        ///< also emit Compute events (verbose)
   double deadlock_timeout = 60.0;    ///< real seconds before declaring deadlock
+  /// Optional: invoked on each rank's own thread right after the rank
+  /// function returns, while other ranks may still be running. The
+  /// workload layer uses this to drain the rank's staged sensor batches to
+  /// the analysis server as ranks complete (§5.4 batched push) instead of
+  /// serializing all flushes after the join.
+  std::function<void(Comm&)> on_rank_complete;
 };
 
 /// Per-rank outcome of a simulated run.

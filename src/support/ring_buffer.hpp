@@ -1,37 +1,46 @@
-// Fixed-capacity ring buffer used for per-sensor history windows.
+// Fixed-capacity ring buffer used for per-sensor history windows and the
+// bounded per-shard record stores of the collector.
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "support/error.hpp"
 
 namespace vsensor {
 
-/// Keeps the most recent `capacity` elements; overwrites the oldest.
+/// Keeps the most recent `capacity` elements; overwrites the oldest once
+/// full. Storage grows lazily up to the capacity, so a large bound costs
+/// nothing until it is actually used.
 template <typename T>
 class RingBuffer {
  public:
-  explicit RingBuffer(size_t capacity) : data_(capacity) {
+  explicit RingBuffer(size_t capacity) : cap_(capacity) {
     VS_CHECK_MSG(capacity > 0, "ring buffer capacity must be positive");
   }
 
+  /// Append `value`; once full, the oldest element is overwritten.
   void push(T value) {
+    if (data_.size() < cap_) {
+      data_.push_back(std::move(value));
+      ++size_;
+      return;
+    }
     data_[head_] = std::move(value);
-    head_ = (head_ + 1) % data_.size();
-    if (size_ < data_.size()) ++size_;
+    head_ = (head_ + 1) % cap_;
   }
 
   size_t size() const { return size_; }
-  size_t capacity() const { return data_.size(); }
+  size_t capacity() const { return cap_; }
   bool empty() const { return size_ == 0; }
-  bool full() const { return size_ == data_.size(); }
+  bool full() const { return size_ == cap_; }
 
   /// Element i in age order: 0 = oldest retained, size()-1 = newest.
   const T& operator[](size_t i) const {
     VS_CHECK(i < size_);
-    const size_t start = (head_ + data_.size() - size_) % data_.size();
-    return data_[(start + i) % data_.size()];
+    return data_[(head_ + i) % data_.size()];
   }
 
   const T& newest() const {
@@ -39,14 +48,25 @@ class RingBuffer {
     return (*this)[size_ - 1];
   }
 
+  /// The retained elements as at most two contiguous spans, oldest first.
+  /// Lets callers scan or bulk-copy without per-element indexing.
+  std::pair<std::span<const T>, std::span<const T>> segments() const {
+    if (size_ == 0) return {};
+    const size_t first_len = std::min(size_, data_.size() - head_);
+    return {std::span<const T>(data_.data() + head_, first_len),
+            std::span<const T>(data_.data(), size_ - first_len)};
+  }
+
   void clear() {
+    data_.clear();
     head_ = 0;
     size_ = 0;
   }
 
  private:
+  size_t cap_;
   std::vector<T> data_;
-  size_t head_ = 0;
+  size_t head_ = 0;  ///< index of the oldest element once full; 0 while growing
   size_t size_ = 0;
 };
 

@@ -70,26 +70,34 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
   WorkloadRun run;
   run.pmu.assign(static_cast<size_t>(sim_config.ranks), {});
   std::vector<rt::SenseStats> sense(static_cast<size_t>(sim_config.ranks));
+  std::vector<std::unique_ptr<rt::SensorRuntime>> runtimes(
+      static_cast<size_t>(sim_config.ranks));
+
+  // The engine drives the final batched push: each rank's staged records
+  // drain to the collector on that rank's own thread as it completes,
+  // not serialized after the join.
+  sim_config.on_rank_complete = [&](simmpi::Comm& comm) {
+    const auto r = static_cast<size_t>(comm.rank());
+    if (runtimes[r]) {
+      runtimes[r]->flush();
+      sense[r] = runtimes[r]->sense_stats();
+    }
+  };
 
   run.mpi = simmpi::run(std::move(sim_config), [&](simmpi::Comm& comm) {
     const auto r = static_cast<size_t>(comm.rank());
     run.pmu[r].assign(sensor_table.size(), PmuSamples{});
 
-    std::unique_ptr<rt::SensorRuntime> sensors;
     if (options.instrumented) {
-      sensors = std::make_unique<rt::SensorRuntime>(
+      runtimes[r] = std::make_unique<rt::SensorRuntime>(
           options.runtime, comm.rank(), collector,
           [&comm] { return comm.now(); },
           [&comm](double s) { comm.charge_overhead(s); });
-      for (const auto& info : sensor_table) sensors->register_sensor(info);
+      for (const auto& info : sensor_table) runtimes[r]->register_sensor(info);
     }
-    RankContext ctx(comm, sensors.get(), &run.pmu[r], options.pmu_jitter,
+    RankContext ctx(comm, runtimes[r].get(), &run.pmu[r], options.pmu_jitter,
                     options.pmu_seed);
     workload.run_rank(ctx, options.params);
-    if (sensors) {
-      sensors->flush();
-      sense[r] = sensors->sense_stats();
-    }
   });
 
   for (const auto& s : sense) run.sense.merge(s);
