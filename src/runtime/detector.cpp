@@ -25,9 +25,12 @@ int Detector::group_of(float metric) const {
 std::vector<double> Detector::normalize_records(
     std::span<const SliceRecord> records) const {
   // Group by dynamic-rule metric bucket; the fastest record of each group is
-  // the group's standard time (§5.2-§5.3).
+  // the group's standard time (§5.2-§5.3). Degenerate records never set a
+  // standard: a zero-duration slice as the group minimum would zero every
+  // score in the group.
   std::map<int, double> standard;
   for (const auto& rec : records) {
+    if (is_degenerate(rec)) continue;
     const int g = group_of(rec.metric);
     auto [it, inserted] = standard.try_emplace(g, rec.avg_duration);
     if (!inserted) it->second = std::min(it->second, rec.avg_duration);
@@ -35,8 +38,13 @@ std::vector<double> Detector::normalize_records(
   std::vector<double> normalized;
   normalized.reserve(records.size());
   for (const auto& rec : records) {
-    const double std_time = standard.at(group_of(rec.metric));
-    normalized.push_back(rec.avg_duration > 0.0 ? std_time / rec.avg_duration : 1.0);
+    if (is_degenerate(rec)) {
+      normalized.push_back(0.0);  // broken measurement, not a perfect one
+      continue;
+    }
+    const double std_time =
+        std::max(standard.at(group_of(rec.metric)), kMinStandardTime);
+    normalized.push_back(std_time / rec.avg_duration);
   }
   return normalized;
 }
@@ -84,9 +92,12 @@ AnalysisResult Detector::analyze_records(std::span<const SliceRecord> records,
 
   // Standard time per (sensor, dynamic group): minimum avg_duration over all
   // ranks — "Each v-sensor compares their records to the fastest record".
+  // Degenerate records are skipped outright: they would either pose as
+  // perfect (normalized 1.0) or, as a group minimum, zero the whole group.
   std::map<std::pair<int, int>, double> standard;
   std::map<int, uint32_t> per_sensor_count;
   for (const auto& rec : records) {
+    if (is_degenerate(rec)) continue;
     const auto key = std::make_pair(rec.sensor_id, group_of(rec.metric));
     auto [it, inserted] = standard.try_emplace(key, rec.avg_duration);
     if (!inserted) it->second = std::min(it->second, rec.avg_duration);
@@ -94,10 +105,15 @@ AnalysisResult Detector::analyze_records(std::span<const SliceRecord> records,
   }
 
   for (const auto& rec : records) {
-    if (per_sensor_count[rec.sensor_id] < cfg_.min_records) continue;
-    const double std_time = standard.at({rec.sensor_id, group_of(rec.metric)});
-    const double normalized =
-        rec.avg_duration > 0.0 ? std_time / rec.avg_duration : 1.0;
+    if (is_degenerate(rec)) continue;
+    const auto count_it = per_sensor_count.find(rec.sensor_id);
+    if (count_it == per_sensor_count.end() ||
+        count_it->second < cfg_.min_records) {
+      continue;
+    }
+    const double std_time = std::max(
+        standard.at({rec.sensor_id, group_of(rec.metric)}), kMinStandardTime);
+    const double normalized = std_time / rec.avg_duration;
 
     VS_CHECK_MSG(rec.sensor_id >= 0 &&
                      static_cast<size_t>(rec.sensor_id) < sensors.size(),
@@ -229,6 +245,7 @@ std::vector<Detector::SeriesPoint> Detector::component_series(
   std::map<std::pair<int, int>, double> standard;
   collector.visit_records([&](std::span<const SliceRecord> seg) {
     for (const auto& rec : seg) {
+      if (is_degenerate(rec)) continue;
       const auto key = std::make_pair(rec.sensor_id, group_of(rec.metric));
       auto [it, inserted] = standard.try_emplace(key, rec.avg_duration);
       if (!inserted) it->second = std::min(it->second, rec.avg_duration);
@@ -244,9 +261,10 @@ std::vector<Detector::SeriesPoint> Detector::component_series(
       VS_CHECK(rec.sensor_id >= 0 &&
                static_cast<size_t>(rec.sensor_id) < sensors.size());
       if (sensors[static_cast<size_t>(rec.sensor_id)].type != type) continue;
-      const double std_time = standard.at({rec.sensor_id, group_of(rec.metric)});
-      const double normalized =
-          rec.avg_duration > 0.0 ? std_time / rec.avg_duration : 1.0;
+      if (is_degenerate(rec)) continue;
+      const double std_time = std::max(
+          standard.at({rec.sensor_id, group_of(rec.metric)}), kMinStandardTime);
+      const double normalized = std_time / rec.avg_duration;
       const double mid = 0.5 * (rec.t_begin + rec.t_end);
       auto b = static_cast<size_t>(std::clamp(
           static_cast<int>(mid / resolution), 0, static_cast<int>(buckets) - 1));
@@ -323,6 +341,20 @@ std::string VarianceEvent::describe(double run_time, int total_ranks) const {
      << rank_end << ", t=[" << t_begin << "s, " << t_end << "s), perf "
      << severity << " of best — " << classify(run_time, total_ranks);
   return os.str();
+}
+
+std::vector<SliceRecord> drop_stale_ranks(std::span<const SliceRecord> records,
+                                          std::span<const int> stale_ranks) {
+  std::vector<SliceRecord> kept;
+  kept.reserve(records.size());
+  for (const auto& rec : records) {
+    if (std::find(stale_ranks.begin(), stale_ranks.end(), rec.rank) !=
+        stale_ranks.end()) {
+      continue;
+    }
+    kept.push_back(rec);
+  }
+  return kept;
 }
 
 const char* sensor_type_name(SensorType type) {

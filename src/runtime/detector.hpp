@@ -15,6 +15,20 @@
 
 namespace vsensor::rt {
 
+/// Smallest admissible standard time. A slice whose avg_duration falls
+/// below this (notably the literal 0.0 of a broken measurement) is
+/// *degenerate*: it must neither normalize to 1.0 (a zero-duration slice
+/// reported as perfect) nor become its group's standard time (a zero
+/// standard zeroes every normalized score in the group). Degenerate
+/// records are excluded from standards, matrices, and flagging; standard
+/// times are clamped to at least this value as a second line of defense.
+inline constexpr double kMinStandardTime = 1e-12;
+
+/// True for records too short to be a meaningful measurement.
+inline bool is_degenerate(const SliceRecord& rec) {
+  return !(rec.avg_duration >= kMinStandardTime);
+}
+
 struct DetectorConfig {
   /// Time-bucket width of performance matrices (paper Fig 14: 200 ms).
   double matrix_resolution = 0.2;
@@ -71,6 +85,9 @@ struct AnalysisResult {
   std::vector<FlaggedRecord> flagged;
   double run_time = 0.0;
   int ranks = 0;
+  /// Ranks excluded from the analysis because their batch deliveries died
+  /// mid-run (streaming path; empty rows there are absence, not speed).
+  std::vector<int> stale_ranks;
 
   const PerformanceMatrix& matrix(SensorType t) const {
     return matrices[static_cast<size_t>(t)];
@@ -116,6 +133,8 @@ class Detector {
   /// Intra-process detection over one sensor's records, exactly the paper's
   /// Fig 13 procedure. Returns the normalized performance of each record
   /// (order preserved); records below the variance threshold are flagged.
+  /// Degenerate records (see is_degenerate) neither contribute to standard
+  /// times nor score 1.0 — they come back as 0.0, pinned broken, not perfect.
   std::vector<double> normalize_records(std::span<const SliceRecord> records) const;
 
   const DetectorConfig& config() const { return cfg_; }
@@ -143,5 +162,12 @@ std::vector<VarianceEvent> extract_events(const PerformanceMatrix& matrix,
 /// are within `gap_seconds` of each other. Returns merged events.
 std::vector<VarianceEvent> merge_events(std::vector<VarianceEvent> events,
                                         double gap_seconds);
+
+/// Graceful degradation under transport failure: drop the records of ranks
+/// the transport reported stale (their delivery stream died mid-run), so a
+/// batch analysis covers exactly the ranks the streaming detector still
+/// trusts instead of letting a half-delivered history skew the matrices.
+std::vector<SliceRecord> drop_stale_ranks(std::span<const SliceRecord> records,
+                                          std::span<const int> stale_ranks);
 
 }  // namespace vsensor::rt

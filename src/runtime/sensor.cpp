@@ -69,6 +69,18 @@ SensorRuntime::SensorRuntime(RuntimeConfig cfg, int rank, Collector* collector,
   VS_CHECK_MSG(charge_ != nullptr, "SensorRuntime needs a charge function");
 }
 
+SensorRuntime::SensorRuntime(RuntimeConfig cfg, int rank,
+                             BatchTransport& transport, NowFn now,
+                             ChargeFn charge)
+    : cfg_(cfg),
+      rank_(rank),
+      now_(std::move(now)),
+      charge_(std::move(charge)),
+      stage_(transport, rank, cfg.batch_records) {
+  VS_CHECK_MSG(now_ != nullptr, "SensorRuntime needs a clock");
+  VS_CHECK_MSG(charge_ != nullptr, "SensorRuntime needs a charge function");
+}
+
 SensorRuntime::~SensorRuntime() = default;
 
 int SensorRuntime::register_sensor(SensorInfo info) {

@@ -41,6 +41,12 @@ class SensorRuntime {
 
   SensorRuntime(RuntimeConfig cfg, int rank, Collector* collector, NowFn now,
                 ChargeFn charge);
+
+  /// Transport mode: completed slices ship through the resilient batch
+  /// transport as this rank's channel instead of straight into a collector.
+  SensorRuntime(RuntimeConfig cfg, int rank, BatchTransport& transport,
+                NowFn now, ChargeFn charge);
+
   ~SensorRuntime();
 
   SensorRuntime(const SensorRuntime&) = delete;
@@ -67,6 +73,8 @@ class SensorRuntime {
   const SenseStats& sense_stats() const { return sense_stats_; }
   const std::vector<SensorInfo>& sensors() const { return infos_; }
   uint64_t records_emitted() const { return records_emitted_; }
+  /// Records the transport refused permanently (transport mode only).
+  uint64_t records_lost() const { return stage_.lost_records(); }
 
   // --- intra-process on-line detection (§5.3) ---
   // Each emitted slice is compared against the sensor's standard time (its

@@ -1,7 +1,10 @@
 #include "runtime/slicer.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "runtime/transport.hpp"
 #include "support/error.hpp"
 
 namespace vsensor::rt {
@@ -54,10 +57,34 @@ std::optional<SliceRecord> SliceAccumulator::flush() {
   return rec;
 }
 
+namespace {
+// Cumulative over the process: records rescued by a BatchStage destructor
+// because flush() was never called. Monotonic; tests compare deltas.
+std::atomic<uint64_t> g_unflushed_records{0};
+}  // namespace
+
 BatchStage::BatchStage(Collector* collector, size_t capacity)
     : collector_(collector), capacity_(capacity) {
   VS_CHECK_MSG(capacity > 0, "batch capacity must be positive");
   buf_.reserve(std::min<size_t>(capacity, 4096));
+}
+
+BatchStage::BatchStage(BatchTransport& transport, int rank, size_t capacity)
+    : collector_(nullptr), transport_(&transport), rank_(rank),
+      capacity_(capacity) {
+  VS_CHECK_MSG(capacity > 0, "batch capacity must be positive");
+  VS_CHECK_MSG(rank >= 0, "transport mode needs the owning rank");
+  buf_.reserve(std::min<size_t>(capacity, 4096));
+}
+
+BatchStage::~BatchStage() {
+  if (buf_.empty()) return;
+  g_unflushed_records.fetch_add(buf_.size(), std::memory_order_relaxed);
+  flush();
+}
+
+uint64_t BatchStage::unflushed_records() {
+  return g_unflushed_records.load(std::memory_order_relaxed);
 }
 
 void BatchStage::push(const SliceRecord& rec) {
@@ -65,12 +92,23 @@ void BatchStage::push(const SliceRecord& rec) {
   if (buf_.size() >= capacity_) flush();
 }
 
-void BatchStage::flush() {
-  if (buf_.empty()) return;
-  if (collector_ != nullptr) {
+void BatchStage::ship() {
+  if (transport_ != nullptr) {
+    // The batch ships when its newest record completes; records accumulate
+    // in time order per rank, but take the max to stay robust to ties.
+    double now = 0.0;
+    for (const auto& rec : buf_) now = std::max(now, rec.t_end);
+    if (!transport_->ship(rank_, buf_, now)) lost_records_ += buf_.size();
+    ++shipped_batches_;
+  } else if (collector_ != nullptr) {
     collector_->ingest(buf_);
     ++shipped_batches_;
   }
+}
+
+void BatchStage::flush() {
+  if (buf_.empty()) return;
+  ship();
   buf_.clear();
 }
 

@@ -40,6 +40,8 @@ class SliceAccumulator {
   uint32_t count_ = 0;
 };
 
+class BatchTransport;
+
 /// Per-rank staging buffer: completed slices batch locally and ship to the
 /// collector only when `capacity` records accumulated, so the rank takes a
 /// shard lock once per batch instead of once per record (§5.4). One per
@@ -51,6 +53,16 @@ class BatchStage {
   /// ship, useful for uninstrumented baselines and benchmarks).
   BatchStage(Collector* collector, size_t capacity);
 
+  /// Transport mode: batches ship through the resilient transport as
+  /// `rank`'s channel (sequenced, deduplicated, retried — see
+  /// runtime/transport.hpp) instead of straight into a collector.
+  BatchStage(BatchTransport& transport, int rank, size_t capacity);
+
+  /// Flushes: records staged at teardown are shipped, not dropped. The
+  /// count of records rescued this way is surfaced process-wide through
+  /// unflushed_records(), so a missing explicit flush() stays observable.
+  ~BatchStage();
+
   /// Stage one record; ships the batch when the capacity is reached.
   void push(const SliceRecord& rec);
 
@@ -59,12 +71,25 @@ class BatchStage {
 
   size_t staged() const { return buf_.size(); }
   uint64_t shipped_batches() const { return shipped_batches_; }
+  /// Records the transport refused permanently (retries exhausted or the
+  /// rank's transport was killed). Always 0 in direct-collector mode.
+  uint64_t lost_records() const { return lost_records_; }
+
+  /// Process-wide count of records that reached a BatchStage destructor
+  /// still staged — i.e. flush() was never called. They are shipped, not
+  /// lost, but a nonzero count points at a teardown path skipping flush().
+  static uint64_t unflushed_records();
 
  private:
+  void ship();
+
   Collector* collector_;
+  BatchTransport* transport_ = nullptr;
+  int rank_ = -1;
   size_t capacity_;
   std::vector<SliceRecord> buf_;
   uint64_t shipped_batches_ = 0;
+  uint64_t lost_records_ = 0;
 };
 
 }  // namespace vsensor::rt

@@ -42,10 +42,23 @@ void StreamingDetector::on_batch(std::span<const SliceRecord> batch) {
     VS_CHECK_MSG(rec.sensor_id >= 0 &&
                      static_cast<size_t>(rec.sensor_id) < sensors_.size(),
                  "record references unknown sensor");
+    observed_ += 1;
+    // Graceful degradation: a straggler from a rank already declared stale
+    // must not reopen that rank's history.
+    if (stale_.count(rec.rank) != 0) {
+      ++stale_records_;
+      continue;
+    }
+    // Mirror of the batch path's degeneracy rule: a zero/near-zero
+    // duration is a broken measurement, not the fastest slice — it must
+    // not ratchet the running minima down to 0 and zero every later score.
+    if (is_degenerate(rec)) {
+      ++degenerate_records_;
+      continue;
+    }
     const auto sensor = static_cast<size_t>(rec.sensor_id);
     const int g = group_of(rec.metric);
     sensor_records_[sensor] += 1;
-    observed_ += 1;
 
     // Running minima. A record that lowers a standard normalizes against
     // itself (to 1.0), exactly as in the batch path where the global
@@ -57,10 +70,8 @@ void StreamingDetector::on_batch(std::span<const SliceRecord> batch) {
         {rec.sensor_id, g, rec.rank}, rec.avg_duration);
     if (!rank_new) rank_it->second = std::min(rank_it->second, rec.avg_duration);
 
-    const double inter_norm =
-        rec.avg_duration > 0.0 ? std_it->second / rec.avg_duration : 1.0;
-    const double intra_norm =
-        rec.avg_duration > 0.0 ? rank_it->second / rec.avg_duration : 1.0;
+    const double inter_norm = std_it->second / rec.avg_duration;
+    const double intra_norm = rank_it->second / rec.avg_duration;
     if (inter_norm < cfg_.variance_threshold) ++inter_flags_;
     if (intra_norm < cfg_.variance_threshold) ++intra_flags_;
 
@@ -79,14 +90,20 @@ void StreamingDetector::on_batch(std::span<const SliceRecord> batch) {
       CellSums& cell =
           cells_[{rec.sensor_id, g, rec.rank, bucket_of(mid)}];
       const auto weight = static_cast<double>(rec.count);
-      if (rec.avg_duration > 0.0) {
-        cell.weight_over_avg += weight / rec.avg_duration;
-        cell.weight += weight;
-      } else {
-        cell.unit_weight += weight;
-      }
+      cell.weight_over_avg += weight / rec.avg_duration;
+      cell.weight += weight;
     }
   }
+}
+
+void StreamingDetector::mark_stale(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stale_.insert(rank);
+}
+
+std::vector<int> StreamingDetector::stale_ranks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {stale_.begin(), stale_.end()};
 }
 
 StreamingDetector::RunningStats StreamingDetector::sensor_stats(
@@ -115,6 +132,16 @@ uint64_t StreamingDetector::observed_records() const {
   return observed_;
 }
 
+uint64_t StreamingDetector::stale_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_records_;
+}
+
+uint64_t StreamingDetector::degenerate_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degenerate_records_;
+}
+
 uint64_t StreamingDetector::intra_flags() const {
   std::lock_guard<std::mutex> lock(mu_);
   return intra_flags_;
@@ -135,6 +162,7 @@ AnalysisResult StreamingDetector::finalize() const {
       .flagged = {},
       .run_time = run_time_,
       .ranks = ranks_,
+      .stale_ranks = {stale_.begin(), stale_.end()},
   };
 
   // Apply the final standards to the standard-free cell sums. A cell's
@@ -146,10 +174,10 @@ AnalysisResult StreamingDetector::finalize() const {
     if (sensor_records_[static_cast<size_t>(sensor)] < cfg_.min_records) {
       continue;
     }
-    const double std_time = standard_.at({sensor, group});
-    const double value_sum =
-        std_time * cell.weight_over_avg + cell.unit_weight;
-    const double weight = cell.weight + cell.unit_weight;
+    const double std_time =
+        std::max(standard_.at({sensor, group}), kMinStandardTime);
+    const double value_sum = std_time * cell.weight_over_avg;
+    const double weight = cell.weight;
     if (weight <= 0.0) continue;
     const auto type = sensors_[static_cast<size_t>(sensor)].type;
     result.matrices[static_cast<size_t>(type)].accumulate(

@@ -21,6 +21,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <span>
 #include <tuple>
 #include <vector>
@@ -66,7 +67,21 @@ class StreamingDetector final : public BatchSink {
   /// Cross-rank standard time of the record's (sensor, group); 0 if unseen.
   double standard_time(int sensor_id, float metric) const;
 
+  /// Graceful degradation under transport failure: once a rank is marked
+  /// stale (its batch deliveries stopped arriving — see
+  /// BatchTransport::sweep_stale), late stragglers from it are counted in
+  /// stale_records() and excluded from standard-time updates, matrices,
+  /// flags, and statistics, instead of silently skewing the analysis with
+  /// a half-delivered history. Idempotent; thread-safe.
+  void mark_stale(int rank);
+  std::vector<int> stale_ranks() const;
+
   uint64_t observed_records() const;
+  /// Records dropped because their rank was already marked stale.
+  uint64_t stale_records() const;
+  /// Records dropped as degenerate (avg_duration below kMinStandardTime):
+  /// a broken measurement must not pose as the fastest slice.
+  uint64_t degenerate_records() const;
   /// Slices below threshold against their own rank's fastest slice (§5.3).
   uint64_t intra_flags() const;
   /// Slices below threshold against the cross-rank standard (§5.4).
@@ -81,10 +96,11 @@ class StreamingDetector final : public BatchSink {
 
  private:
   // (sensor, group, rank, bucket) -> standard-free matrix contributions.
+  // Degenerate records never reach a cell, so every contribution has a
+  // positive avg_duration.
   struct CellSums {
     double weight_over_avg = 0.0;  ///< sum of count/avg_duration
     double weight = 0.0;           ///< sum of count for those records
-    double unit_weight = 0.0;      ///< sum of count where avg <= 0 (norm = 1)
   };
   using CellKey = std::tuple<int, int, int, int>;
 
@@ -104,7 +120,10 @@ class StreamingDetector final : public BatchSink {
   std::vector<RunningStats> stats_;         ///< per sensor id
   std::vector<uint64_t> sensor_records_;    ///< per sensor id
   std::map<std::pair<int, int>, LastSlice> last_;
+  std::set<int> stale_;
   uint64_t observed_ = 0;
+  uint64_t stale_records_ = 0;
+  uint64_t degenerate_records_ = 0;
   uint64_t intra_flags_ = 0;
   uint64_t inter_flags_ = 0;
 };

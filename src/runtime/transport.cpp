@@ -1,0 +1,219 @@
+#include "runtime/transport.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace vsensor::rt {
+
+bool BatchTransport::SeqTracker::insert(uint64_t seq) {
+  if (seq < contiguous) return false;
+  if (!ahead.insert(seq).second) return false;
+  while (!ahead.empty() && *ahead.begin() == contiguous) {
+    ahead.erase(ahead.begin());
+    ++contiguous;
+  }
+  return true;
+}
+
+BatchTransport::BatchTransport(Collector* collector, int ranks,
+                               TransportConfig cfg,
+                               const TransportFaultModel* faults)
+    : collector_(collector), cfg_(cfg), faults_(faults) {
+  VS_CHECK_MSG(ranks > 0, "transport needs at least one rank channel");
+  VS_CHECK_MSG(cfg_.max_attempts > 0, "need at least one delivery attempt");
+  VS_CHECK_MSG(cfg_.retry_backoff >= 0.0, "retry backoff must be non-negative");
+  VS_CHECK_MSG(cfg_.stale_after > 0.0, "stale threshold must be positive");
+  channels_.resize(static_cast<size_t>(ranks));
+}
+
+BatchTransport::~BatchTransport() { drain(); }
+
+void BatchTransport::arrive(int rank, uint64_t seq,
+                            std::span<const SliceRecord> batch, double now,
+                            std::vector<DelayedBatch>& ready) {
+  // One physical delivery reaching the server. Each arrival releases held
+  // (delayed) batches whose countdown expires, and a released batch is an
+  // arrival itself, so process a queue of arrival events.
+  std::vector<DelayedBatch> queue;
+  queue.push_back(
+      DelayedBatch{rank, seq, now, 0, {batch.begin(), batch.end()}});
+  while (!queue.empty()) {
+    DelayedBatch ev = std::move(queue.back());
+    queue.pop_back();
+    Channel& ch = channels_[static_cast<size_t>(ev.rank)];
+    ch.stats.wire_bytes += ev.records.size() * kRecordWireBytes;
+    if (!ch.seen.insert(ev.seq)) {
+      ch.stats.duplicates_suppressed += 1;
+    } else {
+      ch.stats.batches_delivered += 1;
+      ch.stats.records_delivered += ev.records.size();
+      ch.stats.last_delivery_time = std::max(ch.stats.last_delivery_time, ev.now);
+      ready.push_back(std::move(ev));
+    }
+    for (auto it = delayed_.begin(); it != delayed_.end();) {
+      if (--(it->remaining) <= 0) {
+        queue.push_back(std::move(*it));
+        it = delayed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+bool BatchTransport::ship(int rank, std::span<const SliceRecord> batch,
+                          double now) {
+  VS_CHECK_MSG(rank >= 0 && static_cast<size_t>(rank) < channels_.size(),
+               "ship from unknown rank");
+  if (batch.empty()) return true;
+
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Channel& ch = channels_[static_cast<size_t>(rank)];
+    seq = ch.stats.next_seq++;
+    ch.stats.batches_sent += 1;
+  }
+
+  double t = now;
+  for (uint32_t attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+    if (faults_ != nullptr && faults_->killed(rank, t)) break;
+    const TransportFaultModel::Decision d =
+        faults_ != nullptr ? faults_->decide(rank, seq, attempt)
+                           : TransportFaultModel::Decision{};
+    if (d.drop) {
+      if (attempt + 1 >= cfg_.max_attempts) break;  // out of attempts: lost
+      const double backoff =
+          cfg_.retry_backoff * static_cast<double>(uint64_t{1} << attempt);
+      std::lock_guard<std::mutex> lock(mu_);
+      Channel& ch = channels_[static_cast<size_t>(rank)];
+      ch.stats.retries += 1;
+      ch.stats.backoff_seconds += backoff;
+      t += backoff;
+      continue;
+    }
+
+    std::vector<DelayedBatch> ready;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Channel& ch = channels_[static_cast<size_t>(rank)];
+      if (d.delay_batches > 0) {
+        ch.stats.delayed_batches += 1;
+        delayed_.push_back(DelayedBatch{rank, seq, t, d.delay_batches,
+                                        {batch.begin(), batch.end()}});
+      } else {
+        arrive(rank, seq, batch, t, ready);
+      }
+      // A duplicated delivery arrives as its own event; receive-side
+      // sequence tracking suppresses whichever copy lands second.
+      if (d.duplicate) arrive(rank, seq, batch, t, ready);
+    }
+    // Store outside the transport lock: the collector has its own sharded
+    // locking and the attached sink its own mutex.
+    if (collector_ != nullptr) {
+      for (const auto& rb : ready) collector_->ingest(rb.records);
+    }
+    return true;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Channel& ch = channels_[static_cast<size_t>(rank)];
+  ch.stats.batches_lost += 1;
+  ch.stats.records_lost += batch.size();
+  return false;
+}
+
+void BatchTransport::drain() {
+  std::vector<DelayedBatch> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<DelayedBatch> held;
+    held.swap(delayed_);
+    for (auto& ev : held) {
+      Channel& ch = channels_[static_cast<size_t>(ev.rank)];
+      ch.stats.wire_bytes += ev.records.size() * kRecordWireBytes;
+      if (!ch.seen.insert(ev.seq)) {
+        ch.stats.duplicates_suppressed += 1;
+        continue;
+      }
+      ch.stats.batches_delivered += 1;
+      ch.stats.records_delivered += ev.records.size();
+      ch.stats.last_delivery_time = std::max(ch.stats.last_delivery_time, ev.now);
+      ready.push_back(std::move(ev));
+    }
+  }
+  if (collector_ != nullptr) {
+    for (const auto& rb : ready) collector_->ingest(rb.records);
+  }
+}
+
+bool BatchTransport::stale_locked(const Channel& ch, int rank,
+                                  double now) const {
+  if (faults_ != nullptr && faults_->killed(rank, now)) return true;
+  const double last = ch.stats.last_delivery_time;
+  if (last < 0.0) return now > cfg_.stale_after;
+  return now - last > cfg_.stale_after;
+}
+
+std::vector<int> BatchTransport::stale_ranks(double now) const {
+  std::vector<int> stale;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t r = 0; r < channels_.size(); ++r) {
+    if (stale_locked(channels_[r], static_cast<int>(r), now)) {
+      stale.push_back(static_cast<int>(r));
+    }
+  }
+  return stale;
+}
+
+size_t BatchTransport::sweep_stale(double now,
+                                   const std::function<void(int)>& on_stale) {
+  std::vector<int> fresh;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t r = 0; r < channels_.size(); ++r) {
+      Channel& ch = channels_[r];
+      if (ch.reported_stale) continue;
+      if (stale_locked(ch, static_cast<int>(r), now)) {
+        ch.reported_stale = true;
+        fresh.push_back(static_cast<int>(r));
+      }
+    }
+  }
+  // Callback outside the lock: it typically takes a detector's mutex.
+  if (on_stale) {
+    for (int r : fresh) on_stale(r);
+  }
+  return fresh.size();
+}
+
+RankChannelStats BatchTransport::rank_stats(int rank) const {
+  VS_CHECK_MSG(rank >= 0 && static_cast<size_t>(rank) < channels_.size(),
+               "stats for unknown rank");
+  std::lock_guard<std::mutex> lock(mu_);
+  return channels_[static_cast<size_t>(rank)].stats;
+}
+
+RankChannelStats BatchTransport::totals() const {
+  RankChannelStats sum;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ch : channels_) {
+    const auto& s = ch.stats;
+    sum.batches_sent += s.batches_sent;
+    sum.batches_delivered += s.batches_delivered;
+    sum.batches_lost += s.batches_lost;
+    sum.records_delivered += s.records_delivered;
+    sum.records_lost += s.records_lost;
+    sum.retries += s.retries;
+    sum.duplicates_suppressed += s.duplicates_suppressed;
+    sum.delayed_batches += s.delayed_batches;
+    sum.wire_bytes += s.wire_bytes;
+    sum.backoff_seconds += s.backoff_seconds;
+    sum.last_delivery_time = std::max(sum.last_delivery_time, s.last_delivery_time);
+    sum.next_seq += s.next_seq;
+  }
+  return sum;
+}
+
+}  // namespace vsensor::rt

@@ -1,0 +1,166 @@
+// Resilient batch transport between per-rank staging buffers and the
+// analysis server (paper §5.4, hardened).
+//
+// The paper ships per-sensor slice batches from every rank to a dedicated
+// analysis process; at cluster scale that path sees dropped messages,
+// duplicated and reordered deliveries, and ranks that die mid-run. The
+// monitoring layer must degrade gracefully under exactly the conditions it
+// is measuring, so the transport provides:
+//  * per-rank monotonically increasing batch sequence numbers, stamped on
+//    the send side and deduplicated on the receive side — a duplicated
+//    delivery is suppressed before it can double-count records;
+//  * a bounded retry-with-backoff ship path: a lost delivery attempt is
+//    retried up to `max_attempts` times with exponential (virtual-time)
+//    backoff before the batch is declared lost and accounted as such;
+//  * per-rank delivery / drop / retry / duplicate counters, so every
+//    failure is observable instead of silently skewing the analysis;
+//  * stale-rank tracking: a rank whose deliveries stop arriving (or whose
+//    transport the fault model killed) is reported stale, letting the
+//    detectors exclude it instead of mistaking absence for speed.
+//
+// Faults are injected through the TransportFaultModel interface; the
+// deterministic simulator-side implementation lives in simmpi/faults.hpp so
+// this layer stays independent of the simulation harness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "runtime/collector.hpp"
+#include "runtime/types.hpp"
+
+namespace vsensor::rt {
+
+/// Decides the fate of one delivery attempt. Implementations must be
+/// thread-safe and deterministic in (rank, seq, attempt) — the transport
+/// calls concurrently from all rank threads and tests replay decisions.
+class TransportFaultModel {
+ public:
+  struct Decision {
+    bool drop = false;      ///< this delivery attempt is lost in flight
+    bool duplicate = false; ///< the delivery arrives twice
+    int delay_batches = 0;  ///< deliveries that overtake this one (reorder)
+  };
+
+  virtual ~TransportFaultModel() = default;
+
+  /// Fate of delivery attempt `attempt` (0-based) of batch `seq` from `rank`.
+  virtual Decision decide(int rank, uint64_t seq, uint32_t attempt) const = 0;
+
+  /// True once `rank`'s transport is dead at virtual time `now`; every
+  /// subsequent ship from that rank fails without retry.
+  virtual bool killed(int rank, double now) const = 0;
+};
+
+struct TransportConfig {
+  /// Delivery attempts per batch (1 = no retry).
+  uint32_t max_attempts = 4;
+  /// Virtual seconds of backoff after the first failed attempt; doubles on
+  /// each further failure. Accounted per rank, not charged to the clock —
+  /// shipping is off the ranks' critical path.
+  double retry_backoff = 1e-4;
+  /// A rank with no delivery for this many virtual seconds is stale.
+  double stale_after = 1.0;
+};
+
+/// Per-rank transport counters. All monotonically increasing.
+struct RankChannelStats {
+  uint64_t batches_sent = 0;       ///< ship() calls for this rank
+  uint64_t batches_delivered = 0;  ///< unique batches stored by the server
+  uint64_t batches_lost = 0;       ///< retries exhausted or rank killed
+  uint64_t records_delivered = 0;
+  uint64_t records_lost = 0;
+  uint64_t retries = 0;                 ///< failed attempts that were retried
+  uint64_t duplicates_suppressed = 0;   ///< duplicate deliveries deduplicated
+  uint64_t delayed_batches = 0;         ///< deliveries that were reordered
+  uint64_t wire_bytes = 0;  ///< bytes that reached the server, duplicates included
+  double backoff_seconds = 0.0;         ///< total virtual backoff spent
+  double last_delivery_time = -1.0;     ///< virtual time of newest delivery
+  uint64_t next_seq = 0;                ///< next sequence number to stamp
+};
+
+class BatchTransport {
+ public:
+  /// `collector` receives every unique delivery; `faults` (optional, not
+  /// owned) injects failures. With no fault model the transport is a
+  /// transparent sequenced pass-through: same batches, same order, same
+  /// collector counters as calling Collector::ingest directly.
+  BatchTransport(Collector* collector, int ranks, TransportConfig cfg = {},
+                 const TransportFaultModel* faults = nullptr);
+
+  /// Drains: anything still held in the delay queue is delivered, so
+  /// in-flight batches are never silently lost.
+  ~BatchTransport();
+
+  /// Ship one batch from `rank` at virtual time `now`. Stamps the next
+  /// sequence number, walks the retry loop, and returns true if the batch
+  /// was delivered (possibly deferred behind later deliveries when the
+  /// fault model delays it). Thread-safe; called from rank threads.
+  bool ship(int rank, std::span<const SliceRecord> batch, double now);
+
+  /// Deliver every batch still held in the delay queue (end of run; the
+  /// wire is always drained before analysis).
+  void drain();
+
+  /// Ranks considered stale at `now`: transport killed by the fault model,
+  /// or silent for longer than `stale_after` (a rank that never delivered
+  /// anything is stale once the run outlives the threshold).
+  std::vector<int> stale_ranks(double now) const;
+
+  /// Invoke `on_stale` once per newly stale rank at `now` (idempotent per
+  /// rank) and return how many ranks were newly reported. The streaming
+  /// detector's mark_stale hooks in here.
+  size_t sweep_stale(double now, const std::function<void(int)>& on_stale);
+
+  RankChannelStats rank_stats(int rank) const;
+  /// Field-wise sum over all ranks (last_delivery_time = max, next_seq = sum).
+  RankChannelStats totals() const;
+
+  Collector* collector() const { return collector_; }
+  int ranks() const { return static_cast<int>(channels_.size()); }
+  const TransportConfig& config() const { return cfg_; }
+
+ private:
+  struct DelayedBatch {
+    int rank = -1;
+    uint64_t seq = 0;
+    double now = 0.0;
+    int remaining = 0;  ///< deliveries left before this one releases
+    std::vector<SliceRecord> records;
+  };
+
+  /// Receive-side per-rank dedup state: a contiguous watermark plus the
+  /// out-of-order sequence numbers ahead of it, so memory stays bounded by
+  /// the reorder window instead of growing with the run.
+  struct SeqTracker {
+    uint64_t contiguous = 0;      ///< every seq < contiguous was delivered
+    std::set<uint64_t> ahead;     ///< delivered seqs >= contiguous
+    bool insert(uint64_t seq);    ///< returns false on duplicate
+  };
+
+  struct Channel {
+    RankChannelStats stats;
+    SeqTracker seen;
+    bool reported_stale = false;
+  };
+
+  /// One delivery arriving at the server: dedup, then store. Appends any
+  /// releases from the delay queue to `ready`. Caller holds mu_.
+  void arrive(int rank, uint64_t seq, std::span<const SliceRecord> batch,
+              double now, std::vector<DelayedBatch>& ready);
+  bool stale_locked(const Channel& ch, int rank, double now) const;
+
+  Collector* collector_;
+  TransportConfig cfg_;
+  const TransportFaultModel* faults_;
+
+  mutable std::mutex mu_;
+  std::vector<Channel> channels_;
+  std::vector<DelayedBatch> delayed_;
+};
+
+}  // namespace vsensor::rt

@@ -20,6 +20,10 @@
 #include "simmpi/models.hpp"
 #include "simmpi/trace.hpp"
 
+namespace vsensor::rt {
+class TransportFaultModel;
+}  // namespace vsensor::rt
+
 namespace vsensor::simmpi {
 
 class Comm;
@@ -40,6 +44,12 @@ struct Config {
   /// the analysis server as ranks complete (§5.4 batched push) instead of
   /// serializing all flushes after the join.
   std::function<void(Comm&)> on_rank_complete;
+  /// Optional fault model for the *monitoring transport* (not MPI): when
+  /// set, the workload layer routes every rank's batch shipping through a
+  /// resilient BatchTransport governed by this model (drops, duplicates,
+  /// delays, rank-kill — see simmpi/faults.hpp). The simulated job's MPI
+  /// semantics are unaffected; only the measurement path degrades.
+  std::shared_ptr<const rt::TransportFaultModel> transport_faults;
 };
 
 /// Per-rank outcome of a simulated run.

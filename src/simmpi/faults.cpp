@@ -1,0 +1,51 @@
+#include "simmpi/faults.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace vsensor::simmpi {
+
+namespace {
+bool valid_prob(double p) { return p >= 0.0 && p <= 1.0; }
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig cfg) : cfg_(cfg) {
+  VS_CHECK_MSG(valid_prob(cfg_.drop_prob), "drop probability must be in [0, 1]");
+  VS_CHECK_MSG(valid_prob(cfg_.duplicate_prob),
+               "duplicate probability must be in [0, 1]");
+  VS_CHECK_MSG(valid_prob(cfg_.delay_prob), "delay probability must be in [0, 1]");
+  VS_CHECK_MSG(cfg_.max_delay_batches >= 1, "delay window must be at least 1");
+}
+
+double FaultInjector::unit(int rank, uint64_t seq, uint32_t attempt,
+                           uint64_t salt) const {
+  const uint64_t key = hash_combine(
+      hash_combine(cfg_.seed, salt),
+      hash_combine(static_cast<uint64_t>(static_cast<uint32_t>(rank)),
+                   hash_combine(seq, static_cast<uint64_t>(attempt))));
+  // Top 53 bits of the mix as a double in [0, 1).
+  return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
+FaultInjector::Decision FaultInjector::decide(int rank, uint64_t seq,
+                                              uint32_t attempt) const {
+  Decision d;
+  d.drop = unit(rank, seq, attempt, /*salt=*/1) < cfg_.drop_prob;
+  if (d.drop) return d;  // a lost attempt neither duplicates nor delays
+  d.duplicate = unit(rank, seq, attempt, /*salt=*/2) < cfg_.duplicate_prob;
+  if (unit(rank, seq, attempt, /*salt=*/3) < cfg_.delay_prob) {
+    const double w = unit(rank, seq, attempt, /*salt=*/4);
+    d.delay_batches =
+        1 + static_cast<int>(w * static_cast<double>(cfg_.max_delay_batches));
+    if (d.delay_batches > cfg_.max_delay_batches) {
+      d.delay_batches = cfg_.max_delay_batches;
+    }
+  }
+  return d;
+}
+
+bool FaultInjector::killed(int rank, double now) const {
+  return cfg_.kill_rank >= 0 && rank == cfg_.kill_rank && now >= cfg_.kill_time;
+}
+
+}  // namespace vsensor::simmpi

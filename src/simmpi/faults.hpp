@@ -1,0 +1,55 @@
+// Deterministic fault injection for the monitoring transport.
+//
+// The resilience path of the batch transport (runtime/transport.hpp) is only
+// trustworthy if every failure mode it guards against can be reproduced at
+// will: dropped delivery attempts, duplicated deliveries, delayed/reordered
+// batches, and a rank whose transport dies mid-run. FaultInjector provides
+// exactly that, with every decision a pure hash of (seed, rank, seq,
+// attempt) — stateless, so the same configuration produces the same fault
+// pattern regardless of thread interleaving, host load, or how many times a
+// decision is replayed. Faults apply to the monitoring transport only; MPI
+// semantics of the simulated job are untouched.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/transport.hpp"
+
+namespace vsensor::simmpi {
+
+struct FaultConfig {
+  /// Probability one delivery attempt is lost in flight (retried by the
+  /// transport until its attempt budget runs out).
+  double drop_prob = 0.0;
+  /// Probability a successful delivery arrives twice at the server.
+  double duplicate_prob = 0.0;
+  /// Probability a delivery is held back and overtaken by later ones.
+  double delay_prob = 0.0;
+  /// A delayed delivery waits behind 1..max_delay_batches later arrivals.
+  int max_delay_batches = 2;
+  /// Rank whose transport dies (-1 = none): every ship at or after
+  /// kill_time fails permanently, with no retry.
+  int kill_rank = -1;
+  /// Virtual time the killed rank's transport stops delivering.
+  double kill_time = 0.0;
+  /// Seed of the fault pattern; a different seed is a different run.
+  uint64_t seed = 0x5eedu;
+};
+
+class FaultInjector final : public rt::TransportFaultModel {
+ public:
+  explicit FaultInjector(FaultConfig cfg);
+
+  Decision decide(int rank, uint64_t seq, uint32_t attempt) const override;
+  bool killed(int rank, double now) const override;
+
+  const FaultConfig& config() const { return cfg_; }
+
+ private:
+  /// Uniform in [0, 1), a pure function of (seed, rank, seq, attempt, salt).
+  double unit(int rank, uint64_t seq, uint32_t attempt, uint64_t salt) const;
+
+  FaultConfig cfg_;
+};
+
+}  // namespace vsensor::simmpi

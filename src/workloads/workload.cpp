@@ -70,6 +70,16 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
   WorkloadRun run;
   run.pmu.assign(static_cast<size_t>(sim_config.ranks), {});
   std::vector<rt::SenseStats> sense(static_cast<size_t>(sim_config.ranks));
+  // Every collected run ships through the resilient transport (sequence
+  // numbers, dedup, retry); without a fault model it is a transparent
+  // pass-through. Keep the fault model alive past the engine teardown —
+  // the transport consults it for stats and staleness after the run.
+  const auto faults = sim_config.transport_faults;
+  std::unique_ptr<rt::BatchTransport> transport;
+  if (collector != nullptr) {
+    transport = std::make_unique<rt::BatchTransport>(
+        collector, sim_config.ranks, options.transport, faults.get());
+  }
   std::vector<std::unique_ptr<rt::SensorRuntime>> runtimes(
       static_cast<size_t>(sim_config.ranks));
 
@@ -89,10 +99,17 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
     run.pmu[r].assign(sensor_table.size(), PmuSamples{});
 
     if (options.instrumented) {
-      runtimes[r] = std::make_unique<rt::SensorRuntime>(
-          options.runtime, comm.rank(), collector,
-          [&comm] { return comm.now(); },
-          [&comm](double s) { comm.charge_overhead(s); });
+      if (transport != nullptr) {
+        runtimes[r] = std::make_unique<rt::SensorRuntime>(
+            options.runtime, comm.rank(), *transport,
+            [&comm] { return comm.now(); },
+            [&comm](double s) { comm.charge_overhead(s); });
+      } else {
+        runtimes[r] = std::make_unique<rt::SensorRuntime>(
+            options.runtime, comm.rank(), collector,
+            [&comm] { return comm.now(); },
+            [&comm](double s) { comm.charge_overhead(s); });
+      }
       for (const auto& info : sensor_table) runtimes[r]->register_sensor(info);
     }
     RankContext ctx(comm, runtimes[r].get(), &run.pmu[r], options.pmu_jitter,
@@ -102,6 +119,19 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
 
   for (const auto& s : sense) run.sense.merge(s);
   run.makespan = run.mpi.makespan();
+  // Destroy runtimes before draining: their staging buffers flush on
+  // teardown, so no staged record is silently lost even if a rank body
+  // bypassed flush().
+  runtimes.clear();
+  if (transport != nullptr) {
+    transport->drain();
+    run.transport.reserve(static_cast<size_t>(transport->ranks()));
+    for (int r = 0; r < transport->ranks(); ++r) {
+      run.transport.push_back(transport->rank_stats(r));
+    }
+    run.transport_totals = transport->totals();
+    run.stale_ranks = transport->stale_ranks(run.makespan);
+  }
   return run;
 }
 

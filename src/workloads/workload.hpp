@@ -17,6 +17,7 @@
 #include "interp/interp.hpp"
 #include "runtime/collector.hpp"
 #include "runtime/sensor.hpp"
+#include "runtime/transport.hpp"
 #include "simmpi/comm.hpp"
 #include "support/rng.hpp"
 
@@ -105,6 +106,9 @@ struct RunOptions {
   bool instrumented = true;
   double pmu_jitter = 0.0;
   uint64_t pmu_seed = 7;
+  /// Knobs of the resilient batch transport every instrumented run ships
+  /// through (retry budget, backoff, stale threshold).
+  rt::TransportConfig transport;
 };
 
 struct WorkloadRun {
@@ -112,6 +116,13 @@ struct WorkloadRun {
   rt::SenseStats sense;  ///< merged over ranks
   std::vector<std::vector<PmuSamples>> pmu;  ///< [rank][sensor]
   double makespan = 0.0;
+  /// Per-rank transport channel counters (empty for uncollected runs).
+  std::vector<rt::RankChannelStats> transport;
+  /// Field-wise sum over ranks of `transport`.
+  rt::RankChannelStats transport_totals;
+  /// Ranks whose transport was stale at the end of the run (killed, or
+  /// silent longer than the stale threshold).
+  std::vector<int> stale_ranks;
 
   /// Pm - 1: the paper's "workload max error" (Table 1).
   double workload_max_error() const;

@@ -306,6 +306,95 @@ TEST(Detector, CleanRunHasNoEvents) {
   EXPECT_NEAR(result.matrix(SensorType::Computation).average(), 1.0, 1e-9);
 }
 
+// ------------------------------------------------ degenerate-record audit
+
+TEST(Detector, ZeroDurationRecordIsNeverPerfect) {
+  Detector detector;
+  const std::vector<SliceRecord> records{make_record(0, 0, 0.0, 0.0),
+                                         make_record(0, 0, 1e-3, 2.0),
+                                         make_record(0, 0, 2e-3, 3.0)};
+  const auto normalized = detector.normalize_records(records);
+  ASSERT_EQ(normalized.size(), 3u);
+  // The broken measurement scores 0, not 1.0 — and it must not have set the
+  // group standard to zero, which would zero every score in the group.
+  EXPECT_DOUBLE_EQ(normalized[0], 0.0);
+  EXPECT_DOUBLE_EQ(normalized[1], 1.0);
+  EXPECT_NEAR(normalized[2], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Detector, AllDegenerateRecordsScoreZeroWithoutThrowing) {
+  Detector detector;
+  const std::vector<SliceRecord> records{make_record(0, 0, 0.0, 0.0),
+                                         make_record(0, 1, 1e-3, 0.0)};
+  const auto normalized = detector.normalize_records(records);
+  EXPECT_EQ(normalized, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(Detector, ZeroDurationRecordDoesNotPerturbAnalysis) {
+  const std::vector<SensorInfo> sensors{
+      {"s", SensorType::Computation, "f.c", 1}};
+  std::vector<SliceRecord> clean;
+  for (int rank = 0; rank < 4; ++rank) {
+    for (int slice = 0; slice < 20; ++slice) {
+      clean.push_back(make_record(0, rank, slice * 0.2 + 0.05, 100e-6));
+    }
+  }
+  auto polluted = clean;
+  polluted.push_back(make_record(0, 2, 1.05, 0.0));
+
+  Detector detector;
+  const auto a = detector.analyze_records(clean, sensors, 4, 10.0);
+  const auto b = detector.analyze_records(polluted, sensors, 4, 10.0);
+  const auto& ma = a.matrix(SensorType::Computation);
+  const auto& mb = b.matrix(SensorType::Computation);
+  for (int r = 0; r < ma.ranks(); ++r) {
+    for (int bk = 0; bk < ma.buckets(); ++bk) {
+      ASSERT_EQ(ma.has(r, bk), mb.has(r, bk)) << r << "," << bk;
+      if (ma.has(r, bk)) {
+        EXPECT_DOUBLE_EQ(ma.at(r, bk), mb.at(r, bk)) << r << "," << bk;
+      }
+    }
+  }
+  EXPECT_EQ(b.flagged.size(), a.flagged.size());
+}
+
+TEST(Detector, SensorInTableWithoutRecordsIsIgnored) {
+  // Regression: a sensor present in the table but absent from the record
+  // set must not sprout a phantom per-sensor count (or any matrix cells).
+  const std::vector<SensorInfo> sensors{
+      {"s0", SensorType::Computation, "f.c", 1},
+      {"s1", SensorType::Network, "f.c", 9}};
+  std::vector<SliceRecord> records;
+  for (int slice = 0; slice < 5; ++slice) {
+    records.push_back(make_record(0, 0, slice * 0.2 + 0.05, 100e-6));
+  }
+  Detector detector;
+  const auto result = detector.analyze_records(records, sensors, 1, 1.0);
+  const auto& net = result.matrix(SensorType::Network);
+  for (int r = 0; r < net.ranks(); ++r) {
+    for (int b = 0; b < net.buckets(); ++b) {
+      EXPECT_FALSE(net.has(r, b)) << r << "," << b;
+    }
+  }
+}
+
+TEST(Detector, DegenerateRecordsDoNotCountTowardMinRecords) {
+  // Two real records plus three broken ones: with min_records = 3 the
+  // sensor stays suppressed — degenerate records must not pad the count.
+  const std::vector<SensorInfo> sensors{
+      {"s", SensorType::Computation, "f.c", 1}};
+  std::vector<SliceRecord> records{make_record(0, 0, 0.05, 100e-6),
+                                   make_record(0, 0, 0.25, 500e-6)};
+  for (int i = 0; i < 3; ++i) {
+    records.push_back(make_record(0, 0, 0.45 + 0.2 * i, 0.0));
+  }
+  Detector detector;  // min_records = 3
+  const auto result = detector.analyze_records(records, sensors, 1, 2.0);
+  EXPECT_TRUE(result.flagged.empty());
+  const auto& m = result.matrix(SensorType::Computation);
+  for (int b = 0; b < m.buckets(); ++b) EXPECT_FALSE(m.has(0, b));
+}
+
 TEST(Detector, MinRecordsSuppressesThinSensors) {
   Collector collector;
   collector.set_sensors({{"s", SensorType::Computation, "f.c", 1}});

@@ -235,6 +235,35 @@ TEST(StreamingDetector, WelfordStatsMatchTwoPassComputation) {
   EXPECT_NEAR(stats.variance(), var, 1e-12);
 }
 
+TEST(StreamingDetector, ZeroDurationRecordsAreQuarantined) {
+  DetectorConfig cfg;
+  cfg.matrix_resolution = 1e-3;
+  StreamingDetector streaming(cfg, one_sensor(), 1, 10e-3);
+  // The broken measurement arrives FIRST: as a running minimum it would
+  // have become the standard time and zeroed every later score.
+  std::vector<SliceRecord> records{make_record(0, 0, 0.0, 0.0)};
+  for (int i = 1; i < 6; ++i) {
+    records.push_back(make_record(0, 0, i * 1e-3, i == 3 ? 5.0 : 2.0));
+  }
+  feed_in_batches(streaming, records, 2);
+
+  EXPECT_EQ(streaming.degenerate_records(), 1u);
+  EXPECT_EQ(streaming.observed_records(), 6u);
+  // The standard is the fastest *real* slice, never zero.
+  EXPECT_DOUBLE_EQ(streaming.standard_time(0, 0.0F), 2.0);
+  // The degenerate record never became the rank's last slice, so it cannot
+  // pose as a perfect (normalized 1.0) observation downstream.
+  const auto last = streaming.last_slice(0, 0);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_GT(last->avg_duration, 0.0);
+
+  // And the batch detector quarantines the same record, so the two paths
+  // still agree cell for cell.
+  Detector batch(cfg);
+  const auto expected = batch.analyze_records(records, one_sensor(), 1, 10e-3);
+  expect_equivalent(expected, streaming.finalize());
+}
+
 TEST(StreamingDetector, RejectsUnknownSensor) {
   StreamingDetector streaming({}, one_sensor(), 1, 1.0);
   std::vector<SliceRecord> batch{make_record(7, 0, 0.0, 1e-6)};
