@@ -7,11 +7,11 @@
 #include <cstdio>
 #include <memory>
 
+#include "report/report.hpp"
 #include "runtime/detector.hpp"
 #include "runtime/streaming_detector.hpp"
 #include "simmpi/faults.hpp"
 #include "support/error.hpp"
-#include "support/table.hpp"
 #include "workloads/scenarios.hpp"
 #include "workloads/workload.hpp"
 
@@ -73,34 +73,11 @@ int main() {
       fcfg.delay_prob * 100, fcfg.max_delay_batches, kKilledRank,
       fcfg.kill_time);
 
-  TextTable table({"rank", "sent", "delivered", "lost", "records", "retries",
-                   "dups_suppressed", "delayed", "wire", "backoff_s"});
-  for (int r = 0; r < kRanks; ++r) {
-    const auto& s = run.transport[static_cast<size_t>(r)];
-    table.add_row({std::to_string(r), std::to_string(s.batches_sent),
-                   std::to_string(s.batches_delivered),
-                   std::to_string(s.batches_lost),
-                   std::to_string(s.records_delivered),
-                   std::to_string(s.retries),
-                   std::to_string(s.duplicates_suppressed),
-                   std::to_string(s.delayed_batches),
-                   fmt_bytes(static_cast<double>(s.wire_bytes)),
-                   fmt_double(s.backoff_seconds, 6)});
-  }
-  std::printf("%s\n", table.to_string().c_str());
-
+  std::printf("%s", report::transport_report(run.transport,
+                                             run.transport_totals,
+                                             run.stale_ranks)
+                        .c_str());
   const auto& t = run.transport_totals;
-  std::printf("totals: %llu sent, %llu delivered, %llu lost, %llu retries, "
-              "%llu duplicates suppressed, %llu delayed\n",
-              static_cast<unsigned long long>(t.batches_sent),
-              static_cast<unsigned long long>(t.batches_delivered),
-              static_cast<unsigned long long>(t.batches_lost),
-              static_cast<unsigned long long>(t.retries),
-              static_cast<unsigned long long>(t.duplicates_suppressed),
-              static_cast<unsigned long long>(t.delayed_batches));
-  std::printf("stale ranks at end of run:");
-  for (int r : run.stale_ranks) std::printf(" %d", r);
-  std::printf("\n");
 
   // --- invariants the smoke run proves ---------------------------------
   // The degraded run finishes with the clean makespan: the monitoring

@@ -1,0 +1,308 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace vsensor::obs {
+
+size_t thread_stripe() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+uint64_t Counter::value() const {
+  uint64_t sum = 0;
+  for (const auto& s : stripes_) sum += s.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::reset() {
+  for (auto& s : stripes_) s.v.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::set_max(double v) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+LogHistogram::LogHistogram(Config cfg)
+    : cfg_(cfg),
+      log_growth_inv_(1.0 / std::log(cfg.growth)),
+      counts_(cfg.buckets) {
+  VS_CHECK_MSG(cfg_.min_value > 0.0, "histogram min_value must be positive");
+  VS_CHECK_MSG(cfg_.growth > 1.0, "histogram growth must exceed 1");
+  VS_CHECK_MSG(cfg_.buckets >= 2, "histogram needs at least two buckets");
+}
+
+size_t LogHistogram::bucket_of(double value) const {
+  if (!(value > cfg_.min_value)) return 0;  // underflow, NaN, non-positive
+  const auto i = static_cast<int64_t>(
+      std::floor(std::log(value / cfg_.min_value) * log_growth_inv_));
+  if (i < 0) return 0;
+  return std::min(static_cast<size_t>(i), counts_.size() - 1);
+}
+
+double LogHistogram::bucket_lower(size_t i) const {
+  if (i == 0) return 0.0;
+  return cfg_.min_value * std::pow(cfg_.growth, static_cast<double>(i));
+}
+
+double LogHistogram::bucket_upper(size_t i) const {
+  return cfg_.min_value * std::pow(cfg_.growth, static_cast<double>(i + 1));
+}
+
+void LogHistogram::record(double value) {
+  counts_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  n_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LogHistogram::total() const {
+  return n_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::min_seen() const {
+  return total() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double LogHistogram::max_seen() const {
+  return total() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double LogHistogram::mean() const {
+  const uint64_t n = total();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double LogHistogram::quantile(double p) const {
+  const uint64_t n = total();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Same rank convention as vsensor::percentile over a sorted sample:
+  // the target sits at index p/100 * (n - 1).
+  const double target = p / 100.0 * static_cast<double>(n - 1);
+  uint64_t before = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    const auto last = static_cast<double>(before + c - 1);
+    if (target <= last) {
+      // Interpolate linearly inside the bucket. The first and last
+      // occupied buckets tighten to the observed extremes so a quantile
+      // never leaves [min_seen, max_seen].
+      double lo = std::max(bucket_lower(i), min_seen());
+      double hi = std::min(bucket_upper(i), max_seen());
+      if (hi < lo) hi = lo;
+      const double frac =
+          c > 1 ? (target - static_cast<double>(before)) /
+                      static_cast<double>(c - 1)
+                : 0.0;
+      return lo + frac * (hi - lo);
+    }
+    before += c;
+  }
+  return max_seen();
+}
+
+void LogHistogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  n_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LogHistogram& MetricsRegistry::histogram(std::string_view name,
+                                         LogHistogram::Config cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LogHistogram>(cfg))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricPoint> MetricsRegistry::snapshot() const {
+  std::vector<MetricPoint> points;
+  std::lock_guard<std::mutex> lock(mu_);
+  points.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricPoint p;
+    p.name = name;
+    p.kind = MetricPoint::Kind::Counter;
+    p.count = c->value();
+    p.value = static_cast<double>(p.count);
+    points.push_back(std::move(p));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricPoint p;
+    p.name = name;
+    p.kind = MetricPoint::Kind::Gauge;
+    p.value = g->value();
+    points.push_back(std::move(p));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricPoint p;
+    p.name = name;
+    p.kind = MetricPoint::Kind::Histogram;
+    p.count = h->total();
+    p.value = h->mean();
+    p.min = h->min_seen();
+    p.max = h->max_seen();
+    p.p50 = h->quantile(50.0);
+    p.p95 = h->quantile(95.0);
+    p.p99 = h->quantile(99.0);
+    points.push_back(std::move(p));
+  }
+  std::sort(points.begin(), points.end(),
+            [](const MetricPoint& a, const MetricPoint& b) {
+              return a.name < b.name;
+            });
+  return points;
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+void write_json_number(std::ostream& out, double v) {
+  // JSON has no inf/nan literals; clamp degenerate values to null.
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  const auto old = out.precision(17);
+  out << v;
+  out.precision(old);
+}
+
+}  // namespace
+
+void MetricsRegistry::write_jsonl(std::ostream& out) const {
+  for (const auto& p : snapshot()) {
+    out << "{\"metric\":";
+    write_json_string(out, p.name);
+    switch (p.kind) {
+      case MetricPoint::Kind::Counter:
+        out << ",\"type\":\"counter\",\"value\":" << p.count;
+        break;
+      case MetricPoint::Kind::Gauge:
+        out << ",\"type\":\"gauge\",\"value\":";
+        write_json_number(out, p.value);
+        break;
+      case MetricPoint::Kind::Histogram: {
+        out << ",\"type\":\"histogram\",\"count\":" << p.count << ",\"mean\":";
+        write_json_number(out, p.value);
+        out << ",\"min\":";
+        write_json_number(out, p.min);
+        out << ",\"max\":";
+        write_json_number(out, p.max);
+        out << ",\"p50\":";
+        write_json_number(out, p.p50);
+        out << ",\"p95\":";
+        write_json_number(out, p.p95);
+        out << ",\"p99\":";
+        write_json_number(out, p.p99);
+        out << ",\"buckets\":[";
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = histograms_.find(p.name);
+        bool first = true;
+        if (it != histograms_.end()) {
+          const auto& h = *it->second;
+          for (size_t i = 0; i < h.bucket_count(); ++i) {
+            const uint64_t c = h.bucket(i);
+            if (c == 0) continue;
+            if (!first) out << ',';
+            first = false;
+            out << "{\"le\":";
+            write_json_number(out, h.bucket_upper(i));
+            out << ",\"n\":" << c << '}';
+          }
+        }
+        out << ']';
+        break;
+      }
+    }
+    out << "}\n";
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+size_t MetricsRegistry::instrument_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace vsensor::obs

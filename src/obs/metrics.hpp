@@ -1,0 +1,167 @@
+// Self-telemetry metrics: sharded counters, gauges, and log-bucketed
+// histograms behind a process-wide registry.
+//
+// The monitoring layer must be able to measure itself without perturbing
+// what it measures (ScALPEL-style lightweight self-monitoring): every hot
+// instrument is a striped set of cache-line-padded relaxed atomics, so
+// concurrent rank threads never share a write line, and registration (the
+// only locked path) happens once per instrument name, never per update.
+// Nothing in here touches simMPI virtual time — detection output is
+// bit-identical with telemetry on or off.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsensor::obs {
+
+/// Write stripes per instrument. Each stripe is one cache line; threads
+/// spread round-robin, so even a 24-rank node sees little line sharing.
+inline constexpr size_t kStripes = 16;
+
+/// Stripe index of the calling thread (round-robin assigned, cached).
+size_t thread_stripe();
+
+/// Monotonically increasing sum, striped to avoid write contention.
+class Counter {
+ public:
+  void add(uint64_t delta = 1) {
+    stripes_[thread_stripe()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const;
+  void reset();
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+/// Last-written / accumulated double. `set` overwrites, `add` accumulates,
+/// `set_max` keeps the running maximum — all lock-free.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  void set_max(double v);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log-bucketed histogram over positive values (seconds, bytes, counts).
+/// Bucket i covers [min_value * growth^i, min_value * growth^(i+1));
+/// bucket 0 additionally absorbs everything below min_value, the last
+/// bucket everything above the top bound. Quantiles interpolate linearly
+/// inside the located bucket, so their error is bounded by one growth
+/// factor — tests pin that bound against support/stats percentile_of.
+class LogHistogram {
+ public:
+  struct Config {
+    double min_value = 1e-9;  ///< lower bound of bucket 1
+    double growth = 2.0;      ///< geometric bucket width
+    size_t buckets = 64;      ///< covers [1e-9, ~1.8e10) at the defaults
+  };
+
+  LogHistogram() : LogHistogram(Config{}) {}
+  explicit LogHistogram(Config cfg);
+
+  void record(double value);
+
+  uint64_t total() const;
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min_seen() const;
+  double max_seen() const;
+  double mean() const;
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  /// Lower/upper value bound of bucket i (bucket 0's lower bound is 0).
+  double bucket_lower(size_t i) const;
+  double bucket_upper(size_t i) const;
+  /// Bucket a value falls into (exposed so tests can pin boundaries).
+  size_t bucket_of(double value) const;
+
+  /// Percentile estimate, p in [0, 100]; 0 when empty. Matches the rank
+  /// convention of vsensor::percentile (linear interpolation at
+  /// p/100 * (n - 1)) up to in-bucket resolution.
+  double quantile(double p) const;
+
+  void reset();
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  double log_growth_inv_ = 1.0;  ///< 1 / ln(growth), cached
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<double> sum_{0.0};
+  /// +inf / -inf sentinels until the first record; min_seen()/max_seen()
+  /// gate on total() so callers never observe the sentinels.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::atomic<uint64_t> n_{0};
+};
+
+/// One metric in a snapshot (sorted by name for stable output).
+struct MetricPoint {
+  enum class Kind { Counter, Gauge, Histogram };
+  std::string name;
+  Kind kind = Kind::Counter;
+  double value = 0.0;  ///< counter/gauge value; histogram mean
+  // Histogram-only fields:
+  uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Named instrument registry. Lookup takes a mutex; hot paths hold the
+/// returned reference (stable for the registry's lifetime — reset() zeroes
+/// values but never invalidates instruments).
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LogHistogram& histogram(std::string_view name, LogHistogram::Config cfg = {});
+
+  /// Point-in-time view of every registered instrument, name-sorted.
+  std::vector<MetricPoint> snapshot() const;
+
+  /// JSON-lines export: one self-contained JSON object per instrument,
+  /// histograms with percentiles and non-empty buckets. Loadable by any
+  /// jsonl consumer; tests validate syntax with a real JSON parser.
+  void write_jsonl(std::ostream& out) const;
+
+  /// Zero every instrument, keeping registrations (and references) alive.
+  void reset();
+
+  size_t instrument_count() const;
+
+  /// The process-wide registry all built-in instrumentation reports to.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LogHistogram>, std::less<>> histograms_;
+};
+
+}  // namespace vsensor::obs

@@ -1,0 +1,95 @@
+// Pipeline span tracing with Chrome trace-event export.
+//
+// Spans record begin/end in *both* clocks: host wall time (steady clock,
+// nanoseconds since the tracer epoch) and simMPI virtual time (seconds,
+// when the instrumented site knows it). The export is standard Chrome
+// trace-event JSON ("X" complete events) loadable in Perfetto or
+// chrome://tracing; virtual timestamps ride in each event's args.
+//
+// Storage is striped (mutex + vector per stripe) and bounded: past the
+// capacity spans are counted in dropped_spans() and discarded, so a long
+// run can never let its own telemetry grow without bound.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vsensor::obs {
+
+struct TraceSpan {
+  std::string name;             ///< event name (Perfetto slice title)
+  const char* category = "";    ///< string literal; groups slices
+  int tid = 0;                  ///< usually the MPI rank
+  uint64_t ts_ns = 0;           ///< wall begin, ns since tracer epoch
+  uint64_t dur_ns = 0;          ///< wall duration
+  double vt_begin = -1.0;       ///< virtual begin (seconds), -1 = unknown
+  double vt_end = -1.0;
+};
+
+class SpanTracer {
+ public:
+  explicit SpanTracer(size_t capacity = size_t{1} << 16);
+
+  /// Wall nanoseconds since the tracer epoch (construction or last clear).
+  uint64_t now_ns() const;
+
+  void record(TraceSpan span);
+
+  size_t span_count() const;
+  uint64_t dropped_spans() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// All retained spans, sorted by wall begin time.
+  std::vector<TraceSpan> spans() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]} with one "X" complete
+  /// event per span (ts/dur in microseconds, args.vt_begin/vt_end in
+  /// virtual seconds when known).
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Drop all spans and restart the epoch.
+  void clear();
+
+  /// Process-wide tracer all built-in instrumentation reports to.
+  static SpanTracer& global();
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<TraceSpan> spans;
+  };
+
+  size_t capacity_per_stripe_;
+  std::vector<Stripe> stripes_;
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<int64_t> epoch_ns_{0};  ///< steady_clock ns at epoch
+};
+
+/// RAII span: captures wall begin on construction, records on destruction.
+/// Arms itself only when observability is enabled at construction time.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string name, const char* category, int tid = 0);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach the simMPI virtual-time window of the spanned work.
+  void set_virtual(double vt_begin, double vt_end) {
+    span_.vt_begin = vt_begin;
+    span_.vt_end = vt_end;
+  }
+
+ private:
+  TraceSpan span_;
+  bool armed_ = false;
+};
+
+}  // namespace vsensor::obs

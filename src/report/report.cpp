@@ -58,4 +58,47 @@ std::string variance_report(const rt::AnalysisResult& analysis,
   return os.str();
 }
 
+namespace {
+
+std::vector<std::string> channel_row(const std::string& label,
+                                     const rt::RankChannelStats& s) {
+  return {label,
+          std::to_string(s.batches_sent),
+          std::to_string(s.batches_delivered),
+          std::to_string(s.batches_lost),
+          std::to_string(s.records_delivered),
+          std::to_string(s.records_lost),
+          std::to_string(s.retries),
+          std::to_string(s.duplicates_suppressed),
+          std::to_string(s.delayed_batches),
+          fmt_bytes(static_cast<double>(s.wire_bytes)),
+          fmt_double(s.backoff_seconds, 6)};
+}
+
+}  // namespace
+
+std::string transport_report(std::span<const rt::RankChannelStats> per_rank,
+                             const rt::RankChannelStats& totals,
+                             std::span<const int> stale_ranks) {
+  std::ostringstream os;
+  os << "transport channels (batched push to the analysis server):\n";
+  TextTable table({"rank", "sent", "delivered", "lost", "records",
+                   "rec_lost", "retries", "dups", "delayed", "wire",
+                   "backoff_s"});
+  for (size_t r = 0; r < per_rank.size(); ++r) {
+    table.add_row(channel_row(std::to_string(r), per_rank[r]));
+  }
+  table.add_row(channel_row("total", totals));
+  os << table.to_string();
+
+  os << "stale ranks at end of run:";
+  if (stale_ranks.empty()) {
+    os << " none";
+  } else {
+    for (int r : stale_ranks) os << ' ' << r;
+  }
+  os << '\n';
+  return os.str();
+}
+
 }  // namespace vsensor::report

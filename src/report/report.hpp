@@ -1,10 +1,12 @@
 // Human-readable variance report assembly (paper step 8).
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "report/render.hpp"
 #include "runtime/detector.hpp"
+#include "runtime/transport.hpp"
 
 namespace vsensor::report {
 
@@ -18,5 +20,12 @@ struct ReportOptions {
 /// root-cause hints, and optional heat maps.
 std::string variance_report(const rt::AnalysisResult& analysis,
                             const ReportOptions& opts = {});
+
+/// Render the transport channel health table: one row per rank plus a
+/// totals row, and the stale-rank list. Every bench/tool that surfaces
+/// RankChannelStats prints through this, so the columns stay consistent.
+std::string transport_report(std::span<const rt::RankChannelStats> per_rank,
+                             const rt::RankChannelStats& totals,
+                             std::span<const int> stale_ranks);
 
 }  // namespace vsensor::report

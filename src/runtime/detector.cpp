@@ -6,6 +6,9 @@
 #include <map>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace vsensor::rt {
@@ -77,6 +80,14 @@ AnalysisResult Detector::analyze_records(std::span<const SliceRecord> records,
                                          int ranks, double run_time) const {
   VS_CHECK_MSG(ranks > 0, "need at least one rank");
   VS_CHECK_MSG(run_time > 0.0, "run time must be positive");
+  VS_OBS_SCOPED_STAGE(obs::Stage::DetectBatch);
+  VS_OBS_ONLY(obs::ScopedSpan vs_obs_span("analyze_records", "detect");
+              if (obs::enabled()) {
+                vs_obs_span.set_virtual(0.0, run_time);
+                auto& reg = obs::MetricsRegistry::global();
+                reg.counter("detect.batch_analyses").add();
+                reg.counter("detect.records_analyzed").add(records.size());
+              })
 
   const int buckets =
       std::max(1, static_cast<int>(std::ceil(run_time / cfg_.matrix_resolution)));
@@ -88,6 +99,7 @@ AnalysisResult Detector::analyze_records(std::span<const SliceRecord> records,
       .flagged = {},
       .run_time = run_time,
       .ranks = ranks,
+      .stale_ranks = {},
   };
 
   // Standard time per (sensor, dynamic group): minimum avg_duration over all
@@ -96,12 +108,15 @@ AnalysisResult Detector::analyze_records(std::span<const SliceRecord> records,
   // perfect (normalized 1.0) or, as a group minimum, zero the whole group.
   std::map<std::pair<int, int>, double> standard;
   std::map<int, uint32_t> per_sensor_count;
-  for (const auto& rec : records) {
-    if (is_degenerate(rec)) continue;
-    const auto key = std::make_pair(rec.sensor_id, group_of(rec.metric));
-    auto [it, inserted] = standard.try_emplace(key, rec.avg_duration);
-    if (!inserted) it->second = std::min(it->second, rec.avg_duration);
-    per_sensor_count[rec.sensor_id] += 1;
+  {
+    VS_OBS_SCOPED_STAGE(obs::Stage::Normalize);
+    for (const auto& rec : records) {
+      if (is_degenerate(rec)) continue;
+      const auto key = std::make_pair(rec.sensor_id, group_of(rec.metric));
+      auto [it, inserted] = standard.try_emplace(key, rec.avg_duration);
+      if (!inserted) it->second = std::min(it->second, rec.avg_duration);
+      per_sensor_count[rec.sensor_id] += 1;
+    }
   }
 
   for (const auto& rec : records) {

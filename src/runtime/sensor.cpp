@@ -4,10 +4,36 @@
 #include <limits>
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/ring_buffer.hpp"
 
 namespace vsensor::rt {
+
+#if VSENSOR_OBS
+namespace {
+// Instrument handles resolved once per process; the registry keeps them
+// alive and stable, so the probe hot path is counter adds only.
+struct ProbeInstruments {
+  obs::Counter& ticks;
+  obs::Counter& tocks;
+  obs::Counter& slices;
+  obs::Counter& local_flags;
+  obs::LogHistogram& sense_duration;
+
+  static ProbeInstruments& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static ProbeInstruments inst{
+        reg.counter("probe.ticks"), reg.counter("probe.tocks"),
+        reg.counter("slicer.slices_completed"),
+        reg.counter("probe.local_variance_flags"),
+        reg.histogram("probe.sense_duration_seconds")};
+    return inst;
+  }
+};
+}  // namespace
+#endif
 
 void SenseStats::merge(const SenseStats& other) {
   sense_time += other.sense_time;
@@ -91,6 +117,8 @@ int SensorRuntime::register_sensor(SensorInfo info) {
 }
 
 void SensorRuntime::tick(int id) {
+  VS_OBS_SCOPED_STAGE(obs::Stage::ProbeTick);
+  VS_OBS_ONLY(if (obs::enabled()) ProbeInstruments::get().ticks.add();)
   VS_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < states_.size(),
                "tick on unregistered sensor");
   State& st = states_[static_cast<size_t>(id)];
@@ -100,6 +128,7 @@ void SensorRuntime::tick(int id) {
 }
 
 void SensorRuntime::tock(int id, double metric) {
+  VS_OBS_SCOPED_STAGE(obs::Stage::ProbeTock);
   VS_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < states_.size(),
                "tock on unregistered sensor");
   State& st = states_[static_cast<size_t>(id)];
@@ -129,22 +158,33 @@ void SensorRuntime::tock(int id, double metric) {
     }
   }
   sense_stats_.last_sense_end = end;
+  VS_OBS_ONLY(if (obs::enabled()) {
+    auto& inst = ProbeInstruments::get();
+    inst.tocks.add();
+    inst.sense_duration.record(duration);
+  })
 
   if (st.disabled) return;
 
-  if (auto completed = st.slices.add(end, duration, metric)) {
-    // Intra-process on-line comparison with history (§5.3): update the
-    // standard time (all-time or windowed minimum) and flag slices that
-    // fall below the threshold.
-    const double previous_standard = st.standard_time;
-    st.observe_slice(completed->avg_duration);
-    if (previous_standard > 0.0 && cfg_.local_variance_threshold > 0.0 &&
-        previous_standard <
-            completed->avg_duration * cfg_.local_variance_threshold) {
-      completed->flags |= kRecordFlagLocalVariance;
-      ++local_flags_;
+  {
+    VS_OBS_SCOPED_STAGE(obs::Stage::Slicing);
+    if (auto completed = st.slices.add(end, duration, metric)) {
+      // Intra-process on-line comparison with history (§5.3): update the
+      // standard time (all-time or windowed minimum) and flag slices that
+      // fall below the threshold.
+      const double previous_standard = st.standard_time;
+      st.observe_slice(completed->avg_duration);
+      if (previous_standard > 0.0 && cfg_.local_variance_threshold > 0.0 &&
+          previous_standard <
+              completed->avg_duration * cfg_.local_variance_threshold) {
+        completed->flags |= kRecordFlagLocalVariance;
+        ++local_flags_;
+        VS_OBS_ONLY(
+            if (obs::enabled()) ProbeInstruments::get().local_flags.add();)
+      }
+      VS_OBS_ONLY(if (obs::enabled()) ProbeInstruments::get().slices.add();)
+      emit(*completed);
     }
-    emit(*completed);
   }
 
   // Runtime optimization (§5.3): switch off analysis for sensors that turn
@@ -161,9 +201,15 @@ void SensorRuntime::emit(const SliceRecord& rec) {
 }
 
 void SensorRuntime::flush() {
-  for (auto& st : states_) {
-    if (st.disabled) continue;
-    if (auto rec = st.slices.flush()) emit(*rec);
+  {
+    VS_OBS_SCOPED_STAGE(obs::Stage::Slicing);
+    for (auto& st : states_) {
+      if (st.disabled) continue;
+      if (auto rec = st.slices.flush()) {
+        VS_OBS_ONLY(if (obs::enabled()) ProbeInstruments::get().slices.add();)
+        emit(*rec);
+      }
+    }
   }
   // The run may end long after the last sense (AMG's adaptive solve phase
   // has no sensors at all): record the trailing gap so interval statistics

@@ -3,13 +3,16 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace vsensor::rt {
 
 namespace {
 constexpr const char* kMagic = "vsensor-session";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
+// Version 1 lacked the transport/stale lines; still loadable.
+constexpr int kOldestSupported = 1;
 
 void write_header(std::ostream& out, int ranks, double run_time,
                   const std::vector<SensorInfo>& sensors) {
@@ -28,15 +31,55 @@ void write_record(std::ostream& out, const SliceRecord& r) {
       << r.t_end << ' ' << r.avg_duration << ' ' << r.min_duration << ' '
       << r.count << ' ' << r.metric << ' ' << r.flags << '\n';
 }
+
+void write_transport(std::ostream& out,
+                     std::span<const RankChannelStats> transport,
+                     std::span<const int> stale_ranks) {
+  for (size_t r = 0; r < transport.size(); ++r) {
+    const auto& s = transport[r];
+    out << "transport " << r << ' ' << s.batches_sent << ' '
+        << s.batches_delivered << ' ' << s.batches_lost << ' '
+        << s.records_delivered << ' ' << s.records_lost << ' ' << s.retries
+        << ' ' << s.duplicates_suppressed << ' ' << s.delayed_batches << ' '
+        << s.wire_bytes << ' ' << s.backoff_seconds << ' '
+        << s.last_delivery_time << ' ' << s.next_seq << '\n';
+  }
+  for (int r : stale_ranks) out << "stale " << r << '\n';
+}
+
+void accumulate_totals(RankChannelStats& sum, const RankChannelStats& s) {
+  sum.batches_sent += s.batches_sent;
+  sum.batches_delivered += s.batches_delivered;
+  sum.batches_lost += s.batches_lost;
+  sum.records_delivered += s.records_delivered;
+  sum.records_lost += s.records_lost;
+  sum.retries += s.retries;
+  sum.duplicates_suppressed += s.duplicates_suppressed;
+  sum.delayed_batches += s.delayed_batches;
+  sum.wire_bytes += s.wire_bytes;
+  sum.backoff_seconds += s.backoff_seconds;
+  sum.last_delivery_time = std::max(sum.last_delivery_time, s.last_delivery_time);
+  sum.next_seq += s.next_seq;
+}
 }  // namespace
 
 void save_session(std::ostream& out, const Session& session) {
+  VS_OBS_SCOPED_STAGE(obs::Stage::Export);
   write_header(out, session.ranks, session.run_time, session.sensors);
   for (const auto& r : session.records) write_record(out, r);
+  write_transport(out, session.transport, session.stale_ranks);
 }
 
 void save_session_file(const std::string& path, const Collector& collector,
                        int ranks, double run_time) {
+  save_session_file(path, collector, ranks, run_time, {}, {});
+}
+
+void save_session_file(const std::string& path, const Collector& collector,
+                       int ranks, double run_time,
+                       std::span<const RankChannelStats> transport,
+                       std::span<const int> stale_ranks) {
+  VS_OBS_SCOPED_STAGE(obs::Stage::Export);
   std::ofstream out(path);
   if (!out) throw Error("cannot open session file for writing: " + path);
   // Stream the records straight out of the collector's shards (locked
@@ -45,6 +88,7 @@ void save_session_file(const std::string& path, const Collector& collector,
   collector.visit_records([&out](std::span<const SliceRecord> seg) {
     for (const auto& r : seg) write_record(out, r);
   });
+  write_transport(out, transport, stale_ranks);
   if (!out) throw Error("failed while writing session file: " + path);
 }
 
@@ -59,7 +103,7 @@ Session load_session(std::istream& in) {
     int version = 0;
     header >> magic >> version;
     if (magic != kMagic) throw Error("not a vsensor session file");
-    if (version != kVersion) {
+    if (version < kOldestSupported || version > kVersion) {
       throw Error("unsupported session version: " + std::to_string(version));
     }
   }
@@ -107,9 +151,36 @@ Session load_session(std::istream& in) {
         throw Error("record references unknown sensor: " + line);
       }
       session.records.push_back(r);
+    } else if (kind == "transport") {
+      size_t rank = 0;
+      RankChannelStats s;
+      ls >> rank >> s.batches_sent >> s.batches_delivered >> s.batches_lost >>
+          s.records_delivered >> s.records_lost >> s.retries >>
+          s.duplicates_suppressed >> s.delayed_batches >> s.wire_bytes >>
+          s.backoff_seconds >> s.last_delivery_time >> s.next_seq;
+      if (!ls || rank >= static_cast<size_t>(session.ranks)) {
+        throw Error("malformed transport line: " + line);
+      }
+      if (rank != session.transport.size()) {
+        throw Error("transport ranks must be dense and in order");
+      }
+      session.transport.push_back(s);
+    } else if (kind == "stale") {
+      int rank = -1;
+      ls >> rank;
+      if (!ls || rank < 0 || rank >= session.ranks) {
+        throw Error("malformed stale line: " + line);
+      }
+      session.stale_ranks.push_back(rank);
     } else {
       throw Error("unknown session line kind: " + kind);
     }
+  }
+  // Totals are derived, never stored: recompute so they can't drift from
+  // the per-rank lines.
+  session.transport_totals = RankChannelStats{};
+  for (const auto& s : session.transport) {
+    accumulate_totals(session.transport_totals, s);
   }
   return session;
 }

@@ -5,10 +5,12 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "runtime/collector.hpp"
+#include "runtime/transport.hpp"
 #include "runtime/types.hpp"
 
 namespace vsensor::rt {
@@ -18,17 +20,37 @@ struct Session {
   double run_time = 0.0;
   std::vector<SensorInfo> sensors;
   std::vector<SliceRecord> records;
+  /// Per-rank transport channel counters (v2 sessions; empty for v1 or
+  /// runs that bypassed the transport). When present, has `ranks` entries.
+  std::vector<RankChannelStats> transport;
+  /// Field-wise sum over `transport` (recomputed on load).
+  RankChannelStats transport_totals;
+  /// Ranks the transport declared stale at end of run (v2 sessions).
+  std::vector<int> stale_ranks;
+
+  bool has_transport() const { return !transport.empty(); }
 };
 
 /// Text format, line-oriented:
-///   vsensor-session 1
+///   vsensor-session 2
 ///   ranks <N> run_time <seconds>
 ///   sensor <id> <type> <line> <name> (name may contain spaces; file is
 ///                                     URL-free token, stored after line)
 ///   record <sensor> <rank> <t_begin> <t_end> <avg> <min> <count> <metric> <flags>
+///   transport <rank> <sent> <delivered> <lost> <rec_delivered> <rec_lost>
+///             <retries> <dups> <delayed> <wire_bytes> <backoff_s>
+///             <last_delivery_t> <next_seq>
+///   stale <rank>
+/// Version 1 files (no transport/stale lines) still load.
 void save_session(std::ostream& out, const Session& session);
 void save_session_file(const std::string& path, const Collector& collector,
                        int ranks, double run_time);
+/// As above, additionally persisting per-rank transport counters and the
+/// stale-rank list (one `transport` line per entry, in rank order).
+void save_session_file(const std::string& path, const Collector& collector,
+                       int ranks, double run_time,
+                       std::span<const RankChannelStats> transport,
+                       std::span<const int> stale_ranks);
 
 /// Throws vsensor::Error on malformed input.
 Session load_session(std::istream& in);

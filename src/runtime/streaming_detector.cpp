@@ -3,9 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace vsensor::rt {
+
+#if VSENSOR_OBS
+namespace {
+struct StreamingInstruments {
+  obs::Counter& batches;
+  obs::Counter& records;
+  obs::Counter& inter_flags;
+  obs::Counter& intra_flags;
+
+  static StreamingInstruments& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static StreamingInstruments inst{
+        reg.counter("streaming.batches_folded"),
+        reg.counter("streaming.records_folded"),
+        reg.counter("streaming.inter_rank_flags"),
+        reg.counter("streaming.intra_rank_flags")};
+    return inst;
+  }
+};
+}  // namespace
+#endif
 
 StreamingDetector::StreamingDetector(DetectorConfig cfg,
                                      std::vector<SensorInfo> sensors,
@@ -37,6 +61,12 @@ int StreamingDetector::bucket_of(double time) const {
 }
 
 void StreamingDetector::on_batch(std::span<const SliceRecord> batch) {
+  VS_OBS_SCOPED_STAGE(obs::Stage::DetectStreaming);
+  VS_OBS_ONLY(if (obs::enabled()) {
+    auto& inst = StreamingInstruments::get();
+    inst.batches.add();
+    inst.records.add(batch.size());
+  })
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& rec : batch) {
     VS_CHECK_MSG(rec.sensor_id >= 0 &&
@@ -72,8 +102,16 @@ void StreamingDetector::on_batch(std::span<const SliceRecord> batch) {
 
     const double inter_norm = std_it->second / rec.avg_duration;
     const double intra_norm = rank_it->second / rec.avg_duration;
-    if (inter_norm < cfg_.variance_threshold) ++inter_flags_;
-    if (intra_norm < cfg_.variance_threshold) ++intra_flags_;
+    if (inter_norm < cfg_.variance_threshold) {
+      ++inter_flags_;
+      VS_OBS_ONLY(
+          if (obs::enabled()) StreamingInstruments::get().inter_flags.add();)
+    }
+    if (intra_norm < cfg_.variance_threshold) {
+      ++intra_flags_;
+      VS_OBS_ONLY(
+          if (obs::enabled()) StreamingInstruments::get().intra_flags.add();)
+    }
 
     // Welford update over normalized performance.
     RunningStats& st = stats_[sensor];
@@ -153,6 +191,11 @@ uint64_t StreamingDetector::inter_flags() const {
 }
 
 AnalysisResult StreamingDetector::finalize() const {
+  VS_OBS_SCOPED_STAGE(obs::Stage::DetectStreaming);
+  VS_OBS_ONLY(obs::ScopedSpan vs_obs_span("finalize", "detect");
+              if (obs::enabled()) {
+                vs_obs_span.set_virtual(0.0, run_time_);
+              })
   std::lock_guard<std::mutex> lock(mu_);
   AnalysisResult result{
       .matrices = {PerformanceMatrix(ranks_, buckets_, cfg_.matrix_resolution),

@@ -2,9 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace vsensor::rt {
+
+#if VSENSOR_OBS
+namespace {
+struct TransportInstruments {
+  obs::Counter& batches;
+  obs::Counter& retries;
+  obs::Counter& lost;
+  obs::Counter& duplicates;
+  obs::Counter& delayed;
+  obs::Counter& stale;
+  obs::Gauge& backoff_seconds;
+
+  static TransportInstruments& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static TransportInstruments inst{reg.counter("transport.batches_shipped"),
+                                     reg.counter("transport.retries"),
+                                     reg.counter("transport.batches_lost"),
+                                     reg.counter("transport.duplicates_suppressed"),
+                                     reg.counter("transport.delayed_batches"),
+                                     reg.counter("transport.stale_ranks_reported"),
+                                     reg.gauge("transport.backoff_seconds")};
+    return inst;
+  }
+};
+}  // namespace
+#endif
 
 bool BatchTransport::SeqTracker::insert(uint64_t seq) {
   if (seq < contiguous) return false;
@@ -45,6 +74,8 @@ void BatchTransport::arrive(int rank, uint64_t seq,
     ch.stats.wire_bytes += ev.records.size() * kRecordWireBytes;
     if (!ch.seen.insert(ev.seq)) {
       ch.stats.duplicates_suppressed += 1;
+      VS_OBS_ONLY(
+          if (obs::enabled()) TransportInstruments::get().duplicates.add();)
     } else {
       ch.stats.batches_delivered += 1;
       ch.stats.records_delivered += ev.records.size();
@@ -67,6 +98,12 @@ bool BatchTransport::ship(int rank, std::span<const SliceRecord> batch,
   VS_CHECK_MSG(rank >= 0 && static_cast<size_t>(rank) < channels_.size(),
                "ship from unknown rank");
   if (batch.empty()) return true;
+  VS_OBS_SCOPED_STAGE(obs::Stage::TransportShip);
+  VS_OBS_ONLY(obs::ScopedSpan vs_obs_span("ship", "transport", rank);
+              if (obs::enabled()) {
+                vs_obs_span.set_virtual(batch.front().t_begin, now);
+                TransportInstruments::get().batches.add();
+              })
 
   uint64_t seq = 0;
   {
@@ -90,6 +127,11 @@ bool BatchTransport::ship(int rank, std::span<const SliceRecord> batch,
       Channel& ch = channels_[static_cast<size_t>(rank)];
       ch.stats.retries += 1;
       ch.stats.backoff_seconds += backoff;
+      VS_OBS_ONLY(if (obs::enabled()) {
+        auto& inst = TransportInstruments::get();
+        inst.retries.add();
+        inst.backoff_seconds.add(backoff);
+      })
       t += backoff;
       continue;
     }
@@ -100,6 +142,8 @@ bool BatchTransport::ship(int rank, std::span<const SliceRecord> batch,
       Channel& ch = channels_[static_cast<size_t>(rank)];
       if (d.delay_batches > 0) {
         ch.stats.delayed_batches += 1;
+        VS_OBS_ONLY(
+            if (obs::enabled()) TransportInstruments::get().delayed.add();)
         delayed_.push_back(DelayedBatch{rank, seq, t, d.delay_batches,
                                         {batch.begin(), batch.end()}});
       } else {
@@ -121,6 +165,7 @@ bool BatchTransport::ship(int rank, std::span<const SliceRecord> batch,
   Channel& ch = channels_[static_cast<size_t>(rank)];
   ch.stats.batches_lost += 1;
   ch.stats.records_lost += batch.size();
+  VS_OBS_ONLY(if (obs::enabled()) TransportInstruments::get().lost.add();)
   return false;
 }
 
@@ -185,6 +230,9 @@ size_t BatchTransport::sweep_stale(double now,
   if (on_stale) {
     for (int r : fresh) on_stale(r);
   }
+  VS_OBS_ONLY(if (obs::enabled() && !fresh.empty()) {
+    TransportInstruments::get().stale.add(fresh.size());
+  })
   return fresh.size();
 }
 

@@ -1,7 +1,11 @@
 #include "workloads/workload.hpp"
 
+#include <chrono>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "workloads/apps.hpp"
 
@@ -64,6 +68,9 @@ double WorkloadRun::workload_max_error() const {
 
 WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
                          const RunOptions& options, rt::Collector* collector) {
+  VS_OBS_ONLY(
+      obs::ScopedSpan vs_obs_span("run:" + workload.name(), "workload");
+      const auto vs_obs_wall_begin = std::chrono::steady_clock::now();)
   const auto sensor_table = workload.sensors();
   if (collector != nullptr) collector->set_sensors(sensor_table);
 
@@ -132,6 +139,20 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
     run.transport_totals = transport->totals();
     run.stale_ranks = transport->stale_ranks(run.makespan);
   }
+  VS_OBS_ONLY(if (obs::enabled()) {
+    vs_obs_span.set_virtual(0.0, run.makespan);
+    double probe_virtual = 0.0;
+    for (const auto& rs : run.mpi.ranks) probe_virtual += rs.overhead_time;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      vs_obs_wall_begin)
+            .count();
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("workload.runs").add();
+    reg.gauge("workload.wall_seconds").add(wall);
+    reg.gauge("workload.virtual_makespan").set_max(run.makespan);
+    reg.gauge("probe.virtual_overhead_seconds").add(probe_virtual);
+  })
   return run;
 }
 

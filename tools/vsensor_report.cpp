@@ -9,10 +9,15 @@
 //   vsensor-report session.vsr --threshold=0.8 --resolution-ms=5
 //   vsensor-report session.vsr --until=0.5       # on-line view at 50%
 //   vsensor-report session.vsr --series=net --points=40
+//   vsensor-report session.vsr --metrics-out=m.jsonl --trace-out=t.json
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "report/report.hpp"
 #include "runtime/detector.hpp"
 #include "runtime/session_io.hpp"
@@ -30,13 +35,16 @@ struct Options {
   double until_fraction = 1.0;
   std::string series;  ///< "", "comp", "net", "io"
   int series_points = 40;
+  std::string metrics_out;  ///< self-telemetry JSONL destination
+  std::string trace_out;    ///< Chrome trace-event JSON destination
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: vsensor-report <session.vsr> [--matrix]\n"
                "  [--threshold=F] [--resolution-ms=N] [--until=FRACTION]\n"
-               "  [--series=comp|net|io] [--points=N]\n");
+               "  [--series=comp|net|io] [--points=N]\n"
+               "  [--metrics-out=FILE] [--trace-out=FILE]\n");
   std::exit(2);
 }
 
@@ -70,6 +78,10 @@ Options parse(int argc, char** argv) {
       opts.series = value;
     } else if (flag_value(argv[i], "--points", &value)) {
       opts.series_points = std::stoi(value);
+    } else if (flag_value(argv[i], "--metrics-out", &value)) {
+      opts.metrics_out = value;
+    } else if (flag_value(argv[i], "--trace-out", &value)) {
+      opts.trace_out = value;
     } else if (argv[i][0] == '-') {
       usage();
     } else if (opts.input.empty()) {
@@ -90,6 +102,13 @@ rt::SensorType parse_series(const std::string& s) {
 }
 
 int run_tool(const Options& opts) {
+  // Exporter flags opt into self-telemetry for this invocation; with
+  // VSENSOR_OBS=0 builds the hooks are compiled out and the exports are
+  // valid-but-empty.
+  if (!opts.metrics_out.empty() || !opts.trace_out.empty()) {
+    obs::set_enabled(true);
+  }
+
   const auto session = rt::load_session_file(opts.input);
   std::printf("session: %d ranks, %.6f s, %zu sensors, %zu records\n\n",
               session.ranks, session.run_time, session.sensors.size(),
@@ -116,6 +135,14 @@ int run_tool(const Options& opts) {
   ropts.include_matrices = opts.matrix;
   std::printf("%s", report::variance_report(analysis, ropts).c_str());
 
+  if (session.has_transport()) {
+    std::printf("\n%s",
+                report::transport_report(session.transport,
+                                         session.transport_totals,
+                                         session.stale_ranks)
+                    .c_str());
+  }
+
   if (!opts.series.empty()) {
     const auto type = parse_series(opts.series);
     const auto series = detector.component_series(
@@ -128,6 +155,19 @@ int run_tool(const Options& opts) {
                   std::string(static_cast<size_t>(std::max(bars, 0)), '#')
                       .c_str());
     }
+  }
+
+  if (!opts.metrics_out.empty()) {
+    std::ofstream out(opts.metrics_out);
+    if (!out) throw Error("cannot open metrics file: " + opts.metrics_out);
+    obs::MetricsRegistry::global().write_jsonl(out);
+    std::printf("wrote metrics to %s\n", opts.metrics_out.c_str());
+  }
+  if (!opts.trace_out.empty()) {
+    std::ofstream out(opts.trace_out);
+    if (!out) throw Error("cannot open trace file: " + opts.trace_out);
+    obs::SpanTracer::global().write_chrome_trace(out);
+    std::printf("wrote trace to %s\n", opts.trace_out.c_str());
   }
   return analysis.events.empty() ? 0 : 3;
 }
