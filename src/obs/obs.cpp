@@ -49,6 +49,7 @@ const char* stage_name(Stage stage) {
     case Stage::Normalize: return "detect.normalize";
     case Stage::DetectBatch: return "detect.batch";
     case Stage::Export: return "export";
+    case Stage::Durability: return "durability";
     case Stage::kCount: break;
   }
   return "?";

@@ -49,6 +49,7 @@ enum class Stage : uint8_t {
   Normalize,        ///< batch detector standards/normalization/grouping
   DetectBatch,      ///< batch detector (exclusive of Normalize)
   Export,           ///< session/metric/trace serialization
+  Durability,       ///< journal append/commit + checkpoint save/load
   kCount,
 };
 

@@ -1,0 +1,290 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "support/binio.hpp"
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::rt {
+
+namespace {
+
+constexpr const char* kHeader = "vsensor-checkpoint 1\n";
+
+#if VSENSOR_OBS
+struct CheckpointInstruments {
+  obs::Counter& saves;
+  obs::Counter& bytes;
+
+  static CheckpointInstruments& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static CheckpointInstruments inst{reg.counter("checkpoint.saves"),
+                                      reg.counter("checkpoint.bytes_written")};
+    return inst;
+  }
+};
+#endif
+
+template <typename T>
+void put(std::string& out, T v) {
+  put_raw(out, v);
+}
+
+// Containers serialize as u64 count + entries; every map key/value is a
+// fixed-width primitive, so sizes are exact and the reader can validate
+// counts against the remaining byte budget before allocating.
+
+void put_counters(std::string& out, const Collector::Counters& c) {
+  put(out, c.ingested);
+  put(out, c.dropped);
+  put(out, c.taken);
+  put(out, c.bytes);
+  put(out, c.batches);
+}
+
+bool read_counters(ByteReader& in, Collector::Counters* c) {
+  return in.read(&c->ingested) && in.read(&c->dropped) && in.read(&c->taken) &&
+         in.read(&c->bytes) && in.read(&c->batches);
+}
+
+std::string encode_payload(const ServerCheckpoint& ckpt) {
+  std::string out;
+  put(out, ckpt.sensor_count);
+  put(out, ckpt.ranks);
+  put(out, ckpt.run_time);
+  put_counters(out, ckpt.collector);
+
+  put(out, static_cast<uint64_t>(ckpt.watermarks.size()));
+  for (const auto& wm : ckpt.watermarks) {
+    put(out, wm.contiguous);
+    put(out, static_cast<uint64_t>(wm.ahead.size()));
+    for (uint64_t seq : wm.ahead) put(out, seq);
+  }
+
+  const auto& d = ckpt.detector;
+  put(out, static_cast<uint64_t>(d.standard.size()));
+  for (const auto& [key, v] : d.standard) {
+    put(out, static_cast<int32_t>(key.first));
+    put(out, static_cast<int32_t>(key.second));
+    put(out, v);
+  }
+  put(out, static_cast<uint64_t>(d.rank_standard.size()));
+  for (const auto& [key, v] : d.rank_standard) {
+    put(out, static_cast<int32_t>(std::get<0>(key)));
+    put(out, static_cast<int32_t>(std::get<1>(key)));
+    put(out, static_cast<int32_t>(std::get<2>(key)));
+    put(out, v);
+  }
+  put(out, static_cast<uint64_t>(d.cells.size()));
+  for (const auto& [key, cell] : d.cells) {
+    put(out, static_cast<int32_t>(std::get<0>(key)));
+    put(out, static_cast<int32_t>(std::get<1>(key)));
+    put(out, static_cast<int32_t>(std::get<2>(key)));
+    put(out, static_cast<int32_t>(std::get<3>(key)));
+    put(out, cell.weight_over_avg);
+    put(out, cell.weight);
+  }
+  put(out, static_cast<uint64_t>(d.stats.size()));
+  for (const auto& st : d.stats) {
+    put(out, st.count);
+    put(out, st.mean);
+    put(out, st.m2);
+  }
+  put(out, static_cast<uint64_t>(d.sensor_records.size()));
+  for (uint64_t n : d.sensor_records) put(out, n);
+  put(out, static_cast<uint64_t>(d.last.size()));
+  for (const auto& [key, slice] : d.last) {
+    put(out, static_cast<int32_t>(key.first));
+    put(out, static_cast<int32_t>(key.second));
+    put(out, slice.t_end);
+    put(out, slice.avg_duration);
+    put(out, slice.normalized);
+  }
+  put(out, static_cast<uint64_t>(d.stale.size()));
+  for (int rank : d.stale) put(out, static_cast<int32_t>(rank));
+  put(out, d.observed);
+  put(out, d.stale_records);
+  put(out, d.degenerate_records);
+  put(out, d.intra_flags);
+  put(out, d.inter_flags);
+  return out;
+}
+
+/// Validate a declared container count against the bytes actually left,
+/// so a corrupt count can never drive a huge allocation.
+bool plausible(const ByteReader& in, uint64_t count, size_t entry_bytes) {
+  return count <= (in.len - in.pos) / entry_bytes;
+}
+
+bool parse_payload(const char* data, size_t len, ServerCheckpoint* ckpt) {
+  ByteReader in{data, len};
+  if (!in.read(&ckpt->sensor_count) || !in.read(&ckpt->ranks) ||
+      !in.read(&ckpt->run_time) || !read_counters(in, &ckpt->collector)) {
+    return false;
+  }
+
+  uint64_t n = 0;
+  if (!in.read(&n) || !plausible(in, n, 16)) return false;
+  ckpt->watermarks.resize(n);
+  for (auto& wm : ckpt->watermarks) {
+    uint64_t ahead = 0;
+    if (!in.read(&wm.contiguous) || !in.read(&ahead) ||
+        !plausible(in, ahead, 8)) {
+      return false;
+    }
+    for (uint64_t i = 0; i < ahead; ++i) {
+      uint64_t seq = 0;
+      if (!in.read(&seq)) return false;
+      wm.ahead.insert(seq);
+    }
+  }
+
+  auto& d = ckpt->detector;
+  if (!in.read(&n) || !plausible(in, n, 16)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    int32_t a = 0, b = 0;
+    double v = 0.0;
+    if (!in.read(&a) || !in.read(&b) || !in.read(&v)) return false;
+    d.standard[{a, b}] = v;
+  }
+  if (!in.read(&n) || !plausible(in, n, 20)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    int32_t a = 0, b = 0, c = 0;
+    double v = 0.0;
+    if (!in.read(&a) || !in.read(&b) || !in.read(&c) || !in.read(&v)) {
+      return false;
+    }
+    d.rank_standard[{a, b, c}] = v;
+  }
+  if (!in.read(&n) || !plausible(in, n, 32)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    int32_t a = 0, b = 0, c = 0, e = 0;
+    StreamingDetector::CellSums cell;
+    if (!in.read(&a) || !in.read(&b) || !in.read(&c) || !in.read(&e) ||
+        !in.read(&cell.weight_over_avg) || !in.read(&cell.weight)) {
+      return false;
+    }
+    d.cells[{a, b, c, e}] = cell;
+  }
+  if (!in.read(&n) || !plausible(in, n, 24)) return false;
+  d.stats.resize(n);
+  for (auto& st : d.stats) {
+    if (!in.read(&st.count) || !in.read(&st.mean) || !in.read(&st.m2)) {
+      return false;
+    }
+  }
+  if (!in.read(&n) || !plausible(in, n, 8)) return false;
+  d.sensor_records.resize(n);
+  for (auto& cnt : d.sensor_records) {
+    if (!in.read(&cnt)) return false;
+  }
+  if (!in.read(&n) || !plausible(in, n, 32)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    int32_t a = 0, b = 0;
+    StreamingDetector::LastSlice slice;
+    if (!in.read(&a) || !in.read(&b) || !in.read(&slice.t_end) ||
+        !in.read(&slice.avg_duration) || !in.read(&slice.normalized)) {
+      return false;
+    }
+    d.last[{a, b}] = slice;
+  }
+  if (!in.read(&n) || !plausible(in, n, 4)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    int32_t rank = 0;
+    if (!in.read(&rank)) return false;
+    d.stale.insert(rank);
+  }
+  if (!in.read(&d.observed) || !in.read(&d.stale_records) ||
+      !in.read(&d.degenerate_records) || !in.read(&d.intra_flags) ||
+      !in.read(&d.inter_flags)) {
+    return false;
+  }
+  // Trailing bytes after a structurally complete payload are corruption.
+  return in.done();
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const ServerCheckpoint& ckpt) {
+  const std::string payload = encode_payload(ckpt);
+  std::string out = kHeader;
+  put(out, static_cast<uint64_t>(payload.size()));
+  put(out, crc32(payload));
+  out += payload;
+  return out;
+}
+
+void save_checkpoint(const std::string& path, const ServerCheckpoint& ckpt) {
+  VS_OBS_SCOPED_STAGE(obs::Stage::Durability);
+  const std::string bytes = encode_checkpoint(ckpt);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot open checkpoint for writing: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) throw Error("failed while writing checkpoint: " + tmp);
+  }
+  // Atomic publish: the file at `path` is always absent or complete.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw Error("cannot rename checkpoint into place: " + path);
+  }
+  VS_OBS_ONLY(if (obs::enabled()) {
+    auto& inst = CheckpointInstruments::get();
+    inst.saves.add();
+    inst.bytes.add(bytes.size());
+  })
+}
+
+CheckpointLoad parse_checkpoint(const std::string& bytes) {
+  CheckpointLoad load;
+  load.total_bytes = bytes.size();
+  const size_t header_len = std::strlen(kHeader);
+  if (bytes.size() < header_len ||
+      bytes.compare(0, header_len, kHeader) != 0) {
+    load.warning = "checkpoint header invalid";
+    return load;
+  }
+  uint64_t payload_len = 0;
+  uint32_t crc = 0;
+  ByteReader framing{bytes.data() + header_len, bytes.size() - header_len};
+  if (!framing.read(&payload_len) || !framing.read(&crc) ||
+      !framing.has(payload_len) ||
+      framing.len - framing.pos != payload_len) {
+    load.warning = "checkpoint truncated or length-damaged";
+    return load;
+  }
+  const char* payload = framing.p + framing.pos;
+  if (crc32(payload, payload_len) != crc) {
+    load.warning = "checkpoint CRC mismatch";
+    return load;
+  }
+  if (!parse_payload(payload, payload_len, &load.ckpt)) {
+    load.ckpt = ServerCheckpoint{};
+    load.warning = "checkpoint payload malformed";
+    return load;
+  }
+  load.ok = true;
+  return load;
+}
+
+CheckpointLoad load_checkpoint(const std::string& path) {
+  VS_OBS_SCOPED_STAGE(obs::Stage::Durability);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    CheckpointLoad load;
+    load.warning = "checkpoint missing or unreadable: " + path;
+    return load;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_checkpoint(ss.str());
+}
+
+}  // namespace vsensor::rt

@@ -79,6 +79,25 @@ class Collector {
   /// counters (ingested/bytes/batches/dropped) are unaffected.
   std::vector<SliceRecord> take_records();
 
+  /// Cumulative accounting counters as one value, for checkpointing: a
+  /// crash-recovered server restores these so ingest/byte/batch accounting
+  /// stays continuous across the restart (replayed journal batches then
+  /// advance them exactly as the originals did).
+  struct Counters {
+    uint64_t ingested = 0;
+    uint64_t dropped = 0;
+    uint64_t taken = 0;
+    uint64_t bytes = 0;
+    uint64_t batches = 0;
+  };
+  Counters counters() const;
+  void restore_counters(const Counters& c);
+
+  /// Crash simulation: drop every retained record and zero all counters,
+  /// keeping the sensor table and attached sink. The server's recovery
+  /// path then restores checkpointed counters and replays the journal.
+  void reset();
+
   /// Records currently retained (ingested minus dropped minus taken).
   uint64_t record_count() const;
   /// Records ever ingested, including any later dropped or taken.

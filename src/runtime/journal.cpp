@@ -1,0 +1,229 @@
+#include "runtime/journal.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "support/binio.hpp"
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::rt {
+
+namespace {
+
+constexpr const char* kHeader = "vsensor-journal 1\n";
+constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+
+#if VSENSOR_OBS
+struct JournalInstruments {
+  obs::Counter& frames;
+  obs::Counter& bytes;
+  obs::Counter& commits;
+  obs::Counter& committed_bytes;
+
+  static JournalInstruments& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static JournalInstruments inst{reg.counter("journal.frames_appended"),
+                                   reg.counter("journal.bytes_appended"),
+                                   reg.counter("journal.commits"),
+                                   reg.counter("journal.bytes_committed")};
+    return inst;
+  }
+};
+#endif
+
+using vsensor::put_raw;
+
+template <typename T>
+void put(std::string& out, T v) {
+  put_raw(out, v);
+}
+
+void put_record(std::string& out, const SliceRecord& r) {
+  put(out, r.sensor_id);
+  put(out, r.rank);
+  put(out, r.metric);
+  put(out, r.reserved);
+  put(out, r.t_begin);
+  put(out, r.t_end);
+  put(out, r.avg_duration);
+  put(out, r.min_duration);
+  put(out, r.count);
+  put(out, r.flags);
+}
+
+bool read_record(ByteReader& in, SliceRecord* r) {
+  return in.read(&r->sensor_id) && in.read(&r->rank) && in.read(&r->metric) &&
+         in.read(&r->reserved) && in.read(&r->t_begin) && in.read(&r->t_end) &&
+         in.read(&r->avg_duration) && in.read(&r->min_duration) &&
+         in.read(&r->count) && in.read(&r->flags);
+}
+
+/// Parse one frame payload. Returns false on any structural mismatch.
+bool parse_payload(const char* data, size_t len, JournalFrame* frame) {
+  ByteReader in{data, len};
+  uint8_t kind = 0;
+  uint32_t count = 0;
+  if (!in.read(&kind) || !in.read(&frame->rank) || !in.read(&frame->seq) ||
+      !in.read(&count)) {
+    return false;
+  }
+  if (kind > static_cast<uint8_t>(JournalFrameKind::StaleRank)) return false;
+  frame->kind = static_cast<JournalFrameKind>(kind);
+  // The payload length must match the declared record count exactly: a
+  // frame with trailing or missing bytes is corrupt, not "close enough".
+  const size_t want = 1 + 4 + 8 + 4 + size_t{count} * kRecordWireBytes;
+  if (want != len) return false;
+  frame->records.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!read_record(in, &frame->records[i])) return false;
+  }
+  return in.pos == len;
+}
+
+}  // namespace
+
+std::string encode_journal_frame(const JournalFrame& frame) {
+  std::string payload;
+  payload.reserve(17 + frame.records.size() * kRecordWireBytes);
+  put(payload, static_cast<uint8_t>(frame.kind));
+  put(payload, frame.rank);
+  put(payload, frame.seq);
+  put(payload, static_cast<uint32_t>(frame.records.size()));
+  for (const auto& r : frame.records) put_record(payload, r);
+
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put(out, static_cast<uint32_t>(payload.size()));
+  put(out, crc32(payload));
+  out += payload;
+  return out;
+}
+
+JournalWriter::JournalWriter(std::string path, JournalWriterConfig cfg)
+    : path_(std::move(path)), cfg_(cfg) {
+  VS_CHECK_MSG(cfg_.commit_every_frames > 0, "commit interval must be positive");
+  open_truncated();
+}
+
+JournalWriter::~JournalWriter() {
+  // Best effort: a clean shutdown commits; a simulated crash calls
+  // discard_buffer() first, so this flushes nothing.
+  try {
+    commit();
+  } catch (...) {
+    // Destructors must not throw; the journal is advisory at teardown.
+  }
+}
+
+void JournalWriter::open_truncated() {
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) throw Error("cannot open journal for writing: " + path_);
+  out_ << kHeader;
+  committed_bytes_ += std::strlen(kHeader);
+}
+
+void JournalWriter::append(const JournalFrame& frame) {
+  VS_OBS_SCOPED_STAGE(obs::Stage::Durability);
+  const std::string encoded = encode_journal_frame(frame);
+  buf_ += encoded;
+  ++appended_frames_;
+  ++frames_since_commit_;
+  appended_bytes_ += encoded.size();
+  VS_OBS_ONLY(if (obs::enabled()) {
+    auto& inst = JournalInstruments::get();
+    inst.frames.add();
+    inst.bytes.add(encoded.size());
+  })
+  if (buf_.size() >= cfg_.buffer_bytes ||
+      frames_since_commit_ >= cfg_.commit_every_frames) {
+    commit();
+  }
+}
+
+void JournalWriter::commit() {
+  frames_since_commit_ = 0;
+  if (buf_.empty()) return;
+  VS_OBS_SCOPED_STAGE(obs::Stage::Durability);
+  out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  out_.flush();  // to the OS page cache; never fsync
+  if (!out_) throw Error("failed while writing journal: " + path_);
+  ++commits_;
+  committed_bytes_ += buf_.size();
+  VS_OBS_ONLY(if (obs::enabled()) {
+    auto& inst = JournalInstruments::get();
+    inst.commits.add();
+    inst.committed_bytes.add(buf_.size());
+  })
+  buf_.clear();
+}
+
+void JournalWriter::truncate() {
+  buf_.clear();
+  frames_since_commit_ = 0;
+  out_.close();
+  open_truncated();
+}
+
+void JournalWriter::discard_buffer() {
+  buf_.clear();
+  frames_since_commit_ = 0;
+}
+
+JournalLoad load_journal(const std::string& path) {
+  JournalLoad load;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    load.warning = "journal missing or unreadable: " + path;
+    return load;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string bytes = ss.str();
+  load.total_bytes = bytes.size();
+
+  const size_t header_len = std::strlen(kHeader);
+  if (bytes.size() < header_len ||
+      bytes.compare(0, header_len, kHeader) != 0) {
+    load.torn_bytes = bytes.size();
+    load.warning = "journal header invalid; no frames salvaged";
+    return load;
+  }
+  load.header_valid = true;
+  load.valid_bytes = header_len;
+
+  size_t pos = header_len;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeaderBytes) {
+      load.warning = "torn frame header at byte " + std::to_string(pos);
+      break;
+    }
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    std::memcpy(&len, bytes.data() + pos, 4);
+    std::memcpy(&crc, bytes.data() + pos + 4, 4);
+    if (bytes.size() - pos - kFrameHeaderBytes < len) {
+      load.warning = "torn frame payload at byte " + std::to_string(pos);
+      break;
+    }
+    const char* payload = bytes.data() + pos + kFrameHeaderBytes;
+    if (crc32(payload, len) != crc) {
+      load.warning = "frame CRC mismatch at byte " + std::to_string(pos);
+      break;
+    }
+    JournalFrame frame;
+    if (!parse_payload(payload, len, &frame)) {
+      load.warning = "malformed frame payload at byte " + std::to_string(pos);
+      break;
+    }
+    load.frames.push_back(std::move(frame));
+    pos += kFrameHeaderBytes + len;
+    load.valid_bytes = pos;
+  }
+  load.torn_bytes = load.total_bytes - load.valid_bytes;
+  return load;
+}
+
+}  // namespace vsensor::rt

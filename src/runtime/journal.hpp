@@ -1,0 +1,120 @@
+// Write-ahead journal of the analysis server (crash tolerance layer).
+//
+// Every batch the server ingests is appended here as a CRC32-framed,
+// length-prefixed binary record *before* it folds into streaming state, so
+// a server crash loses no acknowledged delivery: restart loads the newest
+// checkpoint and replays the journal suffix through the normal ingest path.
+//
+// Durability model: appends buffer in user space and drain to the file in
+// large writes (`commit`), with no fsync anywhere — a process crash keeps
+// everything committed to the OS page cache, a torn in-flight frame at the
+// crash instant is expected and salvaged away on read. The byte/commit
+// budget of the writer is obs-instrumented so the durability cost is a
+// measured quantity, not a guess.
+//
+// Frame layout (little-endian, after the one-line file header):
+//   u32 payload_len | u32 crc32(payload) | payload
+//   payload: u8 kind | i32 rank | u64 seq | u32 count | count * record
+//   record:  i32 sensor_id | i32 rank | f32 metric | f32 reserved |
+//            f64 t_begin | f64 t_end | f64 avg | f64 min | u32 count |
+//            u32 flags                       (= kRecordWireBytes bytes)
+// Kinds: 0 = batch delivery, 1 = stale-rank mark (seq/count unused).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace vsensor::rt {
+
+enum class JournalFrameKind : uint8_t { Batch = 0, StaleRank = 1 };
+
+struct JournalFrame {
+  JournalFrameKind kind = JournalFrameKind::Batch;
+  int32_t rank = -1;
+  uint64_t seq = 0;  ///< transport sequence number (Batch frames)
+  std::vector<SliceRecord> records;
+};
+
+/// Serialize one frame exactly as the writer appends it (header + CRC +
+/// payload). Exposed so tests and the crash injector can construct torn
+/// prefixes of a real frame.
+std::string encode_journal_frame(const JournalFrame& frame);
+
+struct JournalWriterConfig {
+  /// User-space buffer; appends drain to the file once it exceeds this.
+  size_t buffer_bytes = 64 * 1024;
+  /// Group commit: force a drain every N appended frames (1 = every frame
+  /// is on the file — i.e. durable against process crash — before the
+  /// ingest that wrote it returns; larger values trade a wider crash
+  /// window for fewer writes).
+  uint64_t commit_every_frames = 1;
+};
+
+class JournalWriter {
+ public:
+  /// Opens `path` truncated and writes the header. Throws on I/O failure.
+  JournalWriter(std::string path, JournalWriterConfig cfg = {});
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Append one frame (buffered; commits per the config). Not thread-safe:
+  /// the owning server serializes appends with its ingest order.
+  void append(const JournalFrame& frame);
+
+  /// Drain the user-space buffer to the file (no fsync).
+  void commit();
+
+  /// Truncate the journal to an empty file (after a checkpoint made its
+  /// content redundant) and reset the frame counter.
+  void truncate();
+
+  /// Drop everything still buffered in user space — the portion of history
+  /// a process crash destroys. The file keeps only committed bytes.
+  void discard_buffer();
+
+  const std::string& path() const { return path_; }
+  uint64_t appended_frames() const { return appended_frames_; }
+  uint64_t appended_bytes() const { return appended_bytes_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t committed_bytes() const { return committed_bytes_; }
+
+ private:
+  void open_truncated();
+
+  std::string path_;
+  JournalWriterConfig cfg_;
+  std::ofstream out_;
+  std::string buf_;
+  uint64_t frames_since_commit_ = 0;
+  uint64_t appended_frames_ = 0;
+  uint64_t appended_bytes_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t committed_bytes_ = 0;
+};
+
+/// Result of reading a journal file back. Reading never throws on corrupt
+/// or truncated content: the valid frame prefix is salvaged and the damage
+/// is described, so recovery can proceed with what survived.
+struct JournalLoad {
+  std::vector<JournalFrame> frames;
+  uint64_t valid_bytes = 0;    ///< bytes covered by header + intact frames
+  uint64_t total_bytes = 0;    ///< file size as read
+  uint64_t torn_bytes = 0;     ///< trailing bytes dropped by salvage
+  bool header_valid = false;
+  /// Human-readable description of any salvage action ("" = clean load).
+  std::string warning;
+
+  bool clean() const { return header_valid && torn_bytes == 0; }
+};
+
+/// Load `path`, salvaging the valid prefix (see JournalLoad). A missing
+/// file loads as empty-with-warning; a bad header yields zero frames.
+JournalLoad load_journal(const std::string& path);
+
+}  // namespace vsensor::rt

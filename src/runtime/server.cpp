@@ -1,0 +1,268 @@
+#include "runtime/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace vsensor::rt {
+
+#if VSENSOR_OBS
+namespace {
+struct ServerInstruments {
+  obs::Counter& crashes;
+  obs::Counter& recoveries;
+  obs::Counter& replayed;
+  obs::Counter& skipped;
+
+  static ServerInstruments& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static ServerInstruments inst{reg.counter("server.crashes"),
+                                  reg.counter("server.recoveries"),
+                                  reg.counter("server.frames_replayed"),
+                                  reg.counter("server.frames_skipped")};
+    return inst;
+  }
+};
+}  // namespace
+#endif
+
+AnalysisServer::AnalysisServer(ServerConfig cfg, Collector* collector,
+                               StreamingDetector* detector)
+    : cfg_(std::move(cfg)), collector_(collector), detector_(detector) {
+  VS_CHECK_MSG(collector_ != nullptr && detector_ != nullptr,
+               "server needs a collector and a detector");
+  VS_CHECK_MSG(!cfg_.journal_path.empty() && !cfg_.checkpoint_path.empty(),
+               "server needs journal and checkpoint paths");
+  watermarks_.resize(static_cast<size_t>(detector_->ranks()));
+  journal_ = std::make_unique<JournalWriter>(cfg_.journal_path, cfg_.journal);
+}
+
+AnalysisServer::~AnalysisServer() = default;
+
+void AnalysisServer::set_crash_plan(std::vector<double> times, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::sort(times.begin(), times.end());
+  crash_times_ = std::move(times);
+  next_crash_ = 0;
+  crash_seed_ = seed;
+}
+
+void AnalysisServer::on_delivery(int rank, uint64_t seq,
+                                 std::span<const SliceRecord> batch,
+                                 double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The crash fires at a delivery boundary, before the triggering delivery
+  // is processed — the recovered server then handles it normally.
+  while (next_crash_ < crash_times_.size() &&
+         now >= crash_times_[next_crash_]) {
+    ++next_crash_;
+    crash_locked();
+    reports_.push_back(recover_locked());
+  }
+
+  // Write-ahead discipline: the frame is on the journal (and, with the
+  // default group-commit interval, on the file) before any state folds.
+  journal_->append(JournalFrame{JournalFrameKind::Batch, rank, seq,
+                                {batch.begin(), batch.end()}});
+  if (!watermarks_[static_cast<size_t>(rank)].insert(seq)) {
+    // The transport already deduplicates; a duplicate here means an
+    // upstream bug. Count it and refuse the double fold.
+    ++duplicate_deliveries_;
+    return;
+  }
+  collector_->ingest(batch);
+  ++delivered_batches_;
+  ++batches_since_checkpoint_;
+  if (cfg_.checkpoint_every_batches > 0 &&
+      batches_since_checkpoint_ >= cfg_.checkpoint_every_batches) {
+    checkpoint_locked();
+  }
+}
+
+void AnalysisServer::mark_stale(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_->append(JournalFrame{JournalFrameKind::StaleRank, rank, 0, {}});
+  detector_->mark_stale(rank);
+}
+
+ServerCheckpoint AnalysisServer::build_checkpoint_locked() const {
+  ServerCheckpoint ckpt;
+  ckpt.sensor_count = static_cast<uint32_t>(detector_->sensor_count());
+  ckpt.ranks = detector_->ranks();
+  ckpt.run_time = detector_->run_time();
+  ckpt.collector = collector_->counters();
+  ckpt.watermarks = watermarks_;
+  ckpt.detector = detector_->snapshot();
+  return ckpt;
+}
+
+void AnalysisServer::checkpoint_locked() {
+  // Make sure every journaled frame the checkpoint covers is also on the
+  // file before the checkpoint claims to cover it.
+  journal_->commit();
+  save_checkpoint(cfg_.checkpoint_path, build_checkpoint_locked());
+  batches_since_checkpoint_ = 0;
+}
+
+void AnalysisServer::checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  checkpoint_locked();
+}
+
+void AnalysisServer::crash_locked() {
+  ++crashes_;
+  VS_OBS_ONLY(if (obs::enabled()) ServerInstruments::get().crashes.add();)
+  // The user-space journal buffer dies with the process; only committed
+  // bytes survive in the page cache / file.
+  journal_->discard_buffer();
+  journal_.reset();  // closes the stream
+
+  // Model the write the crash cut short: append a prefix of a real
+  // encoded frame, derived purely from (seed, crash ordinal) so the same
+  // seed always tears the same bytes. Salvage must drop exactly this.
+  uint64_t h = hash_combine(crash_seed_, crashes_);
+  JournalFrame torn;
+  torn.rank = static_cast<int32_t>(mix64(h) % 64);
+  torn.seq = mix64(h + 1);
+  torn.records.resize(1 + mix64(h + 2) % 3);
+  for (auto& rec : torn.records) {
+    rec.sensor_id = static_cast<int32_t>(mix64(h + 3) % 16);
+    rec.rank = torn.rank;
+    rec.t_begin = 0.0;
+    rec.t_end = 1.0;
+    rec.avg_duration = 1e-3;
+    rec.min_duration = 1e-3;
+    rec.count = 1;
+  }
+  const std::string encoded = encode_journal_frame(torn);
+  const size_t cut = 1 + static_cast<size_t>(mix64(h + 4) % (encoded.size() - 1));
+  {
+    std::ofstream out(cfg_.journal_path, std::ios::binary | std::ios::app);
+    if (out) out.write(encoded.data(), static_cast<std::streamsize>(cut));
+  }
+
+  // In-memory analysis state is gone.
+  collector_->reset();
+  detector_->reset();
+  for (auto& wm : watermarks_) wm = SeqTracker{};
+  batches_since_checkpoint_ = 0;
+}
+
+void AnalysisServer::crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_locked();
+}
+
+RecoveryReport AnalysisServer::recover_locked() {
+  const auto t0 = std::chrono::steady_clock::now();
+  RecoveryReport report;
+
+  // Standalone recover() over a live server: put buffered frames on the
+  // file and release it before reading it back. (The crash path already
+  // destroyed the writer.)
+  if (journal_ != nullptr) {
+    journal_->commit();
+    journal_.reset();
+  }
+
+  const CheckpointLoad ckpt = load_checkpoint(cfg_.checkpoint_path);
+  report.checkpoint_warning = ckpt.warning;
+  if (ckpt.ok) {
+    const auto& c = ckpt.ckpt;
+    if (c.sensor_count == detector_->sensor_count() &&
+        c.ranks == detector_->ranks() &&
+        c.run_time == detector_->run_time() &&
+        c.watermarks.size() == watermarks_.size()) {
+      detector_->restore(c.detector);
+      collector_->restore_counters(c.collector);
+      watermarks_ = c.watermarks;
+      report.checkpoint_loaded = true;
+    } else {
+      report.checkpoint_warning =
+          "checkpoint shape does not match this server; ignored";
+    }
+  }
+  if (!report.checkpoint_loaded) {
+    // No usable checkpoint: recover from the journal alone, from zero.
+    collector_->reset();
+    detector_->reset();
+    for (auto& wm : watermarks_) wm = SeqTracker{};
+  }
+
+  const JournalLoad jl = load_journal(cfg_.journal_path);
+  report.journal_warning = jl.warning;
+  report.torn_bytes = jl.torn_bytes;
+  for (const auto& frame : jl.frames) {
+    switch (frame.kind) {
+      case JournalFrameKind::Batch: {
+        if (frame.rank < 0 ||
+            static_cast<size_t>(frame.rank) >= watermarks_.size()) {
+          ++report.frames_skipped;
+          break;
+        }
+        // Watermark dedup: a frame the checkpoint already covers folds
+        // nowhere — replay is idempotent.
+        if (!watermarks_[static_cast<size_t>(frame.rank)].insert(frame.seq)) {
+          ++report.frames_skipped;
+          break;
+        }
+        collector_->ingest(frame.records);
+        ++delivered_batches_;
+        ++report.frames_replayed;
+        report.records_replayed += frame.records.size();
+        break;
+      }
+      case JournalFrameKind::StaleRank:
+        detector_->mark_stale(frame.rank);
+        ++report.frames_replayed;
+        break;
+    }
+  }
+
+  // Checkpoint the recovered state first, then truncate the journal (lazy
+  // truncation happens here): only once the checkpoint durably covers the
+  // replayed frames is the redo log allowed to go.
+  save_checkpoint(cfg_.checkpoint_path, build_checkpoint_locked());
+  batches_since_checkpoint_ = 0;
+  journal_ = std::make_unique<JournalWriter>(cfg_.journal_path, cfg_.journal);
+
+  report.recovery_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  VS_OBS_ONLY(if (obs::enabled()) {
+    auto& inst = ServerInstruments::get();
+    inst.recoveries.add();
+    inst.replayed.add(report.frames_replayed);
+    inst.skipped.add(report.frames_skipped);
+  })
+  return report;
+}
+
+RecoveryReport AnalysisServer::recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecoveryReport report = recover_locked();
+  reports_.push_back(report);
+  return report;
+}
+
+uint64_t AnalysisServer::crashes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashes_;
+}
+
+uint64_t AnalysisServer::delivered_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_batches_;
+}
+
+uint64_t AnalysisServer::duplicate_deliveries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicate_deliveries_;
+}
+
+}  // namespace vsensor::rt

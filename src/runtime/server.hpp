@@ -1,0 +1,148 @@
+// Crash-tolerant analysis server (paper §5.4, hardened).
+//
+// The paper dedicates one process to inter-process analysis; at cluster
+// scale that process is itself a failure domain. This server wraps the
+// sharded Collector + StreamingDetector with a durability discipline:
+//
+//  * write-ahead journal — every acknowledged delivery is appended to the
+//    journal (runtime/journal.hpp) *before* it folds into streaming state,
+//    under the same lock, so the journal's frame order IS the fold order;
+//  * periodic checkpoints — every `checkpoint_every_batches` deliveries,
+//    the complete detector snapshot + collector counters + per-rank
+//    delivery watermarks are saved atomically (runtime/checkpoint.hpp);
+//  * recovery — load the newest valid checkpoint (or start from zero state
+//    if it is missing/corrupt), salvage the valid prefix of the journal,
+//    and replay the suffix through the normal ingest path. Frames already
+//    covered by the checkpoint are skipped by the watermark dedup, so
+//    replay is idempotent — no batch is ever double-counted. After replay
+//    the server checkpoints the recovered state and truncates the journal
+//    (truncation is lazy: deferred to recovery, so between recoveries the
+//    journal is a pure append-only redo log and checkpoints bound replay
+//    *work*, not file size).
+//
+// Recovery equivalence: a run that crashes and recovers at any delivery
+// boundary produces bit-identical matrices, variance events, and flag
+// counters to an uninterrupted run. The journal replays the exact fold
+// order; every checkpointed double round-trips byte-exact.
+//
+// Crash injection is deterministic: a crash plan (virtual-time points +
+// seed) makes the server "die" at the first delivery at or after each
+// point — the in-memory state (collector stores, detector state, journal
+// user-space buffer) is destroyed, a seed-derived torn frame prefix is
+// appended to the journal file to model a write cut mid-frame, and the
+// server restarts through recover() before processing the triggering
+// delivery. The transport (send side, wire, receive dedup) survives, as a
+// network stack would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/checkpoint.hpp"
+#include "runtime/collector.hpp"
+#include "runtime/journal.hpp"
+#include "runtime/streaming_detector.hpp"
+#include "runtime/transport.hpp"
+
+namespace vsensor::rt {
+
+struct ServerConfig {
+  std::string journal_path = "analysis.journal";
+  std::string checkpoint_path = "analysis.ckpt";
+  /// Checkpoint after every N ingested batches (0 = only the checkpoints
+  /// recovery itself takes).
+  uint64_t checkpoint_every_batches = 0;
+  JournalWriterConfig journal;
+};
+
+/// What one recovery pass did, for reporting and tests.
+struct RecoveryReport {
+  bool checkpoint_loaded = false;
+  std::string checkpoint_warning;  ///< why the checkpoint was rejected ("")
+  std::string journal_warning;     ///< salvage description ("" = clean)
+  uint64_t frames_replayed = 0;    ///< frames folded into recovered state
+  uint64_t frames_skipped = 0;     ///< frames dropped by watermark dedup
+  uint64_t records_replayed = 0;
+  uint64_t torn_bytes = 0;         ///< journal tail bytes salvaged away
+  double recovery_seconds = 0.0;   ///< wall time of the recover() call
+};
+
+class AnalysisServer final : public DeliverySink {
+ public:
+  /// `collector` and `detector` are owned by the caller and survive the
+  /// simulated crash as objects — crash() resets their state in place, so
+  /// external wiring (the collector's attached sink, references held by
+  /// the workload) stays valid across crash/recover cycles. The detector
+  /// must be attached as the collector's sink by the caller.
+  AnalysisServer(ServerConfig cfg, Collector* collector,
+                 StreamingDetector* detector);
+  ~AnalysisServer();
+
+  AnalysisServer(const AnalysisServer&) = delete;
+  AnalysisServer& operator=(const AnalysisServer&) = delete;
+
+  /// Deterministic crash plan: at the first delivery whose virtual time is
+  /// >= times[i], the server crashes and recovers before processing it.
+  /// `seed` derives the torn journal tail appended at each crash. Call
+  /// before deliveries start.
+  void set_crash_plan(std::vector<double> times, uint64_t seed);
+
+  /// Transport delivery path: maybe crash/recover per the plan, then
+  /// journal-append and fold under one lock (journal order = fold order).
+  void on_delivery(int rank, uint64_t seq,
+                   std::span<const SliceRecord> batch, double now) override;
+
+  /// Journal a stale-rank mark and forward it to the detector, so the
+  /// exclusion survives a crash that happens before the next checkpoint.
+  void mark_stale(int rank);
+
+  /// Snapshot the complete server state to the checkpoint file (atomic).
+  void checkpoint();
+
+  /// Restore from the newest valid checkpoint + journal suffix replay.
+  /// Normally invoked internally by the crash path; exposed for tests and
+  /// for restarting a server over existing on-disk state.
+  RecoveryReport recover();
+
+  /// Simulate the process dying right now: discard the journal's
+  /// user-space buffer, append a torn frame prefix derived from the crash
+  /// seed, and destroy all in-memory analysis state. recover() brings the
+  /// server back.
+  void crash();
+
+  uint64_t crashes() const;
+  uint64_t delivered_batches() const;
+  /// Live deliveries ignored because their seq was already covered by a
+  /// watermark (transport dedup failed upstream); expected to stay 0.
+  uint64_t duplicate_deliveries() const;
+  const std::vector<RecoveryReport>& recoveries() const { return reports_; }
+  const ServerConfig& config() const { return cfg_; }
+  const JournalWriter* journal() const { return journal_.get(); }
+
+ private:
+  void crash_locked();
+  RecoveryReport recover_locked();
+  void checkpoint_locked();
+  ServerCheckpoint build_checkpoint_locked() const;
+
+  ServerConfig cfg_;
+  Collector* collector_;
+  StreamingDetector* detector_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<JournalWriter> journal_;
+  std::vector<SeqTracker> watermarks_;  ///< per-rank replay dedup state
+  std::vector<double> crash_times_;     ///< ascending virtual-time points
+  size_t next_crash_ = 0;
+  uint64_t crash_seed_ = 0;
+  uint64_t crashes_ = 0;
+  uint64_t delivered_batches_ = 0;
+  uint64_t duplicate_deliveries_ = 0;
+  uint64_t batches_since_checkpoint_ = 0;
+  std::vector<RecoveryReport> reports_;
+};
+
+}  // namespace vsensor::rt

@@ -27,12 +27,19 @@ struct Session {
   RankChannelStats transport_totals;
   /// Ranks the transport declared stale at end of run (v2 sessions).
   std::vector<int> stale_ranks;
+  /// Structured integrity warnings (v3 sessions): when a damaged file was
+  /// salvaged, each entry describes one reason loading stopped early —
+  /// the data above is the valid prefix. Empty = clean load.
+  std::vector<std::string> warnings;
+  /// Lines dropped by salvage (the damaged line and everything after it).
+  uint64_t salvaged_lines = 0;
 
   bool has_transport() const { return !transport.empty(); }
+  bool clean() const { return warnings.empty(); }
 };
 
 /// Text format, line-oriented:
-///   vsensor-session 2
+///   vsensor-session 3
 ///   ranks <N> run_time <seconds>
 ///   sensor <id> <type> <line> <name> (name may contain spaces; file is
 ///                                     URL-free token, stored after line)
@@ -41,7 +48,13 @@ struct Session {
 ///             <retries> <dups> <delayed> <wire_bytes> <backoff_s>
 ///             <last_delivery_t> <next_seq>
 ///   stale <rank>
-/// Version 1 files (no transport/stale lines) still load.
+/// Version 3 appends an integrity suffix ` #xxxxxxxx` (CRC32 of the line
+/// content, 8 hex digits) to every line after the magic line. Loading a
+/// v3 file salvages the valid prefix of a truncated or corrupted file:
+/// the first torn, CRC-damaged, or malformed line stops the load with a
+/// structured warning in Session::warnings instead of an exception.
+/// Version 1 (no transport/stale lines) and version 2 (no CRC suffix)
+/// files still load, with their original strict error behavior.
 void save_session(std::ostream& out, const Session& session);
 void save_session_file(const std::string& path, const Collector& collector,
                        int ranks, double run_time);

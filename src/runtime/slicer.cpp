@@ -104,7 +104,13 @@ BatchStage::BatchStage(BatchTransport& transport, int rank, size_t capacity)
 BatchStage::~BatchStage() {
   if (buf_.empty()) return;
   g_unflushed_records.fetch_add(buf_.size(), std::memory_order_relaxed);
-  flush();
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw. The records were already counted as
+    // unflushed above, and flush() detached them from the buffer before
+    // shipping, so nothing can double-ship on a later teardown path.
+  }
 }
 
 uint64_t BatchStage::unflushed_records() {
@@ -117,30 +123,35 @@ void BatchStage::push(const SliceRecord& rec) {
   if (buf_.size() >= capacity_) flush();
 }
 
-void BatchStage::ship() {
+void BatchStage::ship(std::span<const SliceRecord> batch) {
   VS_OBS_SCOPED_STAGE(obs::Stage::Staging);
   VS_OBS_ONLY(if (obs::enabled()) {
     auto& inst = StageInstruments::get();
     inst.batches.add();
-    inst.batch_records.record(static_cast<double>(buf_.size()));
+    inst.batch_records.record(static_cast<double>(batch.size()));
   })
   if (transport_ != nullptr) {
     // The batch ships when its newest record completes; records accumulate
     // in time order per rank, but take the max to stay robust to ties.
     double now = 0.0;
-    for (const auto& rec : buf_) now = std::max(now, rec.t_end);
-    if (!transport_->ship(rank_, buf_, now)) lost_records_ += buf_.size();
+    for (const auto& rec : batch) now = std::max(now, rec.t_end);
+    if (!transport_->ship(rank_, batch, now)) lost_records_ += batch.size();
     ++shipped_batches_;
   } else if (collector_ != nullptr) {
-    collector_->ingest(buf_);
+    collector_->ingest(batch);
     ++shipped_batches_;
   }
 }
 
 void BatchStage::flush() {
   if (buf_.empty()) return;
-  ship();
-  buf_.clear();
+  // Detach the staged records before shipping: if ship() throws mid-way,
+  // a second flush() (or the destructor's) must not ship them again —
+  // flushing is idempotent per record, never at-least-once.
+  std::vector<SliceRecord> batch;
+  batch.swap(buf_);
+  buf_.reserve(std::min<size_t>(capacity_, 4096));
+  ship(batch);
 }
 
 }  // namespace vsensor::rt

@@ -5,6 +5,7 @@
 
 #include <limits>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "runtime/collector.hpp"
@@ -61,6 +62,9 @@ class BatchStage {
   /// Flushes: records staged at teardown are shipped, not dropped. The
   /// count of records rescued this way is surfaced process-wide through
   /// unflushed_records(), so a missing explicit flush() stays observable.
+  /// Never throws, and never double-ships: flush() detaches the staged
+  /// records before shipping, so a ship failure can't leave them queued
+  /// for a second send.
   ~BatchStage();
 
   /// Stage one record; ships the batch when the capacity is reached.
@@ -81,7 +85,7 @@ class BatchStage {
   static uint64_t unflushed_records();
 
  private:
-  void ship();
+  void ship(std::span<const SliceRecord> batch);
 
   Collector* collector_;
   BatchTransport* transport_ = nullptr;

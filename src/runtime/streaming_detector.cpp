@@ -190,6 +190,49 @@ uint64_t StreamingDetector::inter_flags() const {
   return inter_flags_;
 }
 
+StreamingDetector::Snapshot StreamingDetector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Snapshot{standard_,        rank_standard_,       cells_,
+                  stats_,           sensor_records_,      last_,
+                  stale_,           observed_,            stale_records_,
+                  degenerate_records_, intra_flags_,      inter_flags_};
+}
+
+void StreamingDetector::restore(const Snapshot& snap) {
+  VS_CHECK_MSG(snap.stats.size() == sensors_.size() &&
+                   snap.sensor_records.size() == sensors_.size(),
+               "snapshot sensor table does not match this detector");
+  std::lock_guard<std::mutex> lock(mu_);
+  standard_ = snap.standard;
+  rank_standard_ = snap.rank_standard;
+  cells_ = snap.cells;
+  stats_ = snap.stats;
+  sensor_records_ = snap.sensor_records;
+  last_ = snap.last;
+  stale_ = snap.stale;
+  observed_ = snap.observed;
+  stale_records_ = snap.stale_records;
+  degenerate_records_ = snap.degenerate_records;
+  intra_flags_ = snap.intra_flags;
+  inter_flags_ = snap.inter_flags;
+}
+
+void StreamingDetector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  standard_.clear();
+  rank_standard_.clear();
+  cells_.clear();
+  stats_.assign(sensors_.size(), RunningStats{});
+  sensor_records_.assign(sensors_.size(), 0);
+  last_.clear();
+  stale_.clear();
+  observed_ = 0;
+  stale_records_ = 0;
+  degenerate_records_ = 0;
+  intra_flags_ = 0;
+  inter_flags_ = 0;
+}
+
 AnalysisResult StreamingDetector::finalize() const {
   VS_OBS_SCOPED_STAGE(obs::Stage::DetectStreaming);
   VS_OBS_ONLY(obs::ScopedSpan vs_obs_span("finalize", "detect");

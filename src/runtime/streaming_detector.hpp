@@ -93,8 +93,10 @@ class StreamingDetector final : public BatchSink {
   AnalysisResult finalize() const;
 
   const DetectorConfig& config() const { return cfg_; }
+  int ranks() const { return ranks_; }
+  double run_time() const { return run_time_; }
+  size_t sensor_count() const { return sensors_.size(); }
 
- private:
   // (sensor, group, rank, bucket) -> standard-free matrix contributions.
   // Degenerate records never reach a cell, so every contribution has a
   // positive avg_duration.
@@ -104,6 +106,36 @@ class StreamingDetector final : public BatchSink {
   };
   using CellKey = std::tuple<int, int, int, int>;
 
+  /// The complete mutable state of the detector, as plain data. Snapshots
+  /// feed the checkpoint serializer (runtime/checkpoint.hpp); restoring a
+  /// snapshot and re-folding the same suffix of batches reproduces the
+  /// uninterrupted detector bit for bit — every field here is either an
+  /// exact integer or a double carried through byte-exact serialization.
+  struct Snapshot {
+    std::map<std::pair<int, int>, double> standard;
+    std::map<std::tuple<int, int, int>, double> rank_standard;
+    std::map<CellKey, CellSums> cells;
+    std::vector<RunningStats> stats;
+    std::vector<uint64_t> sensor_records;
+    std::map<std::pair<int, int>, LastSlice> last;
+    std::set<int> stale;
+    uint64_t observed = 0;
+    uint64_t stale_records = 0;
+    uint64_t degenerate_records = 0;
+    uint64_t intra_flags = 0;
+    uint64_t inter_flags = 0;
+  };
+  Snapshot snapshot() const;
+
+  /// Replace the running state with `snap` (recovery). The snapshot must
+  /// come from a detector with the same sensor table.
+  void restore(const Snapshot& snap);
+
+  /// Drop all running state (a server crash destroys the in-memory
+  /// detector; recovery then restores a snapshot and replays the journal).
+  void reset();
+
+ private:
   int group_of(float metric) const;
   int bucket_of(double time) const;
 

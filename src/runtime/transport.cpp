@@ -35,7 +35,7 @@ struct TransportInstruments {
 }  // namespace
 #endif
 
-bool BatchTransport::SeqTracker::insert(uint64_t seq) {
+bool SeqTracker::insert(uint64_t seq) {
   if (seq < contiguous) return false;
   if (!ahead.insert(seq).second) return false;
   while (!ahead.empty() && *ahead.begin() == contiguous) {
@@ -56,7 +56,28 @@ BatchTransport::BatchTransport(Collector* collector, int ranks,
   channels_.resize(static_cast<size_t>(ranks));
 }
 
+BatchTransport::BatchTransport(DeliverySink* sink, int ranks,
+                               TransportConfig cfg,
+                               const TransportFaultModel* faults)
+    : collector_(nullptr), sink_(sink), cfg_(cfg), faults_(faults) {
+  VS_CHECK_MSG(sink != nullptr, "transport needs a delivery sink");
+  VS_CHECK_MSG(ranks > 0, "transport needs at least one rank channel");
+  VS_CHECK_MSG(cfg_.max_attempts > 0, "need at least one delivery attempt");
+  VS_CHECK_MSG(cfg_.retry_backoff >= 0.0, "retry backoff must be non-negative");
+  VS_CHECK_MSG(cfg_.stale_after > 0.0, "stale threshold must be positive");
+  channels_.resize(static_cast<size_t>(ranks));
+}
+
 BatchTransport::~BatchTransport() { drain(); }
+
+void BatchTransport::deliver(int rank, uint64_t seq,
+                             std::span<const SliceRecord> batch, double now) {
+  if (sink_ != nullptr) {
+    sink_->on_delivery(rank, seq, batch, now);
+  } else if (collector_ != nullptr) {
+    collector_->ingest(batch);
+  }
+}
 
 void BatchTransport::arrive(int rank, uint64_t seq,
                             std::span<const SliceRecord> batch, double now,
@@ -155,9 +176,7 @@ bool BatchTransport::ship(int rank, std::span<const SliceRecord> batch,
     }
     // Store outside the transport lock: the collector has its own sharded
     // locking and the attached sink its own mutex.
-    if (collector_ != nullptr) {
-      for (const auto& rb : ready) collector_->ingest(rb.records);
-    }
+    for (const auto& rb : ready) deliver(rb.rank, rb.seq, rb.records, rb.now);
     return true;
   }
 
@@ -170,6 +189,17 @@ bool BatchTransport::ship(int rank, std::span<const SliceRecord> batch,
 }
 
 void BatchTransport::drain() {
+  // Re-entrancy / double-invocation guard: drain() is called explicitly at
+  // end of run and again from the destructor, and a delivery sink could in
+  // principle trigger a nested drain. Only one invocation at a time swaps
+  // the delay queue; overlapping calls return immediately (the in-flight
+  // drain delivers everything they would have).
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  struct Release {
+    std::atomic<bool>& flag;
+    ~Release() { flag.store(false); }
+  } release{draining_};
   std::vector<DelayedBatch> ready;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -188,9 +218,7 @@ void BatchTransport::drain() {
       ready.push_back(std::move(ev));
     }
   }
-  if (collector_ != nullptr) {
-    for (const auto& rb : ready) collector_->ingest(rb.records);
-  }
+  for (const auto& rb : ready) deliver(rb.rank, rb.seq, rb.records, rb.now);
 }
 
 bool BatchTransport::stale_locked(const Channel& ch, int rank,

@@ -23,6 +23,7 @@
 // this layer stays independent of the simulation harness.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -34,6 +35,29 @@
 #include "runtime/types.hpp"
 
 namespace vsensor::rt {
+
+/// Server-side consumer of unique deliveries, with the transport metadata
+/// (origin rank, send-side sequence number, virtual arrival time) the plain
+/// Collector interface erases. The crash-tolerant AnalysisServer implements
+/// this to journal every batch as (rank, seq, records) before folding it.
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+  virtual void on_delivery(int rank, uint64_t seq,
+                           std::span<const SliceRecord> batch, double now) = 0;
+};
+
+/// Receive-side per-rank dedup state: a contiguous watermark plus the
+/// out-of-order sequence numbers ahead of it, so memory stays bounded by
+/// the reorder window instead of growing with the run. Shared between the
+/// transport's live dedup and the analysis server's journal-replay dedup
+/// (a checkpoint persists these watermarks; replaying a journal suffix
+/// that overlaps the checkpoint is then idempotent).
+struct SeqTracker {
+  uint64_t contiguous = 0;   ///< every seq < contiguous was delivered
+  std::set<uint64_t> ahead;  ///< delivered seqs >= contiguous
+  bool insert(uint64_t seq); ///< returns false on duplicate
+};
 
 /// Decides the fate of one delivery attempt. Implementations must be
 /// thread-safe and deterministic in (rank, seq, attempt) — the transport
@@ -54,6 +78,15 @@ class TransportFaultModel {
   /// True once `rank`'s transport is dead at virtual time `now`; every
   /// subsequent ship from that rank fails without retry.
   virtual bool killed(int rank, double now) const = 0;
+
+  /// Virtual-time points at which the analysis *server* crashes and
+  /// recovers (empty = never). The workload harness forwards this to the
+  /// crash-tolerant server's crash plan; the transport itself ignores it.
+  virtual std::vector<double> server_crash_schedule() const { return {}; }
+
+  /// Seed deriving the deterministic details of each server crash (torn
+  /// journal tail bytes). Paired with server_crash_schedule().
+  virtual uint64_t schedule_seed() const { return 0; }
 };
 
 struct TransportConfig {
@@ -92,6 +125,13 @@ class BatchTransport {
   BatchTransport(Collector* collector, int ranks, TransportConfig cfg = {},
                  const TransportFaultModel* faults = nullptr);
 
+  /// Same, but unique deliveries go to `sink` with their transport
+  /// metadata (rank, seq, arrival time) intact — the crash-tolerant
+  /// analysis server journals each delivery before folding it. Exactly one
+  /// of the two destinations is used per transport.
+  BatchTransport(DeliverySink* sink, int ranks, TransportConfig cfg = {},
+                 const TransportFaultModel* faults = nullptr);
+
   /// Drains: anything still held in the delay queue is delivered, so
   /// in-flight batches are never silently lost.
   ~BatchTransport();
@@ -103,7 +143,10 @@ class BatchTransport {
   bool ship(int rank, std::span<const SliceRecord> batch, double now);
 
   /// Deliver every batch still held in the delay queue (end of run; the
-  /// wire is always drained before analysis).
+  /// wire is always drained before analysis). Idempotent and re-entrancy
+  /// safe: a second call — including the destructor's — delivers only
+  /// what arrived since the first, and a drain triggered from within a
+  /// drain (e.g. a sink that ships) is a no-op instead of a deadlock.
   void drain();
 
   /// Ranks considered stale at `now`: transport killed by the fault model,
@@ -133,15 +176,6 @@ class BatchTransport {
     std::vector<SliceRecord> records;
   };
 
-  /// Receive-side per-rank dedup state: a contiguous watermark plus the
-  /// out-of-order sequence numbers ahead of it, so memory stays bounded by
-  /// the reorder window instead of growing with the run.
-  struct SeqTracker {
-    uint64_t contiguous = 0;      ///< every seq < contiguous was delivered
-    std::set<uint64_t> ahead;     ///< delivered seqs >= contiguous
-    bool insert(uint64_t seq);    ///< returns false on duplicate
-  };
-
   struct Channel {
     RankChannelStats stats;
     SeqTracker seen;
@@ -154,13 +188,20 @@ class BatchTransport {
               double now, std::vector<DelayedBatch>& ready);
   bool stale_locked(const Channel& ch, int rank, double now) const;
 
+  /// Hand one deduplicated batch to whichever destination this transport
+  /// was built with. Caller must NOT hold mu_.
+  void deliver(int rank, uint64_t seq, std::span<const SliceRecord> batch,
+               double now);
+
   Collector* collector_;
+  DeliverySink* sink_ = nullptr;
   TransportConfig cfg_;
   const TransportFaultModel* faults_;
 
   mutable std::mutex mu_;
   std::vector<Channel> channels_;
   std::vector<DelayedBatch> delayed_;
+  std::atomic<bool> draining_{false};
 };
 
 }  // namespace vsensor::rt

@@ -48,4 +48,8 @@ bool FaultInjector::killed(int rank, double now) const {
   return cfg_.kill_rank >= 0 && rank == cfg_.kill_rank && now >= cfg_.kill_time;
 }
 
+std::vector<double> FaultInjector::server_crash_schedule() const {
+  return cfg_.server_crash_times;
+}
+
 }  // namespace vsensor::simmpi

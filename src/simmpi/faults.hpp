@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "runtime/transport.hpp"
 
@@ -32,6 +33,11 @@ struct FaultConfig {
   int kill_rank = -1;
   /// Virtual time the killed rank's transport stops delivering.
   double kill_time = 0.0;
+  /// Virtual-time points at which the *analysis server* crashes and
+  /// recovers (empty = never). Each point fires once, at the first
+  /// delivery at or after it; crash and restart are a pure function of
+  /// the seed, like every other fault here.
+  std::vector<double> server_crash_times;
   /// Seed of the fault pattern; a different seed is a different run.
   uint64_t seed = 0x5eedu;
 };
@@ -42,6 +48,8 @@ class FaultInjector final : public rt::TransportFaultModel {
 
   Decision decide(int rank, uint64_t seq, uint32_t attempt) const override;
   bool killed(int rank, double now) const override;
+  std::vector<double> server_crash_schedule() const override;
+  uint64_t schedule_seed() const override { return cfg_.seed; }
 
   const FaultConfig& config() const { return cfg_; }
 

@@ -1,0 +1,31 @@
+#include "support/crc32.hpp"
+
+#include <array>
+
+namespace vsensor {
+
+namespace {
+constexpr std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+constexpr auto kTable = make_table();
+}  // namespace
+
+uint32_t crc32(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace vsensor

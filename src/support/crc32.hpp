@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check framing every durable artifact: journal frames, checkpoint
+// payloads, and v3 session lines. Table-driven, no dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace vsensor {
+
+/// CRC of `len` bytes starting at `data`, continuing from `seed` (pass the
+/// previous return value to checksum discontiguous pieces; start at 0).
+uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t crc32(std::string_view bytes, uint32_t seed = 0) {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace vsensor

@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "runtime/server.hpp"
 #include "support/error.hpp"
 #include "workloads/apps.hpp"
 
@@ -84,8 +85,21 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
   const auto faults = sim_config.transport_faults;
   std::unique_ptr<rt::BatchTransport> transport;
   if (collector != nullptr) {
-    transport = std::make_unique<rt::BatchTransport>(
-        collector, sim_config.ranks, options.transport, faults.get());
+    if (options.server != nullptr) {
+      // Crash-tolerant path: deliveries carry their transport metadata to
+      // the server, which journals and dedups them before the collector
+      // sees anything. Crashes fire per the fault model's schedule.
+      transport = std::make_unique<rt::BatchTransport>(
+          static_cast<rt::DeliverySink*>(options.server), sim_config.ranks,
+          options.transport, faults.get());
+      if (faults != nullptr) {
+        options.server->set_crash_plan(faults->server_crash_schedule(),
+                                       faults->schedule_seed());
+      }
+    } else {
+      transport = std::make_unique<rt::BatchTransport>(
+          collector, sim_config.ranks, options.transport, faults.get());
+    }
   }
   std::vector<std::unique_ptr<rt::SensorRuntime>> runtimes(
       static_cast<size_t>(sim_config.ranks));
@@ -132,6 +146,12 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
   runtimes.clear();
   if (transport != nullptr) {
     transport->drain();
+    if (options.server != nullptr) {
+      // Journal the end-of-run stale verdicts so a crash after this point
+      // would recover the same exclusions.
+      transport->sweep_stale(run.makespan,
+                             [&](int r) { options.server->mark_stale(r); });
+    }
     run.transport.reserve(static_cast<size_t>(transport->ranks()));
     for (int r = 0; r < transport->ranks(); ++r) {
       run.transport.push_back(transport->rank_stats(r));

@@ -21,6 +21,10 @@
 #include "simmpi/comm.hpp"
 #include "support/rng.hpp"
 
+namespace vsensor::rt {
+class AnalysisServer;
+}
+
 namespace vsensor::workloads {
 
 /// Per-(rank, sensor) PMU validation samples (same role as interp's).
@@ -109,6 +113,12 @@ struct RunOptions {
   /// Knobs of the resilient batch transport every instrumented run ships
   /// through (retry budget, backoff, stale threshold).
   rt::TransportConfig transport;
+  /// Crash-tolerant analysis server (optional, not owned). When set,
+  /// deliveries route through it — journaled, watermark-deduplicated,
+  /// checkpointed — instead of straight into the collector, and the fault
+  /// model's server_crash_schedule() becomes the server's crash plan. The
+  /// `collector` passed to run_workload must be the one this server wraps.
+  rt::AnalysisServer* server = nullptr;
 };
 
 struct WorkloadRun {

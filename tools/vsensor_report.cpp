@@ -10,6 +10,12 @@
 //   vsensor-report session.vsr --until=0.5       # on-line view at 50%
 //   vsensor-report session.vsr --series=net --points=40
 //   vsensor-report session.vsr --metrics-out=m.jsonl --trace-out=t.json
+//
+// Durability artifacts of the crash-tolerant server are inspected the
+// same way (no session file needed):
+//
+//   vsensor-report --journal=analysis.journal      # verify + summarize
+//   vsensor-report --checkpoint=analysis.ckpt      # verify + summarize
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,7 +25,9 @@
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "report/report.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/detector.hpp"
+#include "runtime/journal.hpp"
 #include "runtime/session_io.hpp"
 #include "support/error.hpp"
 
@@ -37,6 +45,8 @@ struct Options {
   int series_points = 40;
   std::string metrics_out;  ///< self-telemetry JSONL destination
   std::string trace_out;    ///< Chrome trace-event JSON destination
+  std::string journal;      ///< write-ahead journal to inspect/verify
+  std::string checkpoint;   ///< checkpoint file to inspect/verify
 };
 
 [[noreturn]] void usage() {
@@ -44,7 +54,9 @@ struct Options {
                "usage: vsensor-report <session.vsr> [--matrix]\n"
                "  [--threshold=F] [--resolution-ms=N] [--until=FRACTION]\n"
                "  [--series=comp|net|io] [--points=N]\n"
-               "  [--metrics-out=FILE] [--trace-out=FILE]\n");
+               "  [--metrics-out=FILE] [--trace-out=FILE]\n"
+               "   or: vsensor-report --journal=FILE\n"
+               "   or: vsensor-report --checkpoint=FILE\n");
   std::exit(2);
 }
 
@@ -82,6 +94,10 @@ Options parse(int argc, char** argv) {
       opts.metrics_out = value;
     } else if (flag_value(argv[i], "--trace-out", &value)) {
       opts.trace_out = value;
+    } else if (flag_value(argv[i], "--journal", &value)) {
+      opts.journal = value;
+    } else if (flag_value(argv[i], "--checkpoint", &value)) {
+      opts.checkpoint = value;
     } else if (argv[i][0] == '-') {
       usage();
     } else if (opts.input.empty()) {
@@ -90,8 +106,74 @@ Options parse(int argc, char** argv) {
       usage();
     }
   }
-  if (opts.input.empty()) usage();
+  if (opts.input.empty() && opts.journal.empty() && opts.checkpoint.empty()) {
+    usage();
+  }
   return opts;
+}
+
+/// Inspect/verify a write-ahead journal. Exit 0 when the file is clean,
+/// 4 when the valid prefix had to be salvaged.
+int inspect_journal(const std::string& path) {
+  const auto load = rt::load_journal(path);
+  std::printf("journal: %s\n", path.c_str());
+  std::printf("  header: %s\n", load.header_valid ? "ok" : "INVALID");
+  std::printf("  bytes: %llu total, %llu valid, %llu torn\n",
+              static_cast<unsigned long long>(load.total_bytes),
+              static_cast<unsigned long long>(load.valid_bytes),
+              static_cast<unsigned long long>(load.torn_bytes));
+  uint64_t batches = 0;
+  uint64_t stale = 0;
+  uint64_t records = 0;
+  for (const auto& f : load.frames) {
+    if (f.kind == rt::JournalFrameKind::Batch) {
+      ++batches;
+      records += f.records.size();
+    } else {
+      ++stale;
+    }
+  }
+  std::printf("  frames: %zu (%llu batch, %llu stale-mark), %llu records\n",
+              load.frames.size(), static_cast<unsigned long long>(batches),
+              static_cast<unsigned long long>(stale),
+              static_cast<unsigned long long>(records));
+  if (!load.warning.empty()) {
+    std::printf("  warning: %s\n", load.warning.c_str());
+  }
+  return load.clean() ? 0 : 4;
+}
+
+/// Inspect/verify a checkpoint. Exit 0 when valid, 4 when rejected.
+int inspect_checkpoint(const std::string& path) {
+  const auto load = rt::load_checkpoint(path);
+  std::printf("checkpoint: %s\n", path.c_str());
+  std::printf("  bytes: %llu\n",
+              static_cast<unsigned long long>(load.total_bytes));
+  if (!load.ok) {
+    std::printf("  INVALID: %s\n", load.warning.c_str());
+    return 4;
+  }
+  const auto& c = load.ckpt;
+  std::printf("  shape: %u sensors, %d ranks, run_time %.6f s\n",
+              c.sensor_count, c.ranks, c.run_time);
+  std::printf("  collector: %llu records ingested, %llu batches, %llu bytes\n",
+              static_cast<unsigned long long>(c.collector.ingested),
+              static_cast<unsigned long long>(c.collector.batches),
+              static_cast<unsigned long long>(c.collector.bytes));
+  uint64_t covered = 0;
+  for (const auto& wm : c.watermarks) covered += wm.contiguous + wm.ahead.size();
+  std::printf("  watermarks: %zu ranks, %llu deliveries covered\n",
+              c.watermarks.size(), static_cast<unsigned long long>(covered));
+  std::printf(
+      "  detector: %llu records observed, %llu standards, %llu cells, "
+      "%llu inter flags, %llu intra flags, %zu stale ranks\n",
+      static_cast<unsigned long long>(c.detector.observed),
+      static_cast<unsigned long long>(c.detector.standard.size()),
+      static_cast<unsigned long long>(c.detector.cells.size()),
+      static_cast<unsigned long long>(c.detector.inter_flags),
+      static_cast<unsigned long long>(c.detector.intra_flags),
+      c.detector.stale.size());
+  return 0;
 }
 
 rt::SensorType parse_series(const std::string& s) {
@@ -102,6 +184,15 @@ rt::SensorType parse_series(const std::string& s) {
 }
 
 int run_tool(const Options& opts) {
+  if (!opts.journal.empty() || !opts.checkpoint.empty()) {
+    int rc = 0;
+    if (!opts.journal.empty()) rc = std::max(rc, inspect_journal(opts.journal));
+    if (!opts.checkpoint.empty()) {
+      rc = std::max(rc, inspect_checkpoint(opts.checkpoint));
+    }
+    return rc;
+  }
+
   // Exporter flags opt into self-telemetry for this invocation; with
   // VSENSOR_OBS=0 builds the hooks are compiled out and the exports are
   // valid-but-empty.
@@ -110,9 +201,15 @@ int run_tool(const Options& opts) {
   }
 
   const auto session = rt::load_session_file(opts.input);
-  std::printf("session: %d ranks, %.6f s, %zu sensors, %zu records\n\n",
+  std::printf("session: %d ranks, %.6f s, %zu sensors, %zu records\n",
               session.ranks, session.run_time, session.sensors.size(),
               session.records.size());
+  for (const auto& w : session.warnings) {
+    std::fprintf(stderr, "vsensor-report: warning: %s (%llu lines dropped)\n",
+                 w.c_str(),
+                 static_cast<unsigned long long>(session.salvaged_lines));
+  }
+  std::printf("\n");
 
   rt::Collector collector;
   collector.set_sensors(session.sensors);
