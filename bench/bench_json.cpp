@@ -1,0 +1,122 @@
+#include "bench_json.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace vsensor::bench {
+
+namespace {
+
+/// Percentile by linear interpolation over the sorted samples — the same
+/// convention numpy's default uses, so bench_compare.py can re-derive it.
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(idx));
+  const auto hi = static_cast<size_t>(std::ceil(idx));
+  const double frac = idx - std::floor(idx);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Shortest round-trippable representation of a double (JSON number).
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+BenchReporter::BenchReporter(std::string suite) : suite_(std::move(suite)) {}
+
+void BenchReporter::add(const std::string& name, const std::string& unit,
+                        Direction direction, std::vector<double> samples) {
+  VS_CHECK_MSG(samples.size() >= kMinRepetitions,
+               "benchmark metrics need >= 5 repetitions");
+  Metric m;
+  m.name = name;
+  m.unit = unit;
+  m.direction = direction;
+  m.samples = std::move(samples);
+  std::vector<double> sorted = m.samples;
+  std::sort(sorted.begin(), sorted.end());
+  m.p50 = percentile(sorted, 50.0);
+  m.p95 = percentile(sorted, 95.0);
+  metrics_.push_back(std::move(m));
+}
+
+void BenchReporter::measure(const std::string& name, const std::string& unit,
+                            Direction direction, size_t reps,
+                            const std::function<double()>& body) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (size_t i = 0; i < reps; ++i) samples.push_back(body());
+  add(name, unit, direction, std::move(samples));
+}
+
+const Metric* BenchReporter::find(const std::string& name) const {
+  for (const auto& m : metrics_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void BenchReporter::add_ratio(const std::string& name,
+                              const std::string& numerator,
+                              const std::string& denominator) {
+  const Metric* num = find(numerator);
+  const Metric* den = find(denominator);
+  VS_CHECK_MSG(num != nullptr && den != nullptr,
+               "ratio metric references unknown metrics");
+  VS_CHECK_MSG(num->samples.size() == den->samples.size(),
+               "ratio metrics need matching repetition counts");
+  std::vector<double> ratio(num->samples.size());
+  for (size_t i = 0; i < ratio.size(); ++i) {
+    ratio[i] = num->samples[i] / den->samples[i];
+  }
+  // A speedup ratio inherits "higher is better" regardless of whether the
+  // underlying metrics are throughputs or latencies, as long as the faster
+  // implementation is the numerator-favored one — callers arrange that.
+  add(name, "x", Direction::kHigherIsBetter, std::move(ratio));
+}
+
+std::string BenchReporter::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"vsensor-bench/1\",\n";
+  os << "  \"suite\": \"" << suite_ << "\",\n";
+  os << "  \"metrics\": [\n";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    const Metric& m = metrics_[i];
+    os << "    {\"name\": \"" << m.name << "\", \"unit\": \"" << m.unit
+       << "\", \"direction\": \""
+       << (m.direction == Direction::kHigherIsBetter ? "higher" : "lower")
+       << "\", \"p50\": " << json_number(m.p50)
+       << ", \"p95\": " << json_number(m.p95) << ", \"samples\": [";
+    for (size_t s = 0; s < m.samples.size(); ++s) {
+      if (s > 0) os << ", ";
+      os << json_number(m.samples[s]);
+    }
+    os << "]}";
+    if (i + 1 < metrics_.size()) os << ",";
+    os << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+void BenchReporter::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot open bench output: " + path);
+  out << to_json();
+  out.flush();
+  if (!out) throw Error("failed writing bench output: " + path);
+}
+
+}  // namespace vsensor::bench

@@ -1,0 +1,88 @@
+// Schema-versioned JSON benchmark reporting (BENCH_*.json).
+//
+// The fig*/table* binaries reproduce paper results; this harness instead
+// tracks the *implementation's* performance trajectory across PRs. Each
+// suite runs every measurement >= 5 times, records the raw samples, and
+// emits one machine-readable file:
+//
+//   {
+//     "schema": "vsensor-bench/1",
+//     "suite": "pipeline",
+//     "metrics": [
+//       {"name": "...", "unit": "...", "direction": "higher"|"lower",
+//        "p50": ..., "p95": ..., "samples": [...]},
+//       ...
+//     ]
+//   }
+//
+// CI uploads the file as an artifact and tools/bench_compare.py diffs it
+// against the committed baseline (bench/baseline/BENCH_pipeline.json),
+// failing the trajectory gate when a metric's p50 regresses by more than
+// the threshold in its unfavorable direction. The JSON is hand-rolled —
+// no third-party dependency for a flat schema like this.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vsensor::bench {
+
+/// Whether larger values are better (throughput) or worse (latency).
+enum class Direction { kHigherIsBetter, kLowerIsBetter };
+
+struct Metric {
+  std::string name;
+  std::string unit;
+  Direction direction = Direction::kHigherIsBetter;
+  std::vector<double> samples;  ///< one value per repetition, run order
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+class BenchReporter {
+ public:
+  /// Every suite must repeat each measurement at least this many times —
+  /// percentiles over fewer samples are noise dressed up as statistics.
+  static constexpr size_t kMinRepetitions = 5;
+
+  explicit BenchReporter(std::string suite);
+
+  /// Record a finished metric from raw per-repetition samples
+  /// (>= kMinRepetitions of them; enforced). Percentiles are computed here.
+  void add(const std::string& name, const std::string& unit,
+           Direction direction, std::vector<double> samples);
+
+  /// Run `body` `reps` times; each call returns one sample value.
+  void measure(const std::string& name, const std::string& unit,
+               Direction direction, size_t reps,
+               const std::function<double()>& body);
+
+  /// Derived ratio metric: per-repetition numerator[i] / denominator[i]
+  /// of two already-added metrics (e.g. a before/after speedup).
+  void add_ratio(const std::string& name, const std::string& numerator,
+                 const std::string& denominator);
+
+  const std::vector<Metric>& metrics() const { return metrics_; }
+
+  /// Serialize and write the suite to `path`. Throws on I/O failure.
+  void write(const std::string& path) const;
+  std::string to_json() const;
+
+ private:
+  const Metric* find(const std::string& name) const;
+
+  std::string suite_;
+  std::vector<Metric> metrics_;
+};
+
+/// Wall-clock seconds of one call (steady clock, not virtual time).
+inline double time_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace vsensor::bench

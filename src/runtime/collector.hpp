@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "runtime/record_batch.hpp"
 #include "runtime/types.hpp"
 #include "support/ring_buffer.hpp"
 
@@ -34,6 +35,13 @@ class BatchSink {
  public:
   virtual ~BatchSink() = default;
   virtual void on_batch(std::span<const SliceRecord> batch) = 0;
+  /// Struct-of-arrays delivery (the staging hot path). The default bridges
+  /// to the AoS entry so existing sinks keep working; SoA-native sinks
+  /// (the streaming detector) override to skip the gather.
+  virtual void on_batch(const RecordBatch& batch) {
+    const auto aos = batch.to_aos();
+    on_batch(std::span<const SliceRecord>(aos));
+  }
 };
 
 struct CollectorConfig {
@@ -56,6 +64,12 @@ class Collector {
   /// Receive one batch from a rank. Thread-safe: records scatter to their
   /// sensor's shard, and each shard mutex is taken at most once per batch.
   void ingest(std::span<const SliceRecord> batch);
+
+  /// Struct-of-arrays ingest (what BatchStage ships): the shard scatter
+  /// scans the contiguous sensor-id column instead of striding through
+  /// 56-byte records, and the batch reaches an SoA-native sink without an
+  /// intermediate gather. Accounting identical to the AoS overload.
+  void ingest(const RecordBatch& batch);
 
   /// Attach a streaming sink; every subsequent batch is forwarded to it
   /// after being stored. Pass nullptr to detach. Not thread-safe against

@@ -111,10 +111,21 @@ class Detector {
   AnalysisResult analyze_until(const Collector& collector, int ranks,
                                double horizon) const;
 
-  /// Core entry: analysis over an explicit record set.
+  /// Core entry: analysis over an explicit record set. Converts once to
+  /// struct-of-arrays and runs analyze_batch.
   AnalysisResult analyze_records(std::span<const SliceRecord> records,
                                  const std::vector<SensorInfo>& sensors,
                                  int ranks, double run_time) const;
+
+  /// Struct-of-arrays analysis — the vectorized core. Standards come from
+  /// contiguous column scans (flat per-sensor arrays when dynamic rules
+  /// are off, the default), and the per-record normalization is one SIMD
+  /// divide pass (support/simd.hpp). Results are bit-identical to the
+  /// historical per-record path: min/max/divide are exactly rounded and
+  /// the accumulation order over records is preserved.
+  AnalysisResult analyze_batch(const RecordBatch& records,
+                               const std::vector<SensorInfo>& sensors,
+                               int ranks, double run_time) const;
 
   /// §5.2 data merging: all sensors of one component type represent the
   /// same system resource, so their normalized records merge into a single

@@ -87,18 +87,21 @@ namespace {
 std::atomic<uint64_t> g_unflushed_records{0};
 }  // namespace
 
-BatchStage::BatchStage(Collector* collector, size_t capacity)
-    : collector_(collector), capacity_(capacity) {
+BatchStage::BatchStage(Collector* collector, size_t capacity, size_t reserve)
+    : collector_(collector), capacity_(capacity), reserve_(reserve) {
   VS_CHECK_MSG(capacity > 0, "batch capacity must be positive");
-  buf_.reserve(std::min<size_t>(capacity, 4096));
+  VS_CHECK_MSG(reserve > 0, "stage reserve cap must be positive");
+  buf_.reserve(std::min<size_t>(capacity, reserve_));
 }
 
-BatchStage::BatchStage(BatchTransport& transport, int rank, size_t capacity)
+BatchStage::BatchStage(BatchTransport& transport, int rank, size_t capacity,
+                       size_t reserve)
     : collector_(nullptr), transport_(&transport), rank_(rank),
-      capacity_(capacity) {
+      capacity_(capacity), reserve_(reserve) {
   VS_CHECK_MSG(capacity > 0, "batch capacity must be positive");
+  VS_CHECK_MSG(reserve > 0, "stage reserve cap must be positive");
   VS_CHECK_MSG(rank >= 0, "transport mode needs the owning rank");
-  buf_.reserve(std::min<size_t>(capacity, 4096));
+  buf_.reserve(std::min<size_t>(capacity, reserve_));
 }
 
 BatchStage::~BatchStage() {
@@ -123,7 +126,7 @@ void BatchStage::push(const SliceRecord& rec) {
   if (buf_.size() >= capacity_) flush();
 }
 
-void BatchStage::ship(std::span<const SliceRecord> batch) {
+void BatchStage::ship(const RecordBatch& batch) {
   VS_OBS_SCOPED_STAGE(obs::Stage::Staging);
   VS_OBS_ONLY(if (obs::enabled()) {
     auto& inst = StageInstruments::get();
@@ -132,9 +135,9 @@ void BatchStage::ship(std::span<const SliceRecord> batch) {
   })
   if (transport_ != nullptr) {
     // The batch ships when its newest record completes; records accumulate
-    // in time order per rank, but take the max to stay robust to ties.
-    double now = 0.0;
-    for (const auto& rec : batch) now = std::max(now, rec.t_end);
+    // in time order per rank, but scan the contiguous t_end column for the
+    // max to stay robust to ties (clamped at 0 as before SoA staging).
+    const double now = std::max(0.0, batch.max_t_end());
     if (!transport_->ship(rank_, batch, now)) lost_records_ += batch.size();
     ++shipped_batches_;
   } else if (collector_ != nullptr) {
@@ -148,9 +151,9 @@ void BatchStage::flush() {
   // Detach the staged records before shipping: if ship() throws mid-way,
   // a second flush() (or the destructor's) must not ship them again —
   // flushing is idempotent per record, never at-least-once.
-  std::vector<SliceRecord> batch;
-  batch.swap(buf_);
-  buf_.reserve(std::min<size_t>(capacity_, 4096));
+  RecordBatch batch;
+  std::swap(batch, buf_);
+  buf_.reserve(std::min<size_t>(capacity_, reserve_));
   ship(batch);
 }
 

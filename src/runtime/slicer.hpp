@@ -45,19 +45,25 @@ class BatchTransport;
 
 /// Per-rank staging buffer: completed slices batch locally and ship to the
 /// collector only when `capacity` records accumulated, so the rank takes a
-/// shard lock once per batch instead of once per record (§5.4). One per
-/// rank thread; not thread-safe — cross-thread contention exists only
-/// inside the collector's shards.
+/// shard lock once per batch instead of once per record (§5.4). Records
+/// stage in struct-of-arrays form (RecordBatch): the collector ingests the
+/// columns directly and the scoring kernels downstream iterate contiguous
+/// arrays. One per rank thread; not thread-safe — cross-thread contention
+/// exists only inside the collector's shards.
 class BatchStage {
  public:
   /// `collector` may be null (records are then staged and discarded on
-  /// ship, useful for uninstrumented baselines and benchmarks).
-  BatchStage(Collector* collector, size_t capacity);
+  /// ship, useful for uninstrumented baselines and benchmarks). `reserve`
+  /// caps the staging buffer's pre-allocation
+  /// (RuntimeConfig::stage_reserve_records).
+  BatchStage(Collector* collector, size_t capacity,
+             size_t reserve = RuntimeConfig{}.stage_reserve_records);
 
   /// Transport mode: batches ship through the resilient transport as
   /// `rank`'s channel (sequenced, deduplicated, retried — see
   /// runtime/transport.hpp) instead of straight into a collector.
-  BatchStage(BatchTransport& transport, int rank, size_t capacity);
+  BatchStage(BatchTransport& transport, int rank, size_t capacity,
+             size_t reserve = RuntimeConfig{}.stage_reserve_records);
 
   /// Flushes: records staged at teardown are shipped, not dropped. The
   /// count of records rescued this way is surfaced process-wide through
@@ -74,6 +80,7 @@ class BatchStage {
   void flush();
 
   size_t staged() const { return buf_.size(); }
+  size_t reserve_cap() const { return reserve_; }
   uint64_t shipped_batches() const { return shipped_batches_; }
   /// Records the transport refused permanently (retries exhausted or the
   /// rank's transport was killed). Always 0 in direct-collector mode.
@@ -85,13 +92,14 @@ class BatchStage {
   static uint64_t unflushed_records();
 
  private:
-  void ship(std::span<const SliceRecord> batch);
+  void ship(const RecordBatch& batch);
 
   Collector* collector_;
   BatchTransport* transport_ = nullptr;
   int rank_ = -1;
   size_t capacity_;
-  std::vector<SliceRecord> buf_;
+  size_t reserve_;
+  RecordBatch buf_;  ///< SoA staging columns
   uint64_t shipped_batches_ = 0;
   uint64_t lost_records_ = 0;
 };

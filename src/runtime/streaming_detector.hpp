@@ -44,6 +44,15 @@ class StreamingDetector final : public BatchSink {
   void on_batch(std::span<const SliceRecord> batch) override;
   void observe(std::span<const SliceRecord> batch) { on_batch(batch); }
 
+  /// Struct-of-arrays fold — what the collector forwards on the staging
+  /// hot path. Semantically identical to the AoS overload record for
+  /// record (same sequential arrival order, so the same running minima,
+  /// flags, and Welford state), but the scans run over contiguous columns
+  /// and the standard-time map lookups are cached across runs of records
+  /// sharing one (sensor, group, rank) — the common shape of a staged
+  /// batch, which holds one rank's slices.
+  void on_batch(const RecordBatch& batch) override;
+
   /// Welford running statistics over normalized performance, per sensor.
   /// Normalization uses the standard known when each record arrived.
   struct RunningStats {

@@ -54,6 +54,12 @@ BatchTransport::BatchTransport(Collector* collector, int ranks,
   VS_CHECK_MSG(cfg_.retry_backoff >= 0.0, "retry backoff must be non-negative");
   VS_CHECK_MSG(cfg_.stale_after > 0.0, "stale threshold must be positive");
   channels_.resize(static_cast<size_t>(ranks));
+  if (cfg_.channel_ring_capacity > 0) {
+    rings_.reserve(static_cast<size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      rings_.push_back(std::make_unique<RingChannel>(cfg_.channel_ring_capacity));
+    }
+  }
 }
 
 BatchTransport::BatchTransport(DeliverySink* sink, int ranks,
@@ -66,6 +72,12 @@ BatchTransport::BatchTransport(DeliverySink* sink, int ranks,
   VS_CHECK_MSG(cfg_.retry_backoff >= 0.0, "retry backoff must be non-negative");
   VS_CHECK_MSG(cfg_.stale_after > 0.0, "stale threshold must be positive");
   channels_.resize(static_cast<size_t>(ranks));
+  if (cfg_.channel_ring_capacity > 0) {
+    rings_.reserve(static_cast<size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      rings_.push_back(std::make_unique<RingChannel>(cfg_.channel_ring_capacity));
+    }
+  }
 }
 
 BatchTransport::~BatchTransport() { drain(); }
@@ -119,6 +131,61 @@ bool BatchTransport::ship(int rank, std::span<const SliceRecord> batch,
   VS_CHECK_MSG(rank >= 0 && static_cast<size_t>(rank) < channels_.size(),
                "ship from unknown rank");
   if (batch.empty()) return true;
+  if (!rings_.empty()) {
+    return ship_enqueue(rank, {batch.begin(), batch.end()}, now);
+  }
+  return ship_sync(rank, batch, now);
+}
+
+bool BatchTransport::ship(int rank, const RecordBatch& batch, double now) {
+  VS_CHECK_MSG(rank >= 0 && static_cast<size_t>(rank) < channels_.size(),
+               "ship from unknown rank");
+  if (batch.empty()) return true;
+  // One gather from the staged columns to the AoS wire form, at the
+  // transport boundary; the ring path adopts the vector without copying.
+  std::vector<SliceRecord> aos = batch.to_aos();
+  if (!rings_.empty()) return ship_enqueue(rank, std::move(aos), now);
+  return ship_sync(rank, aos, now);
+}
+
+bool BatchTransport::ship_enqueue(int rank, std::vector<SliceRecord>&& records,
+                                  double now) {
+  RingChannel& rc = *rings_[static_cast<size_t>(rank)];
+  const size_t n = records.size();
+  if (!rc.ring.try_push(PendingShip{now, std::move(records)})) {
+    // Backpressure: the consumer fell behind by a full ring. Refuse the
+    // batch and account it so enqueued == delivered + lost + ring-dropped
+    // stays an invariant the tests can assert.
+    rc.dropped_batches.fetch_add(1, std::memory_order_relaxed);
+    rc.dropped_records.fetch_add(n, std::memory_order_relaxed);
+    VS_OBS_ONLY(if (obs::enabled()) TransportInstruments::get().lost.add();)
+    return false;
+  }
+  return true;
+}
+
+size_t BatchTransport::pump() {
+  if (rings_.empty()) return 0;
+  // try_lock instead of lock: a pump racing another pump (or a drain) can
+  // return immediately — the in-flight consumer's pop loop keeps running
+  // until the rings it is on are empty, and end-of-run drains happen after
+  // producers quiesce, so nothing is left stranded.
+  std::unique_lock<std::mutex> lock(pump_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return 0;
+  size_t pumped = 0;
+  for (size_t r = 0; r < rings_.size(); ++r) {
+    RingChannel& rc = *rings_[r];
+    PendingShip p;
+    while (rc.ring.try_pop(p)) {
+      ship_sync(static_cast<int>(r), p.records, p.now);
+      ++pumped;
+    }
+  }
+  return pumped;
+}
+
+bool BatchTransport::ship_sync(int rank, std::span<const SliceRecord> batch,
+                               double now) {
   VS_OBS_SCOPED_STAGE(obs::Stage::TransportShip);
   VS_OBS_ONLY(obs::ScopedSpan vs_obs_span("ship", "transport", rank);
               if (obs::enabled()) {
@@ -189,6 +256,10 @@ bool BatchTransport::ship(int rank, std::span<const SliceRecord> batch,
 }
 
 void BatchTransport::drain() {
+  // Ring mode: everything the ranks enqueued must reach the delivery path
+  // before the delay queue is flushed, or an enqueued batch could outlive
+  // the drain inside its ring.
+  pump();
   // Re-entrancy / double-invocation guard: drain() is called explicitly at
   // end of run and again from the destructor, and a delivery sink could in
   // principle trigger a nested drain. Only one invocation at a time swaps
@@ -264,18 +335,35 @@ size_t BatchTransport::sweep_stale(double now,
   return fresh.size();
 }
 
+void BatchTransport::fold_ring_locked(size_t rank, RankChannelStats& s) const {
+  if (rings_.empty()) return;
+  const RingChannel& rc = *rings_[rank];
+  const uint64_t db = rc.dropped_batches.load(std::memory_order_relaxed);
+  const uint64_t dr = rc.dropped_records.load(std::memory_order_relaxed);
+  s.ring_dropped_batches = db;
+  s.ring_dropped_records = dr;
+  // A ring-refused batch was sent (the rank called ship) and lost (it
+  // never reached the server): sent == delivered + lost stays conserved.
+  s.batches_sent += db;
+  s.batches_lost += db;
+  s.records_lost += dr;
+}
+
 RankChannelStats BatchTransport::rank_stats(int rank) const {
   VS_CHECK_MSG(rank >= 0 && static_cast<size_t>(rank) < channels_.size(),
                "stats for unknown rank");
   std::lock_guard<std::mutex> lock(mu_);
-  return channels_[static_cast<size_t>(rank)].stats;
+  RankChannelStats s = channels_[static_cast<size_t>(rank)].stats;
+  fold_ring_locked(static_cast<size_t>(rank), s);
+  return s;
 }
 
 RankChannelStats BatchTransport::totals() const {
   RankChannelStats sum;
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& ch : channels_) {
-    const auto& s = ch.stats;
+  for (size_t r = 0; r < channels_.size(); ++r) {
+    RankChannelStats s = channels_[r].stats;
+    fold_ring_locked(r, s);
     sum.batches_sent += s.batches_sent;
     sum.batches_delivered += s.batches_delivered;
     sum.batches_lost += s.batches_lost;
@@ -288,6 +376,8 @@ RankChannelStats BatchTransport::totals() const {
     sum.backoff_seconds += s.backoff_seconds;
     sum.last_delivery_time = std::max(sum.last_delivery_time, s.last_delivery_time);
     sum.next_seq += s.next_seq;
+    sum.ring_dropped_batches += s.ring_dropped_batches;
+    sum.ring_dropped_records += s.ring_dropped_records;
   }
   return sum;
 }

@@ -26,13 +26,16 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <span>
 #include <vector>
 
 #include "runtime/collector.hpp"
+#include "runtime/record_batch.hpp"
 #include "runtime/types.hpp"
+#include "support/spsc_ring.hpp"
 
 namespace vsensor::rt {
 
@@ -98,6 +101,16 @@ struct TransportConfig {
   double retry_backoff = 1e-4;
   /// A rank with no delivery for this many virtual seconds is stale.
   double stale_after = 1.0;
+  /// Batches each rank channel can hold in its lock-free SPSC ring before
+  /// the producer sees backpressure (rounded up to a power of two).
+  /// 0 = synchronous shipping: ship() walks the retry loop inline, exactly
+  /// the pre-ring behavior. > 0 = ship() is a wait-free enqueue on the
+  /// rank's ring (the rank thread never takes the transport mutex); the
+  /// consumer side (pump()/drain()) stamps sequence numbers and delivers.
+  /// A full ring refuses the batch — counted per rank in
+  /// RankChannelStats::ring_dropped_* so drop accounting stays conserved:
+  /// after drain(), sent == delivered + lost + ring_dropped.
+  size_t channel_ring_capacity = 0;
 };
 
 /// Per-rank transport counters. All monotonically increasing.
@@ -114,6 +127,11 @@ struct RankChannelStats {
   double backoff_seconds = 0.0;         ///< total virtual backoff spent
   double last_delivery_time = -1.0;     ///< virtual time of newest delivery
   uint64_t next_seq = 0;                ///< next sequence number to stamp
+  /// Ring mode only: batches/records refused at the SPSC enqueue edge
+  /// because the rank's ring was full (already included in batches_lost /
+  /// records_lost, broken out so the backpressure edge stays observable).
+  uint64_t ring_dropped_batches = 0;
+  uint64_t ring_dropped_records = 0;
 };
 
 class BatchTransport {
@@ -136,17 +154,36 @@ class BatchTransport {
   /// in-flight batches are never silently lost.
   ~BatchTransport();
 
-  /// Ship one batch from `rank` at virtual time `now`. Stamps the next
-  /// sequence number, walks the retry loop, and returns true if the batch
-  /// was delivered (possibly deferred behind later deliveries when the
-  /// fault model delays it). Thread-safe; called from rank threads.
+  /// Ship one batch from `rank` at virtual time `now`. Synchronous mode
+  /// (channel_ring_capacity == 0): stamps the next sequence number, walks
+  /// the retry loop inline, and returns true if the batch was delivered
+  /// (possibly deferred behind later deliveries when the fault model
+  /// delays it). Ring mode: wait-free enqueue on `rank`'s SPSC ring;
+  /// returns false only if the ring was full (the batch is then counted
+  /// as lost + ring-dropped). Thread-safe across ranks; each rank's
+  /// ship() calls must come from one thread (the rank thread) — that is
+  /// the single-producer half of the SPSC contract.
   bool ship(int rank, std::span<const SliceRecord> batch, double now);
 
+  /// Same, from staged struct-of-arrays columns. The gather to the AoS
+  /// wire form happens here, once, at the transport boundary.
+  bool ship(int rank, const RecordBatch& batch, double now);
+
+  /// Ring mode: consume every batch currently enqueued on the rank rings,
+  /// stamping sequence numbers and walking the normal delivery path (in
+  /// rank order, FIFO within a rank). Returns batches pumped. Safe to call
+  /// concurrently with producers; consumers serialize on an internal
+  /// mutex. No-op in synchronous mode. Must not be called from inside a
+  /// delivery callback.
+  size_t pump();
+
   /// Deliver every batch still held in the delay queue (end of run; the
-  /// wire is always drained before analysis). Idempotent and re-entrancy
-  /// safe: a second call — including the destructor's — delivers only
-  /// what arrived since the first, and a drain triggered from within a
-  /// drain (e.g. a sink that ships) is a no-op instead of a deadlock.
+  /// wire is always drained before analysis). In ring mode the rank rings
+  /// are pumped first, so nothing enqueued before drain() is lost.
+  /// Idempotent and re-entrancy safe: a second call — including the
+  /// destructor's — delivers only what arrived since the first, and a
+  /// drain triggered from within a drain (e.g. a sink that ships) is a
+  /// no-op instead of a deadlock.
   void drain();
 
   /// Ranks considered stale at `now`: transport killed by the fault model,
@@ -182,6 +219,25 @@ class BatchTransport {
     bool reported_stale = false;
   };
 
+  /// One batch parked on a rank's SPSC ring between the rank thread's
+  /// ship() and the consumer's pump(). Sequence numbers are stamped at
+  /// pump time (under mu_), not enqueue time, so the seq space stays
+  /// dense even when enqueues race with ring-full drops.
+  struct PendingShip {
+    double now = 0.0;
+    std::vector<SliceRecord> records;
+  };
+
+  /// Ring-mode per-rank state, split from Channel because the producer
+  /// side must never touch mu_: overflow counters are atomics the rank
+  /// thread bumps lock-free and rank_stats() folds into the snapshot.
+  struct RingChannel {
+    SpscRing<PendingShip> ring;
+    std::atomic<uint64_t> dropped_batches{0};
+    std::atomic<uint64_t> dropped_records{0};
+    explicit RingChannel(size_t capacity) : ring(capacity) {}
+  };
+
   /// One delivery arriving at the server: dedup, then store. Appends any
   /// releases from the delay queue to `ready`. Caller holds mu_.
   void arrive(int rank, uint64_t seq, std::span<const SliceRecord> batch,
@@ -193,6 +249,15 @@ class BatchTransport {
   void deliver(int rank, uint64_t seq, std::span<const SliceRecord> batch,
                double now);
 
+  /// The synchronous delivery path (stamp seq, retry loop, arrive).
+  /// Called directly by ship() in synchronous mode, by pump() in ring mode.
+  bool ship_sync(int rank, std::span<const SliceRecord> batch, double now);
+  /// Ring mode: wait-free enqueue of an owned batch onto `rank`'s ring.
+  bool ship_enqueue(int rank, std::vector<SliceRecord>&& records, double now);
+  /// Merge `rank`'s ring overflow counters into a stats snapshot: ring
+  /// drops count as sent + lost so conservation holds. Caller holds mu_.
+  void fold_ring_locked(size_t rank, RankChannelStats& s) const;
+
   Collector* collector_;
   DeliverySink* sink_ = nullptr;
   TransportConfig cfg_;
@@ -202,6 +267,11 @@ class BatchTransport {
   std::vector<Channel> channels_;
   std::vector<DelayedBatch> delayed_;
   std::atomic<bool> draining_{false};
+  /// Ring mode only (channel_ring_capacity > 0): one SPSC ring per rank,
+  /// heap-allocated so the atomics stay address-stable, plus the consumer
+  /// serialization for pump().
+  std::vector<std::unique_ptr<RingChannel>> rings_;
+  std::mutex pump_mu_;
 };
 
 }  // namespace vsensor::rt

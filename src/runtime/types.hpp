@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 
 namespace vsensor::rt {
 
@@ -40,8 +41,15 @@ struct SliceRecord {
 };
 
 /// Bytes one record occupies on the wire when batched to the analysis
-/// server (packed layout: 2x i32 + 2x f32 + 4x f64 + 2x u32).
+/// server (packed layout: 2x i32 + 2x f32 + 4x f64 + 2x u32). The in-memory
+/// struct has the same size, order, and no padding — the durability layer
+/// asserts this and serializes record spans with one bulk copy.
 inline constexpr uint64_t kRecordWireBytes = 56;
+
+static_assert(sizeof(SliceRecord) == kRecordWireBytes,
+              "SliceRecord layout must match the packed wire layout");
+static_assert(std::is_trivially_copyable_v<SliceRecord>,
+              "SliceRecord must be bulk-copyable for the durability layer");
 
 /// SliceRecord::flags bit: set by the rank's own probe when the slice fell
 /// below the local variance threshold against that rank's history (§5.3).
@@ -63,6 +71,11 @@ struct RuntimeConfig {
   uint64_t disable_after = 64;
   /// Records buffered locally before a batched transfer to the server (§5.4).
   size_t batch_records = 64;
+  /// Upper bound on the staging buffer's *pre-allocated* capacity: a stage
+  /// with a huge batch_records bound still starts small and grows on
+  /// demand. Hoisted from a magic constant scattered through the staging
+  /// code; validated (> 0) by BatchStage.
+  size_t stage_reserve_records = 4096;
   /// Intra-process on-line detection: a slice whose normalized performance
   /// (standard / current) falls below this is flagged locally (§5.3).
   double local_variance_threshold = 0.7;

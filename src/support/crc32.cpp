@@ -1,10 +1,16 @@
 #include "support/crc32.hpp"
 
 #include <array>
+#include <cstring>
+
+#if VSENSOR_HW_CRC32
+#include <arm_acle.h>
+#endif
 
 namespace vsensor {
 
 namespace {
+
 constexpr std::array<uint32_t, 256> make_table() {
   std::array<uint32_t, 256> table{};
   for (uint32_t i = 0; i < 256; ++i) {
@@ -16,16 +22,85 @@ constexpr std::array<uint32_t, 256> make_table() {
   }
   return table;
 }
-constexpr auto kTable = make_table();
+
+// kTables[0] is the classic byte table; kTables[k] extends it so that
+// eight table lookups advance the CRC over eight message bytes at once
+// (the standard slice-by-8 construction).
+constexpr std::array<std::array<uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<uint32_t, 256>, 8> t{};
+  t[0] = make_table();
+  for (size_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+    }
+  }
+  return t;
+}
+
+constexpr auto kTables = make_tables();
+
+constexpr bool kLittleEndian =
+#if defined(__BYTE_ORDER__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+    true;
+#else
+    false;
+#endif
+
 }  // namespace
+
+uint32_t crc32_reference(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = kTables[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
 
 uint32_t crc32(const void* data, size_t len, uint32_t seed) {
   const auto* p = static_cast<const unsigned char*>(data);
   uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (size_t i = 0; i < len; ++i) {
-    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+#if VSENSOR_HW_CRC32
+  while (len >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    c = __crc32d(c, chunk);
+    p += 8;
+    len -= 8;
   }
+  while (len-- > 0) c = __crc32b(c, *p++);
+#else
+  if (kLittleEndian) {
+    // Slice-by-8: fold two 32-bit loads through the eight tables per step.
+    // The low word absorbs the running CRC; table index k handles the byte
+    // that sits k positions from the end of the 8-byte block.
+    while (len >= 8) {
+      uint32_t lo;
+      uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+          kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+          kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+      p += 8;
+      len -= 8;
+    }
+  }
+  while (len-- > 0) {
+    c = kTables[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+#endif
   return c ^ 0xFFFFFFFFu;
+}
+
+const char* crc32_impl_name() {
+#if VSENSOR_HW_CRC32
+  return "hw-arm";
+#else
+  return kLittleEndian ? "slice8" : "bytewise";
+#endif
 }
 
 }  // namespace vsensor

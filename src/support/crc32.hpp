@@ -1,6 +1,15 @@
 // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
 // check framing every durable artifact: journal frames, checkpoint
-// payloads, and v3 session lines. Table-driven, no dependencies.
+// payloads, and v3 session lines.
+//
+// The production entry point is slice-by-8 (8 bytes per step through eight
+// derived tables, ~4-5x the classic one-byte table walk) with an optional
+// hardware path behind VSENSOR_HW_CRC32 where the ISA computes this exact
+// polynomial (ARMv8 ACLE __crc32d; note x86 SSE4.2 crc32 is CRC-32C — a
+// different polynomial — so x86 stays on slice-by-8 to keep every framed
+// byte stream identical). All paths return bit-identical checksums; the
+// one-byte reference implementation stays exported so tests and the bench
+// trajectory can pin and measure the equivalence.
 #pragma once
 
 #include <cstddef>
@@ -16,5 +25,18 @@ uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
 inline uint32_t crc32(std::string_view bytes, uint32_t seed = 0) {
   return crc32(bytes.data(), bytes.size(), seed);
 }
+
+/// Reference one-byte-per-step implementation (the pre-optimization
+/// algorithm). Kept for equivalence tests and as the bench baseline the
+/// slice-by-8 speedup is measured against.
+uint32_t crc32_reference(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t crc32_reference(std::string_view bytes, uint32_t seed = 0) {
+  return crc32_reference(bytes.data(), bytes.size(), seed);
+}
+
+/// Name of the active implementation ("hw-arm", "slice8", or "bytewise"),
+/// surfaced in the bench JSON so a trajectory compares like with like.
+const char* crc32_impl_name();
 
 }  // namespace vsensor

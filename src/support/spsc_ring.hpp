@@ -1,0 +1,102 @@
+// Bounded lock-free single-producer/single-consumer ring.
+//
+// The rank→stage edge of the collection pipeline is strictly SPSC: exactly
+// one rank thread produces batches for its channel and exactly one consumer
+// drains them. A mutex there serializes every producer on the same cache
+// line; this ring gives each channel wait-free push/pop with only
+// acquire/release ordering — the producer never blocks on the consumer and
+// vice versa. Capacity is rounded up to a power of two so index wrap is a
+// mask, and the producer/consumer indices live on separate cache lines with
+// a locally cached copy of the opposite index, so the common case touches
+// one shared line per side only when its cache goes stale.
+//
+// Semantics: try_push/try_pop never block and never spuriously fail — a
+// false return means genuinely full/empty at that instant. Drop accounting
+// on overflow is the caller's job (the transport counts refused batches).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace vsensor {
+
+// A fixed 64 rather than std::hardware_destructive_interference_size: the
+// ring is part of library headers, and the standard constant varies with
+// compiler version and -mtune (GCC warns about exactly this). 64 bytes is
+// the destructive-interference line on every x86-64 and aarch64 target CI
+// builds; a too-small value would only cost a false-sharing stall, never
+// correctness.
+inline constexpr size_t kCacheLineBytes = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Usable capacity is `min_capacity` rounded up to a power of two.
+  explicit SpscRing(size_t min_capacity) {
+    VS_CHECK_MSG(min_capacity > 0, "spsc ring capacity must be positive");
+    size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when the ring is full (the value is left
+  /// untouched and can be dropped or retried by the caller).
+  bool try_push(T&& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+  bool try_push(const T& value) { return try_push(T(value)); }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate — exact only when called from the producer or
+  /// consumer thread with the other side quiescent.
+  size_t size_approx() const {
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  size_t mask_ = 0;
+  std::vector<T> slots_;
+
+  // Producer-owned line: its index plus a cached view of the consumer's.
+  alignas(kCacheLineBytes) std::atomic<size_t> tail_{0};
+  size_t cached_head_ = 0;
+  // Consumer-owned line.
+  alignas(kCacheLineBytes) std::atomic<size_t> head_{0};
+  size_t cached_tail_ = 0;
+  // Trailing pad so an adjacent object cannot share the consumer's line.
+  alignas(kCacheLineBytes) char pad_end_ = 0;
+};
+
+}  // namespace vsensor

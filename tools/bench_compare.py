@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compare two vsensor-bench/1 JSON files and gate on regressions.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [--threshold 0.10] [--warn-only]
+  bench_compare.py --self-test
+
+Each metric carries its own direction ("higher" = throughput, "lower" =
+latency); a metric regresses when its p50 moves by more than the threshold
+in its unfavorable direction. Improvements and within-threshold noise never
+fail. Metrics present in only one file are reported but not fatal — suites
+grow over time and an old baseline must not block a new metric.
+
+Exit status: 0 = no regression (or --warn-only), 1 = regression beyond the
+threshold, 2 = structural problem (unreadable file, schema mismatch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "vsensor-bench/1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bench_compare: cannot read {path}: {exc}")
+    if doc.get("schema") != SCHEMA:
+        print(f"bench_compare: {path}: schema {doc.get('schema')!r} != {SCHEMA!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    metrics = {}
+    for m in doc.get("metrics", []):
+        metrics[m["name"]] = m
+    return metrics
+
+
+def compare(baseline, current, threshold):
+    """Returns (lines, regressions) where lines are human-readable rows."""
+    lines = []
+    regressions = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            lines.append(f"  NEW      {name}: p50 {cur['p50']:.3f} {cur['unit']}")
+            continue
+        if cur is None:
+            lines.append(f"  MISSING  {name}: was p50 {base['p50']:.3f} {base['unit']}")
+            continue
+        direction = cur.get("direction", base.get("direction", "higher"))
+        b, c = base["p50"], cur["p50"]
+        if b == 0:
+            lines.append(f"  SKIP     {name}: baseline p50 is 0")
+            continue
+        # Positive delta = improvement in the metric's own direction.
+        delta = (c - b) / b if direction == "higher" else (b - c) / b
+        tag = "ok"
+        if delta < -threshold:
+            tag = "REGRESSED"
+            regressions.append(name)
+        elif delta > threshold:
+            tag = "improved"
+        lines.append(
+            f"  {tag:<9}{name}: p50 {b:.3f} -> {c:.3f} {cur['unit']} "
+            f"({delta:+.1%}, {direction} is better)")
+    return lines, regressions
+
+
+def self_test():
+    """Synthetic 20% regression in each direction must exit nonzero paths."""
+    base = {
+        "thr": {"name": "thr", "unit": "MB/s", "direction": "higher", "p50": 100.0},
+        "lat": {"name": "lat", "unit": "ms", "direction": "lower", "p50": 10.0},
+    }
+    # 20% worse in each metric's unfavorable direction.
+    worse = {
+        "thr": dict(base["thr"], p50=80.0),
+        "lat": dict(base["lat"], p50=12.0),
+    }
+    _, regressions = compare(base, worse, 0.10)
+    assert set(regressions) == {"thr", "lat"}, regressions
+    # 20% better must not flag.
+    better = {
+        "thr": dict(base["thr"], p50=120.0),
+        "lat": dict(base["lat"], p50=8.0),
+    }
+    _, regressions = compare(base, better, 0.10)
+    assert regressions == [], regressions
+    # Within-threshold noise must not flag.
+    noisy = {
+        "thr": dict(base["thr"], p50=95.0),
+        "lat": dict(base["lat"], p50=10.5),
+    }
+    _, regressions = compare(base, noisy, 0.10)
+    assert regressions == [], regressions
+    print("bench_compare: self-test passed")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="fractional p50 regression that fails (default 0.10)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but always exit 0")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the regression detector on synthetic data")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return 0
+    if not args.baseline or not args.current:
+        ap.error("need BASELINE and CURRENT (or --self-test)")
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    lines, regressions = compare(baseline, current, args.threshold)
+    print(f"bench_compare: {args.baseline} vs {args.current} "
+          f"(threshold {args.threshold:.0%})")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"bench_compare: {len(regressions)} metric(s) regressed beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}", file=sys.stderr)
+        return 0 if args.warn_only else 1
+    print("bench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
