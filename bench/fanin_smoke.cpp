@@ -1,0 +1,141 @@
+// 16K-rank fan-in smoke: the ROADMAP scale target on a laptop.
+//
+// Runs CG at 16,384 simulated ranks (one thread per rank) through the full
+// instrumented pipeline once, then replays the captured record stream
+// through an 8-shard ShardedAnalysisTier five times to measure analysis
+// fan-in throughput at scale. Emits BENCH_fanin.json (vsensor-bench/1) so
+// CI can track the trajectory, and prints the shard report table.
+//
+// Usage: fanin_smoke [OUT.json] [RANKS] [SHARDS]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "report/report.hpp"
+#include "runtime/collector.hpp"
+#include "runtime/sharded_tier.hpp"
+#include "runtime/streaming_detector.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace vsensor;
+using namespace vsensor::bench;
+
+/// Per-rank time-ordered batches from the captured records.
+struct Stream {
+  std::vector<std::vector<rt::SliceRecord>> by_rank;
+  size_t records = 0;
+};
+
+Stream build_stream(const rt::Collector& collector, int ranks) {
+  Stream s;
+  s.by_rank.resize(static_cast<size_t>(ranks));
+  auto records = collector.records();
+  std::stable_sort(records.begin(), records.end(),
+                   [](const rt::SliceRecord& a, const rt::SliceRecord& b) {
+                     return a.t_begin < b.t_begin;
+                   });
+  for (const auto& r : records) {
+    s.by_rank[static_cast<size_t>(r.rank)].push_back(r);
+  }
+  s.records = records.size();
+  return s;
+}
+
+double replay(rt::ShardedAnalysisTier& tier, const Stream& stream,
+              size_t per_batch) {
+  return time_seconds([&] {
+    for (size_t rank = 0; rank < stream.by_rank.size(); ++rank) {
+      const auto& src = stream.by_rank[rank];
+      uint64_t seq = 0;
+      for (size_t i = 0; i < src.size(); i += per_batch) {
+        const size_t n = std::min(per_batch, src.size() - i);
+        tier.on_delivery(static_cast<int>(rank), seq++,
+                         std::span<const rt::SliceRecord>(src.data() + i, n),
+                         src[i + n - 1].t_end);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fanin.json";
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 16384;
+  const int shards = argc > 3 ? std::atoi(argv[3]) : 8;
+
+  const auto cg = workloads::make_workload("CG");
+  auto cfg = workloads::baseline_config(ranks);
+  workloads::RunOptions opts;
+  opts.params.iterations = 2;
+  opts.params.scale = 0.02;
+  opts.runtime.batch_records = 32;
+
+  rt::Collector collected;
+  collected.set_sensors(cg->sensors());
+  std::printf("fanin_smoke: running CG at %d ranks...\n", ranks);
+  double wall = 0.0;
+  workloads::WorkloadRun run;
+  wall = time_seconds(
+      [&] { run = workloads::run_workload(*cg, cfg, opts, &collected); });
+  const auto stream = build_stream(collected, ranks);
+  std::printf(
+      "fanin_smoke: makespan %.3f s (virtual), wall %.1f s, %zu records\n",
+      run.makespan, wall, stream.records);
+  if (stream.records == 0) {
+    std::fprintf(stderr, "fanin_smoke: no records collected\n");
+    return 1;
+  }
+
+  BenchReporter out("fanin");
+  rt::DetectorConfig dcfg;
+  dcfg.matrix_resolution = run.makespan / 25.0;
+  uint64_t epoch = 0;
+  std::unique_ptr<rt::ShardedAnalysisTier> last_tier;
+  out.measure("fanin_smoke.records_per_sec", "rec/s",
+              Direction::kHigherIsBetter, 5, [&] {
+                rt::ShardedTierConfig tcfg;
+                tcfg.shards = shards;
+                tcfg.journal_path = "fanin_smoke.wal." + std::to_string(epoch);
+                tcfg.checkpoint_path =
+                    "fanin_smoke.ckpt." + std::to_string(epoch);
+                tcfg.journal.commit_every_frames = 256;
+                tcfg.detector = dcfg;
+                ++epoch;
+                auto tier = std::make_unique<rt::ShardedAnalysisTier>(
+                    tcfg, cg->sensors(), ranks, run.makespan);
+                const double s = replay(*tier, stream, 32);
+                for (int k = 0; k < shards; ++k) {
+                  const auto& scfg = tier->server(k).config();
+                  std::remove(scfg.journal_path.c_str());
+                  std::remove(scfg.checkpoint_path.c_str());
+                }
+                last_tier = std::move(tier);
+                return static_cast<double>(stream.records) / s;
+              });
+  out.measure("fanin_smoke.merge_finalize_ms", "ms", Direction::kLowerIsBetter,
+              5, [&] {
+                size_t events = 0;
+                const double s = time_seconds(
+                    [&] { events = last_tier->finalize().events.size(); });
+                std::printf("  merged finalize: %zu events\n", events);
+                return s * 1e3;
+              });
+
+  std::printf("%s", report::shard_report(*last_tier).c_str());
+  out.write(out_path);
+  std::printf("wrote %s\n", out_path.c_str());
+  for (const auto& m : out.metrics()) {
+    std::printf("  %-32s p50 %12.3f %s\n", m.name.c_str(), m.p50,
+                m.unit.c_str());
+  }
+  return 0;
+}

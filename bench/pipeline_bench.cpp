@@ -15,6 +15,7 @@
 // Usage: pipeline_bench [output.json]
 #include <cstdio>
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "runtime/detector.hpp"
 #include "runtime/journal.hpp"
 #include "runtime/record_batch.hpp"
+#include "runtime/sharded_tier.hpp"
 #include "runtime/slicer.hpp"
 #include "runtime/streaming_detector.hpp"
 #include "runtime/transport.hpp"
@@ -272,6 +274,65 @@ void bench_detector(BenchReporter& out) {
   });
 }
 
+void bench_fanin(BenchReporter& out) {
+  // Sharded analysis tier fan-in: records/s through ShardedAnalysisTier at
+  // 1/2/4/8 shards, per-rank batched deliveries with journaling on. The
+  // shard count scales the fold locks and journals, not the work, so on a
+  // single core this tracks per-shard overhead; on many cores it tracks
+  // fan-in scaling.
+  constexpr size_t kRecords = 64u << 10;
+  constexpr size_t kPerBatch = 256;
+  constexpr int kRanks = 64;
+  constexpr double kRunTime = 10.0;
+  const auto records = synth_records(kRecords, 4, kRanks, kRunTime, 31);
+  std::vector<SensorInfo> sensors;
+  for (int s = 0; s < 4; ++s) {
+    sensors.push_back(SensorInfo{"bench_s" + std::to_string(s),
+                                 SensorType::Computation, "bench.c", s + 1});
+  }
+  // Pre-batch into per-rank deliveries (synth_records round-robins ranks,
+  // so a contiguous chunk is re-grouped by rank first).
+  std::vector<std::vector<SliceRecord>> by_rank(kRanks);
+  for (const auto& r : records) {
+    by_rank[static_cast<size_t>(r.rank)].push_back(r);
+  }
+
+  for (const int shards : {1, 2, 4, 8}) {
+    const std::string base = "bench_fanin_" + std::to_string(shards);
+    uint64_t epoch = 0;
+    out.measure("fanin_records_per_sec." + std::to_string(shards), "rec/s",
+                Direction::kHigherIsBetter, 5, [&] {
+                  ShardedTierConfig cfg;
+                  cfg.shards = shards;
+                  cfg.journal_path = base + ".wal." + std::to_string(epoch);
+                  cfg.checkpoint_path = base + ".ckpt." + std::to_string(epoch);
+                  cfg.journal.commit_every_frames = 64;
+                  ++epoch;
+                  ShardedAnalysisTier tier(cfg, sensors, kRanks, kRunTime);
+                  const double s = time_seconds([&] {
+                    for (int rank = 0; rank < kRanks; ++rank) {
+                      const auto& src = by_rank[static_cast<size_t>(rank)];
+                      uint64_t seq = 0;
+                      for (size_t i = 0; i < src.size(); i += kPerBatch) {
+                        const size_t n = std::min(kPerBatch, src.size() - i);
+                        tier.on_delivery(
+                            rank, seq++,
+                            std::span<const SliceRecord>(src.data() + i, n),
+                            src[i + n - 1].t_end);
+                      }
+                    }
+                  });
+                  keep(tier.total_routed_records());
+                  for (int k = 0; k < shards; ++k) {
+                    const auto& scfg = tier.server(k).config();
+                    std::remove(scfg.journal_path.c_str());
+                    std::remove(scfg.checkpoint_path.c_str());
+                  }
+                  return static_cast<double>(kRecords) / s;
+                });
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -285,6 +346,7 @@ int main(int argc, char** argv) {
   bench_transport(out);
   bench_journal(out);
   bench_detector(out);
+  bench_fanin(out);
 
   out.write(out_path);
   std::printf("wrote %s (%zu metrics, crc impl: %s)\n", out_path.c_str(),

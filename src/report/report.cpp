@@ -101,4 +101,35 @@ std::string transport_report(std::span<const rt::RankChannelStats> per_rank,
   return os.str();
 }
 
+std::string shard_report(const rt::ShardedAnalysisTier& tier) {
+  std::ostringstream os;
+  os << "analysis tier (" << tier.shard_count()
+     << " shard(s), rank % N routing):\n";
+  TextTable table({"shard", "routed", "records", "folded", "crashes",
+                   "recoveries", "journal"});
+  uint64_t routed = 0, records = 0, folded = 0, crashes = 0, recoveries = 0;
+  for (int k = 0; k < tier.shard_count(); ++k) {
+    const auto& server = tier.server(k);
+    table.add_row({std::to_string(k),
+                   std::to_string(tier.routed_batches(k)),
+                   std::to_string(tier.routed_records(k)),
+                   std::to_string(server.delivered_batches()),
+                   std::to_string(server.crashes()),
+                   std::to_string(server.recoveries().size()),
+                   server.config().journal_path});
+    routed += tier.routed_batches(k);
+    records += tier.routed_records(k);
+    folded += server.delivered_batches();
+    crashes += server.crashes();
+    recoveries += server.recoveries().size();
+  }
+  table.add_row({"total", std::to_string(routed), std::to_string(records),
+                 std::to_string(folded), std::to_string(crashes),
+                 std::to_string(recoveries), ""});
+  os << table.to_string();
+  os << "standards broadcast between shards: " << tier.broadcast_updates()
+     << "\n";
+  return os.str();
+}
+
 }  // namespace vsensor::report

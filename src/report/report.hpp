@@ -6,6 +6,7 @@
 
 #include "report/render.hpp"
 #include "runtime/detector.hpp"
+#include "runtime/sharded_tier.hpp"
 #include "runtime/transport.hpp"
 
 namespace vsensor::report {
@@ -27,5 +28,10 @@ std::string variance_report(const rt::AnalysisResult& analysis,
 std::string transport_report(std::span<const rt::RankChannelStats> per_rank,
                              const rt::RankChannelStats& totals,
                              std::span<const int> stale_ranks);
+
+/// Render the sharded analysis tier's fan-in table: one row per shard
+/// (routed batches/records, folded batches, crashes/recoveries, journal
+/// path) plus a totals row and the standards-exchange volume.
+std::string shard_report(const rt::ShardedAnalysisTier& tier);
 
 }  // namespace vsensor::report

@@ -42,6 +42,12 @@ class BatchSink {
     const auto aos = batch.to_aos();
     on_batch(std::span<const SliceRecord>(aos));
   }
+  /// Transport-layer stale verdict for `rank` (BatchTransport::sweep_stale
+  /// forwarded through the collector). Default ignores it; the streaming
+  /// detector overrides to exclude the rank's stragglers. This is how the
+  /// verdict reaches a detector on server-less runs, where no
+  /// AnalysisServer exists to journal and forward it.
+  virtual void on_stale_rank(int rank) { (void)rank; }
 };
 
 struct CollectorConfig {
@@ -75,6 +81,13 @@ class Collector {
   /// after being stored. Pass nullptr to detach. Not thread-safe against
   /// concurrent ingest — attach before the run starts.
   void attach_sink(BatchSink* sink) { sink_ = sink; }
+
+  /// Forward a transport stale verdict to the attached sink (no-op when
+  /// none is attached). Thread-safe for the same reason ingest's forward
+  /// is: the sink pointer is fixed before the run starts.
+  void notify_stale(int rank) {
+    if (sink_ != nullptr) sink_->on_stale_rank(rank);
+  }
 
   const std::vector<SensorInfo>& sensors() const { return sensors_; }
 

@@ -50,7 +50,7 @@ bool parse_payload(const char* data, size_t len, JournalFrame* frame) {
       !in.read(&count)) {
     return false;
   }
-  if (kind > static_cast<uint8_t>(JournalFrameKind::StaleRank)) return false;
+  if (kind > static_cast<uint8_t>(JournalFrameKind::Standard)) return false;
   frame->kind = static_cast<JournalFrameKind>(kind);
   // The payload length must match the declared record count exactly: a
   // frame with trailing or missing bytes is corrupt, not "close enough".
@@ -88,6 +88,34 @@ std::string encode_journal_frame(const JournalFrame& frame) {
   put(out, crc32(payload));
   out += payload;
   return out;
+}
+
+JournalFrame make_standard_frame(int32_t sensor_id, int32_t group,
+                                 double value) {
+  JournalFrame frame;
+  frame.kind = JournalFrameKind::Standard;
+  frame.rank = sensor_id;
+  frame.seq = static_cast<uint64_t>(static_cast<uint32_t>(group));
+  SliceRecord carrier{};
+  carrier.sensor_id = sensor_id;
+  carrier.rank = group;
+  carrier.avg_duration = value;
+  carrier.min_duration = value;
+  carrier.count = 1;
+  frame.records.push_back(carrier);
+  return frame;
+}
+
+std::optional<StandardFrameView> decode_standard_frame(
+    const JournalFrame& frame) {
+  if (frame.kind != JournalFrameKind::Standard) return std::nullopt;
+  if (frame.records.size() != 1) return std::nullopt;
+  StandardFrameView view;
+  view.sensor_id = frame.rank;
+  view.group = static_cast<int32_t>(static_cast<uint32_t>(frame.seq));
+  view.value = frame.records.front().avg_duration;
+  if (view.sensor_id < 0 || !(view.value > 0.0)) return std::nullopt;
+  return view;
 }
 
 JournalWriter::JournalWriter(std::string path, JournalWriterConfig cfg)

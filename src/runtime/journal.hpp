@@ -18,11 +18,17 @@
 //   record:  i32 sensor_id | i32 rank | f32 metric | f32 reserved |
 //            f64 t_begin | f64 t_end | f64 avg | f64 min | u32 count |
 //            u32 flags                       (= kRecordWireBytes bytes)
-// Kinds: 0 = batch delivery, 1 = stale-rank mark (seq/count unused).
+// Kinds: 0 = batch delivery, 1 = stale-rank mark (seq/count unused),
+//        2 = standard update — a peer shard's (sensor, group) standard-time
+//            minimum broadcast by the sharded tier. Field reuse keeps the
+//            wire format unchanged: rank carries the sensor id, seq the
+//            group (as u32), and a single carrier record holds the value in
+//            avg_duration. See make_standard_frame / decode_standard_frame.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,7 +36,7 @@
 
 namespace vsensor::rt {
 
-enum class JournalFrameKind : uint8_t { Batch = 0, StaleRank = 1 };
+enum class JournalFrameKind : uint8_t { Batch = 0, StaleRank = 1, Standard = 2 };
 
 struct JournalFrame {
   JournalFrameKind kind = JournalFrameKind::Batch;
@@ -43,6 +49,22 @@ struct JournalFrame {
 /// payload). Exposed so tests and the crash injector can construct torn
 /// prefixes of a real frame.
 std::string encode_journal_frame(const JournalFrame& frame);
+
+/// Build a Standard frame from one broadcast standard minimum (see the
+/// field-reuse note in the header comment).
+JournalFrame make_standard_frame(int32_t sensor_id, int32_t group,
+                                 double value);
+
+/// Decoded Standard frame payload, or unset if the frame is not a
+/// well-formed Standard frame (wrong kind, missing carrier record, or a
+/// value no real standard can take). Recovery skips malformed frames.
+struct StandardFrameView {
+  int32_t sensor_id = 0;
+  int32_t group = 0;
+  double value = 0.0;
+};
+std::optional<StandardFrameView> decode_standard_frame(
+    const JournalFrame& frame);
 
 struct JournalWriterConfig {
   /// User-space buffer; appends drain to the file once it exceeds this.

@@ -90,6 +90,12 @@ void AnalysisServer::mark_stale(int rank) {
   detector_->mark_stale(rank);
 }
 
+void AnalysisServer::apply_standard(int sensor_id, int group, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_->append(make_standard_frame(sensor_id, group, value));
+  detector_->apply_standard_update(sensor_id, group, value);
+}
+
 ServerCheckpoint AnalysisServer::build_checkpoint_locked() const {
   ServerCheckpoint ckpt;
   ckpt.sensor_count = static_cast<uint32_t>(detector_->sensor_count());
@@ -221,6 +227,20 @@ RecoveryReport AnalysisServer::recover_locked() {
         detector_->mark_stale(frame.rank);
         ++report.frames_replayed;
         break;
+      case JournalFrameKind::Standard: {
+        const auto view = decode_standard_frame(frame);
+        if (!view) {
+          ++report.frames_skipped;
+          break;
+        }
+        // Min-folds are idempotent, so re-applying updates the checkpoint
+        // already covers is harmless; order vs batch frames is preserved
+        // because the journal records the fold order.
+        detector_->apply_standard_update(view->sensor_id, view->group,
+                                         view->value);
+        ++report.frames_replayed;
+        break;
+      }
     }
   }
 

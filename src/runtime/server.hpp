@@ -99,6 +99,12 @@ class AnalysisServer final : public DeliverySink {
   /// exclusion survives a crash that happens before the next checkpoint.
   void mark_stale(int rank);
 
+  /// Journal a peer shard's (sensor, group) standard minimum and min-fold
+  /// it into the detector's board, under the same lock as deliveries —
+  /// journal order stays fold order, so shard recovery replays the exact
+  /// interleaving of batches and peer updates that produced the flags.
+  void apply_standard(int sensor_id, int group, double value);
+
   /// Snapshot the complete server state to the checkpoint file (atomic).
   void checkpoint();
 

@@ -95,7 +95,12 @@ void StreamingDetector::on_batch(std::span<const SliceRecord> batch) {
     // minimum includes every record.
     auto [std_it, std_new] = standard_.try_emplace({rec.sensor_id, g},
                                                    rec.avg_duration);
-    if (!std_new) std_it->second = std::min(std_it->second, rec.avg_duration);
+    bool std_lowered = std_new;
+    if (!std_new && rec.avg_duration < std_it->second) {
+      std_it->second = rec.avg_duration;
+      std_lowered = true;
+    }
+    if (publish_standards_ && std_lowered) lowered_.insert({rec.sensor_id, g});
     auto [rank_it, rank_new] = rank_standard_.try_emplace(
         {rec.sensor_id, g, rec.rank}, rec.avg_duration);
     if (!rank_new) rank_it->second = std::min(rank_it->second, rec.avg_duration);
@@ -186,13 +191,19 @@ void StreamingDetector::on_batch(const RecordBatch& batch) {
     if (!have_std || sensor_id != cached_sensor || g != cached_group) {
       auto [it, inserted] = standard_.try_emplace({sensor_id, g}, a);
       std_it = it;
-      if (!inserted) std_it->second = std::min(std_it->second, a);
+      bool std_lowered = inserted;
+      if (!inserted && a < std_it->second) {
+        std_it->second = a;
+        std_lowered = true;
+      }
+      if (publish_standards_ && std_lowered) lowered_.insert({sensor_id, g});
       cached_sensor = sensor_id;
       cached_group = g;
       have_std = true;
       have_rank = false;
-    } else {
-      std_it->second = std::min(std_it->second, a);
+    } else if (a < std_it->second) {
+      std_it->second = a;
+      if (publish_standards_) lowered_.insert({cached_sensor, cached_group});
     }
     if (!have_rank || rank != cached_rank) {
       auto [it, inserted] =
@@ -244,6 +255,33 @@ void StreamingDetector::mark_stale(int rank) {
 std::vector<int> StreamingDetector::stale_ranks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return {stale_.begin(), stale_.end()};
+}
+
+void StreamingDetector::enable_standard_publication(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  publish_standards_ = on;
+  if (!on) lowered_.clear();
+}
+
+std::vector<StandardUpdate> StreamingDetector::take_lowered_standards() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StandardUpdate> out;
+  out.reserve(lowered_.size());
+  // Publish each key's *current* board value, not the value at the moment
+  // of lowering: later records of the same key may have lowered it again
+  // before this drain, and the lowest value is the one peers need.
+  for (const auto& key : lowered_) {
+    out.push_back(StandardUpdate{key.first, key.second, standard_.at(key)});
+  }
+  lowered_.clear();
+  return out;
+}
+
+void StreamingDetector::apply_standard_update(int sensor_id, int group,
+                                              double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = standard_.try_emplace({sensor_id, group}, value);
+  if (!inserted) it->second = std::min(it->second, value);
 }
 
 StreamingDetector::RunningStats StreamingDetector::sensor_stats(
@@ -312,6 +350,7 @@ void StreamingDetector::restore(const Snapshot& snap) {
   sensor_records_ = snap.sensor_records;
   last_ = snap.last;
   stale_ = snap.stale;
+  lowered_.clear();
   observed_ = snap.observed;
   stale_records_ = snap.stale_records;
   degenerate_records_ = snap.degenerate_records;
@@ -328,11 +367,77 @@ void StreamingDetector::reset() {
   sensor_records_.assign(sensors_.size(), 0);
   last_.clear();
   stale_.clear();
+  lowered_.clear();
   observed_ = 0;
   stale_records_ = 0;
   degenerate_records_ = 0;
   intra_flags_ = 0;
   inter_flags_ = 0;
+}
+
+StreamingDetector::Snapshot StreamingDetector::merge_snapshots(
+    const Snapshot& a, const Snapshot& b) {
+  VS_CHECK_MSG(a.stats.size() == b.stats.size() &&
+                   a.sensor_records.size() == b.sensor_records.size(),
+               "cannot merge snapshots over different sensor tables");
+  Snapshot out = a;
+
+  // Standards are running minima, so the merged board is the pointwise min
+  // over the union of keys — order-independent.
+  for (const auto& [key, value] : b.standard) {
+    auto [it, inserted] = out.standard.try_emplace(key, value);
+    if (!inserted) it->second = std::min(it->second, value);
+  }
+  for (const auto& [key, value] : b.rank_standard) {
+    auto [it, inserted] = out.rank_standard.try_emplace(key, value);
+    if (!inserted) it->second = std::min(it->second, value);
+  }
+
+  // Cells are additive contributions; under a rank partition the key sets
+  // are disjoint and this reduces to a union.
+  for (const auto& [key, cell] : b.cells) {
+    CellSums& dst = out.cells[key];
+    dst.weight_over_avg += cell.weight_over_avg;
+    dst.weight += cell.weight;
+  }
+
+  // Welford state merges by Chan's parallel formula. Exact algebraically;
+  // the one field of the merged snapshot whose floating-point bits can
+  // differ from the sequential fold (not part of finalize()'s output).
+  for (size_t s = 0; s < out.stats.size(); ++s) {
+    const RunningStats& x = a.stats[s];
+    const RunningStats& y = b.stats[s];
+    if (x.count == 0) {
+      out.stats[s] = y;
+    } else if (y.count != 0) {
+      RunningStats m;
+      m.count = x.count + y.count;
+      const double na = static_cast<double>(x.count);
+      const double nb = static_cast<double>(y.count);
+      const double delta = y.mean - x.mean;
+      m.mean = x.mean + delta * nb / (na + nb);
+      m.m2 = x.m2 + y.m2 + delta * delta * na * nb / (na + nb);
+      out.stats[s] = m;
+    }
+  }
+  for (size_t s = 0; s < out.sensor_records.size(); ++s) {
+    out.sensor_records[s] += b.sensor_records[s];
+  }
+
+  // Last-slice state is keyed by (sensor, rank) — disjoint under a rank
+  // partition. If both sides carry a key anyway, the newer slice wins.
+  for (const auto& [key, slice] : b.last) {
+    auto [it, inserted] = out.last.try_emplace(key, slice);
+    if (!inserted && slice.t_end > it->second.t_end) it->second = slice;
+  }
+
+  out.stale.insert(b.stale.begin(), b.stale.end());
+  out.observed += b.observed;
+  out.stale_records += b.stale_records;
+  out.degenerate_records += b.degenerate_records;
+  out.intra_flags += b.intra_flags;
+  out.inter_flags += b.inter_flags;
+  return out;
 }
 
 AnalysisResult StreamingDetector::finalize() const {

@@ -32,6 +32,17 @@
 
 namespace vsensor::rt {
 
+/// One (sensor, dynamic-rule group) standard-time minimum in flight between
+/// analysis shards. The sharded tier broadcasts these after every routed
+/// delivery so each shard's standard board tracks the *global* running
+/// minimum — the invariant that makes per-shard inter-process flags equal
+/// the single-server run's (see runtime/sharded_tier.hpp).
+struct StandardUpdate {
+  int32_t sensor_id = 0;
+  int32_t group = 0;
+  double value = 0.0;
+};
+
 class StreamingDetector final : public BatchSink {
  public:
   /// The analysis horizon (`run_time`) and rank count are fixed up front,
@@ -85,6 +96,28 @@ class StreamingDetector final : public BatchSink {
   void mark_stale(int rank);
   std::vector<int> stale_ranks() const;
 
+  /// Transport-layer stale verdicts arriving through the collector (the
+  /// server-less wiring: BatchTransport::sweep_stale -> Collector ->
+  /// attached sink). Same semantics as mark_stale.
+  void on_stale_rank(int rank) override { mark_stale(rank); }
+
+  /// Opt in to lowered-standard tracking: every record that inserts or
+  /// lowers a (sensor, group) standard queues that key for publication.
+  /// Off by default so single-server folds pay nothing. Call before the
+  /// first batch folds.
+  void enable_standard_publication(bool on = true);
+
+  /// Drain the keys whose standards were lowered since the last call,
+  /// reporting each key's current (lowest) value. The sharded tier calls
+  /// this after every routed delivery and broadcasts the result.
+  std::vector<StandardUpdate> take_lowered_standards();
+
+  /// Fold one externally supplied standard (a peer shard's minimum) into
+  /// the board: pure min, touching no record counters and never queueing
+  /// for publication (every peer receives the same broadcast). Idempotent,
+  /// so journal replay may re-apply updates a checkpoint already covers.
+  void apply_standard_update(int sensor_id, int group, double value);
+
   uint64_t observed_records() const;
   /// Records dropped because their rank was already marked stale.
   uint64_t stale_records() const;
@@ -136,6 +169,14 @@ class StreamingDetector final : public BatchSink {
   };
   Snapshot snapshot() const;
 
+  /// Merge two snapshots taken over disjoint rank partitions of one run
+  /// (the sharded tier's reduction step). Rank-keyed state (cells, rank
+  /// standards, last slices, stale sets) is a disjoint union, standards
+  /// fold by min, integer counters sum, and Welford statistics combine via
+  /// Chan's parallel formula (algebraically exact; the only field whose
+  /// floating-point result can differ from the sequential fold order).
+  static Snapshot merge_snapshots(const Snapshot& a, const Snapshot& b);
+
   /// Replace the running state with `snap` (recovery). The snapshot must
   /// come from a detector with the same sensor table.
   void restore(const Snapshot& snap);
@@ -162,6 +203,12 @@ class StreamingDetector final : public BatchSink {
   std::vector<uint64_t> sensor_records_;    ///< per sensor id
   std::map<std::pair<int, int>, LastSlice> last_;
   std::set<int> stale_;
+  /// Publication queue (enable_standard_publication): (sensor, group) keys
+  /// whose standard a folded record inserted or lowered. Transient routing
+  /// state — never part of Snapshot; a recovering shard repopulates it by
+  /// replaying its journal and re-broadcasts (idempotent min-folds).
+  bool publish_standards_ = false;
+  std::set<std::pair<int, int>> lowered_;
   uint64_t observed_ = 0;
   uint64_t stale_records_ = 0;
   uint64_t degenerate_records_ = 0;

@@ -296,7 +296,9 @@ bool BatchTransport::stale_locked(const Channel& ch, int rank,
                                   double now) const {
   if (faults_ != nullptr && faults_->killed(rank, now)) return true;
   const double last = ch.stats.last_delivery_time;
-  if (last < 0.0) return now > cfg_.stale_after;
+  // A channel that never delivered ages from its creation time, not from
+  // t=0 — a late-joining rank gets a full stale_after grace period.
+  if (last < 0.0) return now - ch.first_seen > cfg_.stale_after;
   return now - last > cfg_.stale_after;
 }
 
@@ -333,6 +335,26 @@ size_t BatchTransport::sweep_stale(double now,
     TransportInstruments::get().stale.add(fresh.size());
   })
   return fresh.size();
+}
+
+std::vector<int> BatchTransport::reported_stale_ranks() const {
+  std::vector<int> reported;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t r = 0; r < channels_.size(); ++r) {
+    if (channels_[r].reported_stale) reported.push_back(static_cast<int>(r));
+  }
+  return reported;
+}
+
+int BatchTransport::add_rank(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Channel ch;
+  ch.first_seen = now;
+  channels_.push_back(std::move(ch));
+  if (cfg_.channel_ring_capacity > 0) {
+    rings_.push_back(std::make_unique<RingChannel>(cfg_.channel_ring_capacity));
+  }
+  return static_cast<int>(channels_.size()) - 1;
 }
 
 void BatchTransport::fold_ring_locked(size_t rank, RankChannelStats& s) const {

@@ -187,14 +187,29 @@ class BatchTransport {
   void drain();
 
   /// Ranks considered stale at `now`: transport killed by the fault model,
-  /// or silent for longer than `stale_after` (a rank that never delivered
-  /// anything is stale once the run outlives the threshold).
+  /// or silent for longer than `stale_after` since the channel's last
+  /// delivery (or, for a channel that never delivered, since it was
+  /// created — job start for construction-time channels, add_rank() time
+  /// for late joiners).
   std::vector<int> stale_ranks(double now) const;
 
   /// Invoke `on_stale` once per newly stale rank at `now` (idempotent per
   /// rank) and return how many ranks were newly reported. The streaming
   /// detector's mark_stale hooks in here.
   size_t sweep_stale(double now, const std::function<void(int)>& on_stale);
+
+  /// Ranks sweep_stale() has reported so far. This — not a raw
+  /// stale_ranks(now) recomputation — is the set the detectors were told
+  /// about, so session reporting must read it to stay in agreement with
+  /// the journaled exclusions.
+  std::vector<int> reported_stale_ranks() const;
+
+  /// Grow the channel table by one rank at virtual time `now` (elastic
+  /// jobs: a rank joining mid-run). The new channel ages toward staleness
+  /// from `now`, not from job start. Returns the new rank id. Not safe
+  /// against concurrent ship()/pump() — call from the coordinator between
+  /// communication phases.
+  int add_rank(double now);
 
   RankChannelStats rank_stats(int rank) const;
   /// Field-wise sum over all ranks (last_delivery_time = max, next_seq = sum).
@@ -217,6 +232,11 @@ class BatchTransport {
     RankChannelStats stats;
     SeqTracker seen;
     bool reported_stale = false;
+    /// Virtual time this channel came into existence. Construction-time
+    /// channels are born with the job (t=0); channels added mid-run via
+    /// add_rank() age from their creation time, so a late-joining rank is
+    /// not instantly stale just because it has not delivered yet.
+    double first_seen = 0.0;
   };
 
   /// One batch parked on a rank's SPSC ring between the rank thread's

@@ -7,6 +7,7 @@
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "runtime/server.hpp"
+#include "runtime/sharded_tier.hpp"
 #include "support/error.hpp"
 #include "workloads/apps.hpp"
 
@@ -85,7 +86,20 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
   const auto faults = sim_config.transport_faults;
   std::unique_ptr<rt::BatchTransport> transport;
   if (collector != nullptr) {
-    if (options.server != nullptr) {
+    VS_CHECK_MSG(options.server == nullptr || options.analysis_tier == nullptr,
+                 "attach either an analysis server or a sharded tier, not both");
+    if (options.analysis_tier != nullptr) {
+      // Sharded fan-in: deliveries route by rank to one of N crash-
+      // tolerant shards; each shard journals, dedups, and folds its rank
+      // partition, and lowered standards broadcast between shards.
+      transport = std::make_unique<rt::BatchTransport>(
+          static_cast<rt::DeliverySink*>(options.analysis_tier),
+          sim_config.ranks, options.transport, faults.get());
+      if (faults != nullptr) {
+        options.analysis_tier->set_crash_plan(faults->server_crash_schedule(),
+                                              faults->schedule_seed());
+      }
+    } else if (options.server != nullptr) {
       // Crash-tolerant path: deliveries carry their transport metadata to
       // the server, which journals and dedups them before the collector
       // sees anything. Crashes fire per the fault model's schedule.
@@ -146,18 +160,28 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
   runtimes.clear();
   if (transport != nullptr) {
     transport->drain();
-    if (options.server != nullptr) {
-      // Journal the end-of-run stale verdicts so a crash after this point
-      // would recover the same exclusions.
-      transport->sweep_stale(run.makespan,
-                             [&](int r) { options.server->mark_stale(r); });
-    }
+    // Always sweep the end-of-run stale verdicts into the detection layer:
+    // the journal entry needs an analysis server (or tier), but the
+    // detector's exclusion must not — a server-less run's streaming
+    // detector hears about stale ranks through the collector's sink hook.
+    transport->sweep_stale(run.makespan, [&](int r) {
+      if (options.server != nullptr) {
+        options.server->mark_stale(r);
+      } else if (options.analysis_tier != nullptr) {
+        options.analysis_tier->mark_stale(r);
+      } else {
+        collector->notify_stale(r);
+      }
+    });
     run.transport.reserve(static_cast<size_t>(transport->ranks()));
     for (int r = 0; r < transport->ranks(); ++r) {
       run.transport.push_back(transport->rank_stats(r));
     }
     run.transport_totals = transport->totals();
-    run.stale_ranks = transport->stale_ranks(run.makespan);
+    // Report the swept set — what the detectors were actually told — not a
+    // raw staleness recomputation that can disagree with the journaled
+    // exclusions (e.g. a rank that recovered after being swept).
+    run.stale_ranks = transport->reported_stale_ranks();
   }
   VS_OBS_ONLY(if (obs::enabled()) {
     vs_obs_span.set_virtual(0.0, run.makespan);

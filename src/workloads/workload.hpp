@@ -23,6 +23,7 @@
 
 namespace vsensor::rt {
 class AnalysisServer;
+class ShardedAnalysisTier;
 }
 
 namespace vsensor::workloads {
@@ -119,6 +120,14 @@ struct RunOptions {
   /// model's server_crash_schedule() becomes the server's crash plan. The
   /// `collector` passed to run_workload must be the one this server wraps.
   rt::AnalysisServer* server = nullptr;
+  /// Sharded analysis tier (optional, not owned; mutually exclusive with
+  /// `server`). When set, deliveries route by rank to one of its N shards
+  /// — the tier's shard count IS the run's analysis shard count — and the
+  /// fault model's server_crash_schedule() becomes every shard's crash
+  /// plan. Results come from tier->finalize(); the `collector` argument is
+  /// ignored for storage (each shard owns its own) but still receives the
+  /// sensor table for callers that inspect it.
+  rt::ShardedAnalysisTier* analysis_tier = nullptr;
 };
 
 struct WorkloadRun {
@@ -130,8 +139,10 @@ struct WorkloadRun {
   std::vector<rt::RankChannelStats> transport;
   /// Field-wise sum over ranks of `transport`.
   rt::RankChannelStats transport_totals;
-  /// Ranks whose transport was stale at the end of the run (killed, or
-  /// silent longer than the stale threshold).
+  /// Ranks the end-of-run stale sweep reported (killed, or silent longer
+  /// than the stale threshold) — the exact set the detection layer was
+  /// told to exclude, so it always equals StreamingDetector::stale_ranks()
+  /// of whatever detector the run fed.
   std::vector<int> stale_ranks;
 
   /// Pm - 1: the paper's "workload max error" (Table 1).

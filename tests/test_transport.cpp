@@ -368,6 +368,54 @@ TEST(Transport, SweepStaleReportsEachRankOnce) {
   EXPECT_EQ(reported, (std::vector<int>{0, 1, 2}));
 }
 
+// Regression: a channel created mid-run (late joiner) must age from its
+// first-contact time, not from t=0 — the old code treated "never delivered"
+// as "born at time zero" and insta-flagged any rank joining after
+// stale_after elapsed.
+TEST(Transport, LateJoinedRankAgesFromFirstContact) {
+  Collector collector;
+  TransportConfig cfg;
+  cfg.stale_after = 1.0;
+  BatchTransport transport(&collector, 1, cfg);
+  EXPECT_TRUE(transport.ship(0, {{make_record(0, 0, 5.0, 2.0)}}, 5.0));
+
+  const int late = transport.add_rank(/*now=*/5.0);
+  EXPECT_EQ(late, 1);
+  // Not stale until a full stale_after has passed since first contact.
+  EXPECT_TRUE(transport.stale_ranks(5.5).empty());
+  EXPECT_TRUE(transport.stale_ranks(6.0).empty());
+  EXPECT_TRUE(transport.ship(0, {{make_record(0, 0, 6.2, 2.0)}}, 6.2));
+  EXPECT_EQ(transport.stale_ranks(6.5), std::vector<int>{late});
+
+  // The late channel is a first-class citizen: a delivery refreshes it.
+  EXPECT_TRUE(transport.ship(late, {{make_record(0, late, 6.6, 2.0)}}, 6.6));
+  EXPECT_TRUE(transport.ship(0, {{make_record(0, 0, 6.6, 2.0)}}, 6.6));
+  EXPECT_TRUE(transport.stale_ranks(7.0).empty());
+}
+
+// Regression: the reported stale set is the sweep's verdict, not a raw
+// recomputation. A rank that recovers after it was swept stays in the
+// reported set (the analysis already excluded it) even though a fresh
+// stale_ranks() no longer lists it.
+TEST(Transport, ReportedStaleSetSurvivesLateRecovery) {
+  Collector collector;
+  TransportConfig cfg;
+  cfg.stale_after = 1.0;
+  BatchTransport transport(&collector, 2, cfg);
+  EXPECT_TRUE(transport.ship(0, {{make_record(0, 0, 1.0, 2.0)}}, 1.0));
+
+  std::vector<int> swept;
+  transport.sweep_stale(2.5, [&swept](int r) { swept.push_back(r); });
+  EXPECT_EQ(swept, (std::vector<int>{0, 1}));
+  EXPECT_EQ(transport.reported_stale_ranks(), swept);
+
+  // Rank 0 comes back. The raw recomputation forgets it was ever swept;
+  // the reported set must not.
+  EXPECT_TRUE(transport.ship(0, {{make_record(0, 0, 3.0, 2.0)}}, 3.0));
+  EXPECT_EQ(transport.stale_ranks(3.5), std::vector<int>{1});
+  EXPECT_EQ(transport.reported_stale_ranks(), (std::vector<int>{0, 1}));
+}
+
 // ---------------------------------------------------------------------------
 // BatchStage integration
 // ---------------------------------------------------------------------------
@@ -839,6 +887,59 @@ TEST(TransportWorkload, FaultInjectionAcceptanceScenario) {
                                               cg->sensors(), ranks, makespan);
   expect_same_matrices(batch, streaming.finalize());
   EXPECT_EQ(streaming.observed_records(), totals.records_delivered);
+}
+
+// Regression: a server-less run (collector + streaming sink, no
+// AnalysisServer) must still sweep stale ranks into the detector. The old
+// wiring guarded the sweep behind `options.server != nullptr`, so the
+// streaming detector never heard about the killed rank and its stale set
+// diverged from the run's.
+TEST(TransportWorkload, ServerlessRunSweepsStaleIntoDetector) {
+  const auto cg = workloads::make_workload("CG");
+  const int ranks = 8;
+
+  // Probe run for the makespan (fault injection never touches it).
+  auto probe_cfg = workloads::baseline_config(ranks);
+  probe_cfg.ranks_per_node = 4;
+  Collector probe;
+  const auto probe_run =
+      workloads::run_workload(*cg, probe_cfg, quick_options(), &probe);
+  const double makespan = probe_run.makespan;
+  ASSERT_GT(makespan, 0.0);
+
+  simmpi::FaultConfig fcfg;
+  fcfg.kill_rank = 3;
+  fcfg.kill_time = makespan / 2.0;
+  auto cfg = workloads::baseline_config(ranks);
+  cfg.ranks_per_node = 4;
+  cfg.transport_faults = std::make_shared<simmpi::FaultInjector>(fcfg);
+
+  DetectorConfig dcfg;
+  dcfg.matrix_resolution = makespan / 25.0;
+  Collector collector;
+  collector.set_sensors(cg->sensors());
+  StreamingDetector streaming(dcfg, cg->sensors(), ranks, makespan);
+  collector.attach_sink(&streaming);
+
+  auto options = quick_options();
+  options.transport.stale_after = makespan / 4.0;
+  // Deliberately no server and no tier: the sweep must still run.
+  const auto run = workloads::run_workload(*cg, cfg, options, &collector);
+
+  // The killed rank is stale in the run's report...
+  ASSERT_NE(std::find(run.stale_ranks.begin(), run.stale_ranks.end(), 3),
+            run.stale_ranks.end());
+  // ...and the streaming detector heard the same verdicts: the reported
+  // set IS whatever the sink was told (set equality, satellite contract).
+  EXPECT_EQ(run.stale_ranks, streaming.stale_ranks());
+  EXPECT_EQ(streaming.finalize().stale_ranks, run.stale_ranks);
+
+  // The sweep happens at end of run, after every record was folded, so the
+  // analysis still equals a batch analysis over the delivered records.
+  const Detector detector(dcfg);
+  const auto batch = detector.analyze_records(collector.records(),
+                                              cg->sensors(), ranks, makespan);
+  expect_same_matrices(batch, streaming.finalize());
 }
 
 }  // namespace

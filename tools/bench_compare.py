@@ -24,6 +24,11 @@ import sys
 SCHEMA = "vsensor-bench/1"
 
 
+class StructuralError(Exception):
+    """Input that makes the comparison meaningless (exit 2), as opposed to a
+    performance regression (exit 1)."""
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -36,7 +41,12 @@ def load(path):
         sys.exit(2)
     metrics = {}
     for m in doc.get("metrics", []):
-        metrics[m["name"]] = m
+        name = m["name"]
+        if name in metrics:
+            # Silently keeping the last occurrence would gate on whichever
+            # measurement happened to be emitted second.
+            raise StructuralError(f"{path}: duplicate metric {name!r}")
+        metrics[name] = m
     return metrics
 
 
@@ -53,7 +63,15 @@ def compare(baseline, current, threshold):
         if cur is None:
             lines.append(f"  MISSING  {name}: was p50 {base['p50']:.3f} {base['unit']}")
             continue
-        direction = cur.get("direction", base.get("direction", "higher"))
+        base_dir = base.get("direction")
+        cur_dir = cur.get("direction")
+        if base_dir and cur_dir and base_dir != cur_dir:
+            # The metric changed meaning between the two files; a delta in
+            # either direction is uninterpretable.
+            raise StructuralError(
+                f"{name}: direction mismatch (baseline {base_dir!r}, "
+                f"current {cur_dir!r})")
+        direction = cur_dir or base_dir or "higher"
         b, c = base["p50"], cur["p50"]
         if b == 0:
             lines.append(f"  SKIP     {name}: baseline p50 is 0")
@@ -99,6 +117,30 @@ def self_test():
     }
     _, regressions = compare(base, noisy, 0.10)
     assert regressions == [], regressions
+    # A base-vs-current direction mismatch is structural, not a regression.
+    flipped = {"thr": dict(base["thr"], direction="lower")}
+    try:
+        compare(base, flipped, 0.10)
+    except StructuralError:
+        pass
+    else:
+        raise AssertionError("direction mismatch not detected")
+    # Duplicate metric names within one file are structural corruption.
+    import tempfile
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
+        json.dump({"schema": SCHEMA,
+                   "metrics": [dict(base["thr"]), dict(base["thr"], p50=50.0)]},
+                  fh)
+        dup_path = fh.name
+    try:
+        load(dup_path)
+    except StructuralError:
+        pass
+    else:
+        raise AssertionError("duplicate metric name not detected")
+    finally:
+        import os
+        os.unlink(dup_path)
     print("bench_compare: self-test passed")
 
 
@@ -120,9 +162,13 @@ def main():
     if not args.baseline or not args.current:
         ap.error("need BASELINE and CURRENT (or --self-test)")
 
-    baseline = load(args.baseline)
-    current = load(args.current)
-    lines, regressions = compare(baseline, current, args.threshold)
+    try:
+        baseline = load(args.baseline)
+        current = load(args.current)
+        lines, regressions = compare(baseline, current, args.threshold)
+    except StructuralError as exc:
+        print(f"bench_compare: {exc}", file=sys.stderr)
+        return 2
     print(f"bench_compare: {args.baseline} vs {args.current} "
           f"(threshold {args.threshold:.0%})")
     for line in lines:
