@@ -15,7 +15,12 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "bench_json.hpp"
+#include "obs/events.hpp"
+#include "obs/health.hpp"
+#include "obs/identity.hpp"
 #include "report/report.hpp"
 #include "runtime/collector.hpp"
 #include "runtime/sharded_tier.hpp"
@@ -136,6 +141,64 @@ int main(int argc, char** argv) {
   for (const auto& m : out.metrics()) {
     std::printf("  %-32s p50 %12.3f %s\n", m.name.c_str(), m.p50,
                 m.unit.c_str());
+  }
+
+  // Health-plane pass: one more sequential replay with the event log and
+  // health sampler wired, exporting the JSONL artifacts CI uploads. The
+  // replay is single-threaded, so the snapshot stream and event log are
+  // bit-identical across reruns of the same seed.
+  {
+    rt::ShardedTierConfig tcfg;
+    tcfg.shards = shards;
+    tcfg.journal_path = "fanin_smoke.wal.obs";
+    tcfg.checkpoint_path = "fanin_smoke.ckpt.obs";
+    tcfg.journal.commit_every_frames = 256;
+    tcfg.detector = dcfg;
+    rt::ShardedAnalysisTier tier(tcfg, cg->sensors(), ranks, run.makespan);
+
+    obs::RunIdentity id;
+    id.tool = "fanin_smoke";
+    id.seed = opts.params.seed;
+    id.config = "CG x" + std::to_string(ranks) + " shards=" +
+                std::to_string(shards);
+    id.record_layout_bytes = rt::kRecordWireBytes;
+
+    obs::EventLog events;
+    obs::HealthSampler health(
+        obs::HealthSamplerConfig{run.makespan / 64.0, size_t{1} << 14});
+    tier.set_event_log(&events);
+    tier.set_run_identity(id);
+    health.add_source("tier", &tier);
+
+    for (size_t rank = 0; rank < stream.by_rank.size(); ++rank) {
+      const auto& src = stream.by_rank[rank];
+      uint64_t seq = 0;
+      for (size_t i = 0; i < src.size(); i += 32) {
+        const size_t n = std::min(size_t{32}, src.size() - i);
+        const double now = src[i + n - 1].t_end;
+        tier.on_delivery(static_cast<int>(rank), seq++,
+                         std::span<const rt::SliceRecord>(src.data() + i, n),
+                         now);
+        health.maybe_sample(now);
+      }
+    }
+    health.sample_now(run.makespan);
+    {
+      std::ofstream hout("fanin_smoke.health.jsonl");
+      health.write_jsonl(hout, &id);
+      std::ofstream eout("fanin_smoke.events.jsonl");
+      events.write_jsonl(eout, &id);
+    }
+    std::printf(
+        "wrote fanin_smoke.health.jsonl (%zu snapshots), "
+        "fanin_smoke.events.jsonl (%zu events, %llu dropped)\n",
+        health.snapshot_count(), events.size(),
+        static_cast<unsigned long long>(events.dropped()));
+    for (int k = 0; k < shards; ++k) {
+      const auto& scfg = tier.server(k).config();
+      std::remove(scfg.journal_path.c_str());
+      std::remove(scfg.checkpoint_path.c_str());
+    }
   }
   return 0;
 }

@@ -1,18 +1,25 @@
 // Self-telemetry smoke run: drives a full workload through the collection
 // pipeline with observability enabled, then prints the metrics snapshot,
-// the per-stage overhead attribution, and exports the JSONL metrics and
-// Chrome trace artifacts CI uploads. Checks the three claims the
-// observability layer makes:
+// the per-stage overhead attribution, and exports the JSONL metrics,
+// Chrome trace, health snapshot, and event log artifacts CI uploads.
+// Checks the three claims the observability layer makes:
 //  * the paper's §6.2 overhead bound — the instrumented run's virtual
-//    makespan exceeds the plain run's by less than 4%;
+//    makespan exceeds the plain run's by less than 4%, with the health
+//    sampler live on the delivery path;
 //  * zero interference — detection matrices are byte-identical with
-//    telemetry on and off;
+//    telemetry (and the health plane) on and off;
 //  * the exports are well-formed and non-empty.
+// Closes with the BENCH_obs.json micro-suite (hook cost enabled vs
+// disabled, health snapshot cost) for the bench-trajectory gate.
 #include <cstdio>
 #include <chrono>
 #include <fstream>
 #include <string>
 
+#include "bench_json.hpp"
+#include "obs/events.hpp"
+#include "obs/health.hpp"
+#include "obs/identity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +46,15 @@ workloads::RunOptions options() {
   return opts;
 }
 
+obs::RunIdentity identity() {
+  obs::RunIdentity id;
+  id.tool = "metrics_smoke";
+  id.seed = options().params.seed;
+  id.config = "CG x" + std::to_string(kRanks);
+  id.record_layout_bytes = rt::kRecordWireBytes;
+  return id;
+}
+
 struct PipelineOutcome {
   workloads::WorkloadRun run;
   std::string matrices_csv;  ///< all three finalized matrices, concatenated
@@ -47,8 +63,11 @@ struct PipelineOutcome {
 // One full collection-and-detection pass: CG through the batch transport
 // into a sharded collector with the streaming detector attached. Identical
 // inputs yield identical CSV whatever the telemetry state — that is the
-// zero-interference claim this binary pins.
-PipelineOutcome run_pipeline(const workloads::Workload& w) {
+// zero-interference claim this binary pins. `health`/`events` (optional)
+// put the live health plane on the delivery path for the run.
+PipelineOutcome run_pipeline(const workloads::Workload& w,
+                             obs::HealthSampler* health = nullptr,
+                             obs::EventLog* events = nullptr) {
   auto cfg = workloads::baseline_config(kRanks);
   cfg.ranks_per_node = 4;
 
@@ -62,15 +81,74 @@ PipelineOutcome run_pipeline(const workloads::Workload& w) {
   dcfg.matrix_resolution = horizon / 50.0;
   rt::StreamingDetector streaming(dcfg, w.sensors(), kRanks, horizon);
   collector.attach_sink(&streaming);
+  // Server-less wiring: run_workload only reaches the transport and
+  // collector, so the detector's flag events and gauges register here.
+  if (events != nullptr) {
+    streaming.set_event_hooks(obs::EventHooks{events, nullptr, -1});
+  }
+  if (health != nullptr) health->add_source("detector", &streaming);
 
+  auto opts = options();
+  opts.health = health;
+  opts.events = events;
   PipelineOutcome out;
-  out.run = workloads::run_workload(w, cfg, options(), &collector);
+  out.run = workloads::run_workload(w, cfg, opts, &collector);
+  if (health != nullptr) health->remove_source("detector");
   const auto analysis = streaming.finalize();
   for (int t = 0; t < rt::kSensorTypeCount; ++t) {
     out.matrices_csv +=
         report::render_csv(analysis.matrices[static_cast<size_t>(t)]);
   }
   return out;
+}
+
+// BENCH_obs.json: the observability layer's own costs, tracked across PRs
+// by tools/bench_compare.py against bench/baseline/BENCH_obs.json.
+void run_obs_bench(const std::string& path) {
+  bench::BenchReporter rep("obs");
+  constexpr size_t kReps = 7;
+  constexpr int kIters = 1 << 16;
+  auto& reg = obs::MetricsRegistry::global();
+  auto& ctr = reg.counter("bench.hook_cost");
+
+  const auto hook_loop = [&ctr]() {
+    return bench::time_seconds([&ctr] {
+      for (int i = 0; i < kIters; ++i) {
+        VS_OBS_SCOPED_STAGE(obs::Stage::CollectorIngest);
+        ctr.add();
+      }
+    }) / kIters * 1e9;
+  };
+  obs::set_enabled(true);
+  rep.measure("hook_cost_enabled", "ns/op", bench::Direction::kLowerIsBetter,
+              kReps, hook_loop);
+  obs::set_enabled(false);
+  rep.measure("hook_cost_disabled", "ns/op", bench::Direction::kLowerIsBetter,
+              kReps, hook_loop);
+
+  // Health snapshot cost over a realistically wired sampler (collector +
+  // detector sources, ~15 gauges per snapshot).
+  const auto cg = workloads::make_workload("CG");
+  rt::Collector collector;
+  collector.set_sensors(cg->sensors());
+  rt::StreamingDetector streaming(rt::DetectorConfig{}, cg->sensors(), kRanks,
+                                  64.0);
+  obs::HealthSampler sampler;
+  sampler.add_source("collector", &collector);
+  sampler.add_source("detector", &streaming);
+  constexpr int kSnaps = 512;
+  rep.measure("health_snapshot", "us/snapshot",
+              bench::Direction::kLowerIsBetter, kReps, [&] {
+                sampler.clear();
+                return bench::time_seconds([&] {
+                  for (int i = 0; i < kSnaps; ++i) {
+                    sampler.sample_now(static_cast<double>(i));
+                  }
+                }) / kSnaps * 1e6;
+              });
+
+  rep.write(path);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace
@@ -80,8 +158,14 @@ int main(int argc, char** argv) {
       argc > 1 ? argv[1] : "metrics_smoke.metrics.jsonl";
   const std::string trace_path =
       argc > 2 ? argv[2] : "metrics_smoke.trace.json";
+  const std::string health_path =
+      argc > 3 ? argv[3] : "metrics_smoke.health.jsonl";
+  const std::string events_path =
+      argc > 4 ? argv[4] : "metrics_smoke.events.jsonl";
+  const std::string bench_path = argc > 5 ? argv[5] : "BENCH_obs.json";
 
   const auto cg = workloads::make_workload("CG");
+  const auto id = identity();
 
   std::printf("metrics smoke: CG x%d ranks, self-telemetry %s at compile "
               "time\n\n",
@@ -94,11 +178,13 @@ int main(int argc, char** argv) {
   plain_cfg.ranks_per_node = 4;
   const auto run_plain = workloads::run_workload(*cg, plain_cfg, plain);
 
-  // --- instrumented run with telemetry enabled --------------------------
+  // --- instrumented run with telemetry + live health plane enabled ------
   obs::set_enabled(true);
   obs::reset_all();
+  obs::HealthSampler health;
+  obs::EventLog events;
   const auto wall_begin = std::chrono::steady_clock::now();
-  const auto with_obs = run_pipeline(*cg);
+  const auto with_obs = run_pipeline(*cg, &health, &events);
   const double workload_wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_begin)
@@ -116,21 +202,36 @@ int main(int argc, char** argv) {
                                                with_obs.run.stale_ranks)
                           .c_str());
 
-  // --- exports (CI uploads these) ---------------------------------------
+  // --- exports (CI uploads these), all stamped with the run identity ----
   {
     std::ofstream out(metrics_path);
     VS_CHECK_MSG(static_cast<bool>(out), "cannot open metrics output");
-    obs::MetricsRegistry::global().write_jsonl(out);
+    obs::MetricsRegistry::global().write_jsonl(out, &id);
   }
   {
     std::ofstream out(trace_path);
     VS_CHECK_MSG(static_cast<bool>(out), "cannot open trace output");
-    obs::SpanTracer::global().write_chrome_trace(out);
+    obs::SpanTracer::global().write_chrome_trace(out, &id);
   }
-  std::printf("exports: %s (%zu instruments), %s (%zu spans)\n",
+  {
+    std::ofstream out(health_path);
+    VS_CHECK_MSG(static_cast<bool>(out), "cannot open health output");
+    health.write_jsonl(out, &id);
+  }
+  {
+    std::ofstream out(events_path);
+    VS_CHECK_MSG(static_cast<bool>(out), "cannot open events output");
+    events.write_jsonl(out, &id);
+  }
+  std::printf("exports: %s (%zu instruments), %s (%zu spans), %s (%zu "
+              "snapshots), %s (%zu events)\n",
               metrics_path.c_str(),
               obs::MetricsRegistry::global().instrument_count(),
-              trace_path.c_str(), obs::SpanTracer::global().span_count());
+              trace_path.c_str(), obs::SpanTracer::global().span_count(),
+              health_path.c_str(), health.snapshot_count(),
+              events_path.c_str(), events.size());
+  VS_CHECK_MSG(health.snapshot_count() > 0,
+               "health sampler took no snapshots on the delivery path");
 
   // Session v2 round-trip with transport counters, as the offline report
   // tool consumes it.
@@ -158,14 +259,17 @@ int main(int argc, char** argv) {
   VS_CHECK_MSG(with_obs.matrices_csv == without_obs.matrices_csv,
                "telemetry changed the detection matrices");
 
-  // --- the paper's overhead bound, self-measured ------------------------
+  // --- the paper's overhead bound, self-measured with sampling live -----
   VS_CHECK_MSG(report.virtual_overhead_seconds > 0.0,
                "instrumentation charged no probe cost");
   VS_CHECK_MSG(report.virtual_overhead_fraction < 0.04,
                "probe overhead exceeds the paper's 4% bound");
 
-  std::printf("\nall checks hold: overhead %.3f%% < 4%%, matrices identical "
-              "with telemetry on/off\n",
+  run_obs_bench(bench_path);
+
+  std::printf("\nall checks hold: overhead %.3f%% < 4%% with the health "
+              "sampler live, matrices identical with the health plane "
+              "on/off\n",
               report.virtual_overhead_fraction * 100.0);
   return 0;
 }

@@ -6,9 +6,12 @@
 // written, checkpoint cadence, and per-recovery replay latency. CI runs
 // this binary and archives the journal and checkpoint it leaves behind.
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
+#include "obs/events.hpp"
+#include "obs/identity.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/detector.hpp"
 #include "runtime/journal.hpp"
@@ -33,6 +36,15 @@ workloads::RunOptions options() {
   return opts;
 }
 
+obs::RunIdentity identity() {
+  obs::RunIdentity id;
+  id.tool = "recovery_smoke";
+  id.seed = 0xFA17;
+  id.config = "CG x" + std::to_string(kRanks) + " crashes=3";
+  id.record_layout_bytes = rt::kRecordWireBytes;
+  return id;
+}
+
 struct RunOutput {
   rt::AnalysisResult analysis;
   uint64_t ingested = 0;
@@ -41,10 +53,12 @@ struct RunOutput {
   uint64_t recoveries = 0;
   uint64_t journal_bytes = 0;
   std::vector<rt::RecoveryReport> reports;
+  std::string flight_path;
 };
 
 RunOutput run_once(const workloads::Workload& workload, double makespan,
-                   const std::string& tag, std::vector<double> crash_times) {
+                   const std::string& tag, std::vector<double> crash_times,
+                   obs::EventLog* events = nullptr) {
   simmpi::FaultConfig fcfg;
   fcfg.drop_prob = 0.05;
   fcfg.duplicate_prob = 0.05;
@@ -69,9 +83,12 @@ RunOutput run_once(const workloads::Workload& workload, double makespan,
   scfg.checkpoint_every_batches = 64;
   std::remove(scfg.checkpoint_path.c_str());
   rt::AnalysisServer server(scfg, &collector, &streaming);
+  std::remove(server.flight_path().c_str());
+  if (events != nullptr) server.set_run_identity(identity());
 
   auto opts = options();
   opts.server = &server;
+  opts.events = events;
   workloads::run_workload(workload, cfg, opts, &collector);
   server.checkpoint();  // final durable state for the artifact upload
 
@@ -81,7 +98,8 @@ RunOutput run_once(const workloads::Workload& workload, double makespan,
                 server.crashes(),
                 static_cast<uint64_t>(server.recoveries().size()),
                 server.journal()->committed_bytes(),
-                server.recoveries()};
+                server.recoveries(),
+                server.flight_path()};
   return out;
 }
 
@@ -98,9 +116,10 @@ int main() {
   const double makespan = clean.makespan;
 
   const auto smooth = run_once(*cg, makespan, "uninterrupted", {});
+  obs::EventLog events;
   const auto crashed = run_once(
       *cg, makespan, "crashed",
-      {makespan * 0.25, makespan * 0.55, makespan * 0.85});
+      {makespan * 0.25, makespan * 0.55, makespan * 0.85}, &events);
 
   std::printf(
       "crash-recovery smoke: CG x%d ranks, transport faults on, server "
@@ -147,6 +166,28 @@ int main() {
   for (const auto& r : crashed.reports) {
     VS_CHECK_MSG(r.torn_bytes > 0, "crash left no torn frame to salvage");
   }
+  // The health plane saw every crash: structured events with virtual-time
+  // context, and a flight dump left by the (simulated) dying server.
+  VS_CHECK_MSG(events.count(obs::EventKind::Crash) == 3,
+               "event log missed a crash");
+  VS_CHECK_MSG(events.count(obs::EventKind::Recovery) == 3,
+               "event log missed a recovery");
+  VS_CHECK_MSG(events.count(obs::EventKind::JournalSalvage) == 3,
+               "event log missed a torn-journal salvage");
+  {
+    const auto id = identity();
+    std::ofstream out("recovery_smoke.events.jsonl");
+    VS_CHECK_MSG(static_cast<bool>(out), "cannot open events output");
+    events.write_jsonl(out, &id);
+  }
+  {
+    std::ifstream flight(crashed.flight_path);
+    VS_CHECK_MSG(static_cast<bool>(flight),
+                 "crashed server left no flight dump");
+  }
+  std::printf("\nwrote recovery_smoke.events.jsonl (%zu events); flight "
+              "dump at %s\n",
+              events.size(), crashed.flight_path.c_str());
 
   // Recovered analysis equals the uninterrupted analysis, cell for cell
   // (ULP tolerance: threaded arrival interleaving differs between runs).

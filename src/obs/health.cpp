@@ -1,0 +1,153 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "obs/jsonw.hpp"
+
+namespace vsensor::obs {
+
+void HealthRecorder::gauge(std::string_view key, double value) {
+  std::string full;
+  full.reserve(prefix_.size() + key.size());
+  full.append(prefix_);
+  full.append(key);
+  gauges_[std::move(full)] = value;
+}
+
+HealthRecorder::Prefix::Prefix(HealthRecorder& rec, std::string_view name)
+    : rec_(rec), restore_len_(rec.prefix_.size()) {
+  rec_.prefix_.append(name);
+  rec_.prefix_.push_back('.');
+}
+
+HealthRecorder::Prefix::~Prefix() { rec_.prefix_.resize(restore_len_); }
+
+void HealthRecorder::clear() {
+  prefix_.clear();
+  gauges_.clear();
+}
+
+HealthSampler::HealthSampler(HealthSamplerConfig cfg)
+    : cfg_(cfg),
+      next_due_(cfg.interval > 0.0
+                    ? cfg.interval
+                    : std::numeric_limits<double>::infinity()) {}
+
+void HealthSampler::add_source(std::string name, const HealthSource* source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.emplace_back(std::move(name), source);
+}
+
+void HealthSampler::remove_source(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.erase(std::remove_if(sources_.begin(), sources_.end(),
+                                [&](const auto& s) { return s.first == name; }),
+                 sources_.end());
+}
+
+size_t HealthSampler::source_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sources_.size();
+}
+
+void HealthSampler::attach_flight(FlightRecorder* flight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flights_.push_back(flight);
+}
+
+bool HealthSampler::maybe_sample(double now) {
+  if (cfg_.interval <= 0.0) return false;
+  if (now < next_due_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-check under the lock: another thread may have sampled this boundary.
+  if (now < next_due_.load(std::memory_order_relaxed)) return false;
+  sample_locked(now);
+  // One snapshot per crossing: jump to the first boundary strictly past
+  // `now` instead of stepping interval-by-interval through a gap.
+  const double next =
+      (std::floor(now / cfg_.interval) + 1.0) * cfg_.interval;
+  next_due_.store(next, std::memory_order_relaxed);
+  return true;
+}
+
+void HealthSampler::sample_now(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sample_locked(now);
+  if (cfg_.interval > 0.0) {
+    const double next =
+        (std::floor(now / cfg_.interval) + 1.0) * cfg_.interval;
+    const double cur = next_due_.load(std::memory_order_relaxed);
+    if (next > cur) next_due_.store(next, std::memory_order_relaxed);
+  }
+}
+
+void HealthSampler::sample_locked(double now) {
+  HealthRecorder rec;
+  for (const auto& [name, source] : sources_) {
+    HealthRecorder::Prefix scope(rec, name);
+    source->sample_health(now, rec);
+  }
+  std::ostringstream out;
+  out << "{\"seq\":" << seq_ << ",\"t\":";
+  jsonw::write_number(out, now);
+  out << ",\"gauges\":{";
+  bool first = true;
+  for (const auto& [key, value] : rec.gauges()) {
+    if (!first) out << ',';
+    first = false;
+    jsonw::write_string(out, key);
+    out << ':';
+    jsonw::write_number(out, value);
+  }
+  out << "}}";
+  ++seq_;
+  std::string line = out.str();
+  for (FlightRecorder* flight : flights_) flight->push(line);
+  if (lines_.size() >= cfg_.max_snapshots) {
+    ++dropped_;
+    return;
+  }
+  lines_.push_back(std::move(line));
+}
+
+size_t HealthSampler::snapshot_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+uint64_t HealthSampler::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<std::string> HealthSampler::snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+void HealthSampler::write_jsonl(std::ostream& out,
+                                const RunIdentity* id) const {
+  if (id != nullptr) write_identity_header(out, "vsensor-health/1", *id);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& line : lines_) out << line << '\n';
+  if (dropped_ != 0) {
+    out << "{\"truncated\":true,\"dropped\":" << dropped_ << "}\n";
+  }
+}
+
+void HealthSampler::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.clear();
+  seq_ = 0;
+  dropped_ = 0;
+  next_due_.store(cfg_.interval > 0.0
+                      ? cfg_.interval
+                      : std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+}
+
+}  // namespace vsensor::obs

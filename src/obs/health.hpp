@@ -1,0 +1,137 @@
+// Live health plane: deterministic, virtual-time-driven periodic sampling
+// of the running pipeline.
+//
+// The paper's pitch is monitoring *inside* production jobs; post-mortem
+// JSONL dumps (PR 3) can't tell an operator that shard 3 is lagging or a
+// ring is saturating while the job runs. The HealthSampler walks a set of
+// non-owning HealthSource hooks (transport, collector, detectors, servers,
+// the sharded tier) whenever simMPI virtual time crosses the next sampling
+// boundary and renders one `vsensor-health/1` JSONL snapshot per crossing.
+//
+// Determinism contract: sampling is driven by virtual time, never by a
+// wall clock, and sources report only virtual-time/count/byte-derived
+// quantities — so for a fixed seed and a fixed delivery order (e.g. the
+// sequential replay harness) the snapshot stream is byte-identical across
+// reruns. Nothing in here touches virtual time itself: detection output
+// stays bit-identical with the health plane on or off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/identity.hpp"
+
+namespace vsensor::obs {
+
+/// Collects one snapshot's gauges. Keys are name-sorted at render time so
+/// output is stable regardless of source registration order. Integral
+/// values survive the double round-trip exactly up to 2^53 — every counter
+/// the pipeline exposes is far below that.
+class HealthRecorder {
+ public:
+  void gauge(std::string_view key, double value);
+  void gauge(std::string_view key, uint64_t value) {
+    gauge(key, static_cast<double>(value));
+  }
+  void gauge(std::string_view key, int value) {
+    gauge(key, static_cast<double>(value));
+  }
+
+  /// RAII key prefix: while alive, every gauge key gains "<name>.".
+  /// Nests (the sharded tier prefixes "shard<k>." inside its own scope).
+  class Prefix {
+   public:
+    Prefix(HealthRecorder& rec, std::string_view name);
+    ~Prefix();
+    Prefix(const Prefix&) = delete;
+    Prefix& operator=(const Prefix&) = delete;
+
+   private:
+    HealthRecorder& rec_;
+    size_t restore_len_;
+  };
+
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  void clear();
+
+ private:
+  std::string prefix_;
+  std::map<std::string, double> gauges_;
+};
+
+/// A pipeline component the sampler can interrogate. `now` is the virtual
+/// time of the snapshot so sources can report ages and lags (now − last
+/// delivery, now − last checkpoint) without owning a clock.
+class HealthSource {
+ public:
+  virtual ~HealthSource() = default;
+  virtual void sample_health(double now, HealthRecorder& rec) const = 0;
+};
+
+struct HealthSamplerConfig {
+  /// Virtual seconds between snapshots; <= 0 disables periodic sampling
+  /// (sample_now() still works). One snapshot fires per crossed boundary,
+  /// not per elapsed interval, so a long delivery gap yields one catch-up
+  /// snapshot instead of a burst.
+  double interval = 0.25;
+  /// Retained snapshot lines; past this they are counted in dropped().
+  size_t max_snapshots = size_t{1} << 14;
+};
+
+class HealthSampler {
+ public:
+  explicit HealthSampler(HealthSamplerConfig cfg = {});
+
+  /// Register / remove a named source (non-owning). Gauge keys from the
+  /// source are prefixed "<name>.". Sources must outlive their
+  /// registration window.
+  void add_source(std::string name, const HealthSource* source);
+  void remove_source(std::string_view name);
+  size_t source_count() const;
+
+  /// Tee every rendered snapshot line into `flight` (non-owning; the
+  /// per-shard crash flight recorders subscribe here).
+  void attach_flight(FlightRecorder* flight);
+
+  /// Take a snapshot if virtual time `now` crossed the next sampling
+  /// boundary. The miss path is one relaxed atomic load — cheap enough to
+  /// sit on the per-delivery path. Returns true when a snapshot fired.
+  bool maybe_sample(double now);
+
+  /// Unconditionally snapshot at `now` (e.g. the end-of-run makespan
+  /// sample) and advance the next boundary past `now`.
+  void sample_now(double now);
+
+  size_t snapshot_count() const;
+  uint64_t dropped() const;
+  std::vector<std::string> snapshots() const;
+
+  /// `vsensor-health/1` JSONL: identity header line (when given), then one
+  /// snapshot object per line in sampling order.
+  void write_jsonl(std::ostream& out, const RunIdentity* id = nullptr) const;
+
+  void clear();
+
+  const HealthSamplerConfig& config() const { return cfg_; }
+
+ private:
+  void sample_locked(double now);
+
+  HealthSamplerConfig cfg_;
+  std::atomic<double> next_due_;
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, const HealthSource*>> sources_;
+  std::vector<FlightRecorder*> flights_;
+  std::vector<std::string> lines_;
+  uint64_t seq_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace vsensor::obs

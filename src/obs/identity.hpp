@@ -1,0 +1,47 @@
+// Run identity stamped into the header line of every exported artifact.
+//
+// BENCH_*.json files have carried schema + provenance since PR 5; the
+// metrics JSONL, Chrome trace, and the new health/event/flight streams now
+// do too, so an artifact picked out of a CI bundle six months later still
+// says which seed, config, and record layout produced it. The struct lives
+// in obs (which cannot see runtime types), so the record-layout version is
+// passed in by the caller as its wire byte count.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/jsonw.hpp"
+
+namespace vsensor::obs {
+
+struct RunIdentity {
+  std::string tool = "vsensor";
+  uint64_t seed = 0;
+  std::string config;                ///< one-line human config summary
+  uint32_t record_layout_bytes = 0;  ///< rt::kRecordWireBytes at build time
+
+  /// Emit the shared identity fields (no braces, no schema) so each
+  /// exporter can splice them into its own header object.
+  void write_fields(std::ostream& out) const {
+    out << "\"tool\":";
+    jsonw::write_string(out, tool);
+    out << ",\"seed\":" << seed << ",\"config\":";
+    jsonw::write_string(out, config);
+    out << ",\"record_layout_bytes\":" << record_layout_bytes;
+  }
+};
+
+/// One-line JSON header: {"schema":"<schema>","tool":...,...}.
+inline void write_identity_header(std::ostream& out, std::string_view schema,
+                                  const RunIdentity& id) {
+  out << "{\"schema\":";
+  jsonw::write_string(out, schema);
+  out << ',';
+  id.write_fields(out);
+  out << "}\n";
+}
+
+}  // namespace vsensor::obs

@@ -1,0 +1,41 @@
+// Minimal shared JSON writers for the obs exporters.
+//
+// Every obs artifact (metrics JSONL, Chrome trace, health/event/flight
+// streams) hand-writes its JSON; these helpers keep escaping and number
+// formatting identical across all of them. Doubles print at 17 significant
+// digits so a re-render of the same value is byte-identical — the health
+// plane's bit-reproducibility tests depend on that.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+#include <string_view>
+
+namespace vsensor::obs::jsonw {
+
+inline void write_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+inline void write_number(std::ostream& out, double v) {
+  // JSON has no inf/nan literals; clamp degenerate values to null.
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  const auto old = out.precision(17);
+  out << v;
+  out.precision(old);
+}
+
+}  // namespace vsensor::obs::jsonw

@@ -5,6 +5,8 @@
 #include <limits>
 #include <ostream>
 
+#include "obs/identity.hpp"
+#include "obs/jsonw.hpp"
 #include "support/error.hpp"
 
 namespace vsensor::obs {
@@ -212,34 +214,21 @@ std::vector<MetricPoint> MetricsRegistry::snapshot() const {
 
 namespace {
 
+// Shared writers (obs/jsonw.hpp) keep escaping and number formatting
+// identical across every obs artifact.
 void write_json_string(std::ostream& out, std::string_view s) {
-  out << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\t': out << "\\t"; break;
-      default: out << c;
-    }
-  }
-  out << '"';
+  jsonw::write_string(out, s);
 }
 
 void write_json_number(std::ostream& out, double v) {
-  // JSON has no inf/nan literals; clamp degenerate values to null.
-  if (!std::isfinite(v)) {
-    out << "null";
-    return;
-  }
-  const auto old = out.precision(17);
-  out << v;
-  out.precision(old);
+  jsonw::write_number(out, v);
 }
 
 }  // namespace
 
-void MetricsRegistry::write_jsonl(std::ostream& out) const {
+void MetricsRegistry::write_jsonl(std::ostream& out,
+                                  const RunIdentity* id) const {
+  if (id != nullptr) write_identity_header(out, "vsensor-metrics/1", *id);
   for (const auto& p : snapshot()) {
     out << "{\"metric\":";
     write_json_string(out, p.name);

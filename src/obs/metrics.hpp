@@ -24,6 +24,8 @@
 
 namespace vsensor::obs {
 
+struct RunIdentity;
+
 /// Write stripes per instrument. Each stripe is one cache line; threads
 /// spread round-robin, so even a 24-rank node sees little line sharing.
 inline constexpr size_t kStripes = 16;
@@ -147,7 +149,9 @@ class MetricsRegistry {
   /// JSON-lines export: one self-contained JSON object per instrument,
   /// histograms with percentiles and non-empty buckets. Loadable by any
   /// jsonl consumer; tests validate syntax with a real JSON parser.
-  void write_jsonl(std::ostream& out) const;
+  /// With `id`, a `vsensor-metrics/1` identity header line comes first so
+  /// the artifact carries its provenance (seed, config, record layout).
+  void write_jsonl(std::ostream& out, const RunIdentity* id = nullptr) const;
 
   /// Zero every instrument, keeping registrations (and references) alive.
   void reset();

@@ -37,6 +37,11 @@ void set_enabled(bool on) {
   g_enabled.store(on, std::memory_order_relaxed);
 }
 
+void reread_env_gate_for_testing() {
+  g_enabled.store(false, std::memory_order_relaxed);
+  g_env_read.store(false, std::memory_order_release);
+}
+
 const char* stage_name(Stage stage) {
   switch (stage) {
     case Stage::ProbeTick: return "probe.tick";

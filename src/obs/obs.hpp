@@ -37,6 +37,11 @@ namespace vsensor::obs {
 bool enabled();
 void set_enabled(bool on);
 
+/// Test-only: forget the cached environment read so the next enabled()
+/// call re-reads VSENSOR_OBS. Exists to let tests pin the read-once
+/// semantics; production code must never call it.
+void reread_env_gate_for_testing();
+
 /// Pipeline stages the monitoring layer attributes its own cost to.
 enum class Stage : uint8_t {
   ProbeTick,        ///< SensorRuntime::tick

@@ -4,8 +4,9 @@
 #include <cmath>
 #include <ostream>
 
-#include "obs/obs.hpp"
+#include "obs/identity.hpp"
 #include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace vsensor::obs {
 
@@ -73,7 +74,8 @@ std::vector<TraceSpan> SpanTracer::spans() const {
   return all;
 }
 
-void SpanTracer::write_chrome_trace(std::ostream& out) const {
+void SpanTracer::write_chrome_trace(std::ostream& out,
+                                    const RunIdentity* id) const {
   const auto old = out.precision(17);
   out << "{\"traceEvents\":[";
   bool first = true;
@@ -87,14 +89,36 @@ void SpanTracer::write_chrome_trace(std::ostream& out) const {
     out << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid
         << ",\"ts\":" << static_cast<double>(s.ts_ns) / 1e3
         << ",\"dur\":" << static_cast<double>(s.dur_ns) / 1e3;
-    if (s.vt_begin >= 0.0 && std::isfinite(s.vt_begin) &&
-        std::isfinite(s.vt_end)) {
-      out << ",\"args\":{\"vt_begin\":" << s.vt_begin
-          << ",\"vt_end\":" << s.vt_end << '}';
+    const bool has_vt = s.vt_begin >= 0.0 && std::isfinite(s.vt_begin) &&
+                        std::isfinite(s.vt_end);
+    if (has_vt || s.shard >= 0 || !s.path.empty()) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      if (has_vt) {
+        out << "\"vt_begin\":" << s.vt_begin << ",\"vt_end\":" << s.vt_end;
+        first_arg = false;
+      }
+      if (s.shard >= 0) {
+        if (!first_arg) out << ',';
+        out << "\"shard\":" << s.shard;
+        first_arg = false;
+      }
+      if (!s.path.empty()) {
+        if (!first_arg) out << ',';
+        out << "\"path\":";
+        write_escaped(out, s.path);
+      }
+      out << '}';
     }
     out << '}';
   }
-  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  out << "\n],\"displayTimeUnit\":\"ms\"";
+  if (id != nullptr) {
+    out << ",\"otherData\":{\"schema\":\"vsensor-trace/1\",";
+    id->write_fields(out);
+    out << '}';
+  }
+  out << "}\n";
   out.precision(old);
 }
 

@@ -21,6 +21,8 @@
 
 namespace vsensor::obs {
 
+struct RunIdentity;
+
 struct TraceSpan {
   std::string name;             ///< event name (Perfetto slice title)
   const char* category = "";    ///< string literal; groups slices
@@ -29,6 +31,8 @@ struct TraceSpan {
   uint64_t dur_ns = 0;          ///< wall duration
   double vt_begin = -1.0;       ///< virtual begin (seconds), -1 = unknown
   double vt_end = -1.0;
+  int shard = -1;               ///< analysis shard index, -1 = unsharded
+  std::string path;             ///< journal/checkpoint path suffix, if any
 };
 
 class SpanTracer {
@@ -49,9 +53,12 @@ class SpanTracer {
   std::vector<TraceSpan> spans() const;
 
   /// Chrome trace-event JSON: {"traceEvents":[...]} with one "X" complete
-  /// event per span (ts/dur in microseconds, args.vt_begin/vt_end in
-  /// virtual seconds when known).
-  void write_chrome_trace(std::ostream& out) const;
+  /// event per span (ts/dur in microseconds; args carry vt_begin/vt_end in
+  /// virtual seconds, the analysis shard index, and the journal/checkpoint
+  /// path when the span knows them). With `id`, run provenance rides in
+  /// the top-level "otherData" object.
+  void write_chrome_trace(std::ostream& out,
+                          const RunIdentity* id = nullptr) const;
 
   /// Drop all spans and restart the epoch.
   void clear();
@@ -86,6 +93,12 @@ class ScopedSpan {
     span_.vt_begin = vt_begin;
     span_.vt_end = vt_end;
   }
+
+  /// Attribute the span to an analysis shard (sharded-tier runs).
+  void set_shard(int shard) { span_.shard = shard; }
+
+  /// Attach the journal/checkpoint path the spanned work touched.
+  void set_path(std::string path) { span_.path = std::move(path); }
 
  private:
   TraceSpan span_;

@@ -1,0 +1,311 @@
+// Terminal renderers for the health plane's JSONL artifacts (health
+// snapshots, structured events, crash flight dumps).
+//
+// Parsing is deliberately a small string scanner, not a JSON library: the
+// inputs are machine-written single-line objects from this repo's own
+// exporters (obs/health.cpp, obs/events.cpp), whose keys never contain
+// escapes and whose values are numbers or short strings. A malformed line
+// renders as "?" fields instead of aborting the report.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/report.hpp"
+#include "support/error.hpp"
+
+namespace vsensor::report {
+
+namespace {
+
+/// Find `"key":` and return the character index of its value, or npos.
+size_t value_pos(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+bool extract_number(const std::string& line, const std::string& key,
+                    double* out) {
+  const size_t at = value_pos(line, key);
+  if (at == std::string::npos) return false;
+  try {
+    *out = std::stod(line.substr(at));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool extract_string(const std::string& line, const std::string& key,
+                    std::string* out) {
+  size_t at = value_pos(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') {
+    return false;
+  }
+  const size_t end = line.find('"', at + 1);
+  if (end == std::string::npos) return false;
+  *out = line.substr(at + 1, end - at - 1);
+  return true;
+}
+
+bool is_identity_header(const std::string& line) {
+  std::string schema;
+  return extract_string(line, "schema", &schema) &&
+         schema.rfind("vsensor-", 0) == 0;
+}
+
+std::string identity_summary(const std::string& line) {
+  std::string schema;
+  std::string config;
+  double seed = 0.0;
+  extract_string(line, "schema", &schema);
+  extract_string(line, "config", &config);
+  const bool has_seed = extract_number(line, "seed", &seed);
+  std::ostringstream out;
+  out << "schema " << schema;
+  if (has_seed) out << ", seed " << static_cast<uint64_t>(seed);
+  if (!config.empty()) out << ", config " << config;
+  return out.str();
+}
+
+/// Parse the flat `"gauges":{"k":v,...}` object of one health snapshot.
+std::vector<std::pair<std::string, double>> parse_gauges(
+    const std::string& line) {
+  std::vector<std::pair<std::string, double>> out;
+  size_t at = value_pos(line, "gauges");
+  if (at == std::string::npos || at >= line.size() || line[at] != '{') {
+    return out;
+  }
+  ++at;
+  while (at < line.size() && line[at] != '}') {
+    if (line[at] != '"') break;
+    const size_t key_end = line.find('"', at + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = line.substr(at + 1, key_end - at - 1);
+    if (key_end + 1 >= line.size() || line[key_end + 1] != ':') break;
+    size_t val_end = key_end + 2;
+    while (val_end < line.size() && line[val_end] != ',' &&
+           line[val_end] != '}') {
+      ++val_end;
+    }
+    try {
+      out.emplace_back(key,
+                       std::stod(line.substr(key_end + 2, val_end - key_end)));
+    } catch (...) {
+      // "null" (non-finite gauge) and garbage both skip the pair.
+    }
+    at = val_end + (val_end < line.size() && line[val_end] == ',' ? 1 : 0);
+  }
+  return out;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open file: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// One event line -> a compact single-line description.
+std::string render_event_line(const std::string& line) {
+  std::string kind = "?";
+  extract_string(line, "kind", &kind);
+  std::ostringstream out;
+  double t = 0.0;
+  if (extract_number(line, "t", &t) && t >= 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "t=%10.6fs", t);
+    out << buf;
+  } else {
+    out << "t=         ?";
+  }
+  double shard = 0.0;
+  if (extract_number(line, "shard", &shard)) {
+    out << " shard" << static_cast<int>(shard);
+  }
+  out << "  " << kind;
+  double v = 0.0;
+  if (extract_number(line, "rank", &v)) out << " rank=" << static_cast<int>(v);
+  if (extract_number(line, "sensor", &v)) {
+    out << " sensor=" << static_cast<int>(v);
+  }
+  if (extract_number(line, "group", &v)) out << " group=" << static_cast<int>(v);
+  if (extract_number(line, "score", &v)) out << " score=" << v;
+  if (extract_number(line, "standard", &v)) out << " standard=" << v;
+  if (extract_number(line, "value", &v)) out << " value=" << v;
+  if (extract_number(line, "count", &v)) {
+    out << " count=" << static_cast<uint64_t>(v);
+  }
+  std::string detail;
+  if (extract_string(line, "detail", &detail) && !detail.empty()) {
+    out << " (" << detail << ")";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_health_file(const std::string& path) {
+  const auto lines = read_lines(path);
+  std::ostringstream out;
+  out << "health: " << path << "\n";
+  size_t first = 0;
+  if (!lines.empty() && is_identity_header(lines[0])) {
+    out << "  " << identity_summary(lines[0]) << "\n";
+    first = 1;
+  }
+
+  struct GaugeAgg {
+    double first = 0.0;
+    double max = 0.0;
+    double last = 0.0;
+    size_t samples = 0;
+  };
+  std::map<std::string, GaugeAgg> agg;
+  size_t snapshots = 0;
+  double t_min = 0.0;
+  double t_max = 0.0;
+  uint64_t dropped = 0;
+  for (size_t i = first; i < lines.size(); ++i) {
+    double d = 0.0;
+    if (extract_number(lines[i], "dropped", &d)) {
+      dropped = static_cast<uint64_t>(d);
+      continue;
+    }
+    double t = 0.0;
+    if (!extract_number(lines[i], "t", &t)) continue;
+    if (snapshots == 0) t_min = t;
+    t_max = t;
+    ++snapshots;
+    for (const auto& [key, value] : parse_gauges(lines[i])) {
+      auto& a = agg[key];
+      if (a.samples == 0) {
+        a.first = value;
+        a.max = value;
+      }
+      a.max = std::max(a.max, value);
+      a.last = value;
+      ++a.samples;
+    }
+  }
+  out << "  snapshots: " << snapshots;
+  if (snapshots > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " over t=[%.6f, %.6f]s", t_min, t_max);
+    out << buf;
+  }
+  if (dropped > 0) out << " (" << dropped << " dropped past capacity)";
+  out << "\n";
+  if (!agg.empty()) {
+    size_t width = 5;
+    for (const auto& [key, a] : agg) width = std::max(width, key.size());
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "  %-*s %14s %14s %14s\n",
+                  static_cast<int>(width), "gauge", "first", "max", "last");
+    out << buf;
+    for (const auto& [key, a] : agg) {
+      std::snprintf(buf, sizeof(buf), "  %-*s %14.6g %14.6g %14.6g\n",
+                    static_cast<int>(width), key.c_str(), a.first, a.max,
+                    a.last);
+      out << buf;
+    }
+  }
+  return out.str();
+}
+
+std::string render_events_file(const std::string& path, size_t max_events) {
+  const auto lines = read_lines(path);
+  std::ostringstream out;
+  out << "events: " << path << "\n";
+  size_t first = 0;
+  if (!lines.empty() && is_identity_header(lines[0])) {
+    out << "  " << identity_summary(lines[0]) << "\n";
+    first = 1;
+  }
+
+  std::map<std::string, uint64_t> by_kind;
+  std::vector<const std::string*> events;
+  uint64_t truncated_dropped = 0;
+  for (size_t i = first; i < lines.size(); ++i) {
+    std::string kind;
+    if (!extract_string(lines[i], "kind", &kind)) continue;
+    if (kind == "log_truncated") {
+      double d = 0.0;
+      extract_number(lines[i], "dropped", &d);
+      truncated_dropped = static_cast<uint64_t>(d);
+      continue;
+    }
+    ++by_kind[kind];
+    events.push_back(&lines[i]);
+  }
+  out << "  " << events.size() << " events";
+  if (truncated_dropped > 0) {
+    out << " (+" << truncated_dropped << " dropped at capacity)";
+  }
+  out << "\n";
+  for (const auto& [kind, n] : by_kind) {
+    out << "    " << kind << ": " << n << "\n";
+  }
+  const size_t show =
+      max_events > 0 ? std::min(events.size(), max_events) : events.size();
+  if (show > 0) out << "  timeline:\n";
+  for (size_t i = 0; i < show; ++i) {
+    out << "    " << render_event_line(*events[i]) << "\n";
+  }
+  if (show < events.size()) {
+    out << "    ... (" << events.size() - show << " more)\n";
+  }
+  return out.str();
+}
+
+std::string render_flight_file(const std::string& path) {
+  const auto lines = read_lines(path);
+  std::ostringstream out;
+  out << "flight: " << path << "\n";
+  size_t first = 0;
+  if (!lines.empty() && is_identity_header(lines[0])) {
+    out << "  " << identity_summary(lines[0]) << "\n";
+    first = 1;
+  }
+  if (first < lines.size()) {
+    double retained = 0.0;
+    double total = 0.0;
+    if (extract_number(lines[first], "retained", &retained) &&
+        extract_number(lines[first], "total", &total)) {
+      out << "  ring: " << static_cast<uint64_t>(retained) << " of "
+          << static_cast<uint64_t>(total) << " pushes retained\n";
+      ++first;
+    }
+  }
+  for (size_t i = first; i < lines.size(); ++i) {
+    std::string kind;
+    if (extract_string(lines[i], "kind", &kind)) {
+      out << "  " << render_event_line(lines[i]) << "\n";
+      continue;
+    }
+    double seq = 0.0;
+    double t = 0.0;
+    if (extract_number(lines[i], "seq", &seq) &&
+        extract_number(lines[i], "t", &t)) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "  t=%10.6fs  health_snapshot seq=%llu (%zu gauges)\n", t,
+                    static_cast<unsigned long long>(seq),
+                    parse_gauges(lines[i]).size());
+      out << buf;
+      continue;
+    }
+    out << "  ? " << lines[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vsensor::report

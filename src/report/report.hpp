@@ -34,4 +34,19 @@ std::string transport_report(std::span<const rt::RankChannelStats> per_rank,
 /// path) plus a totals row and the standards-exchange volume.
 std::string shard_report(const rt::ShardedAnalysisTier& tier);
 
+/// Render a `vsensor-health/1` JSONL file (obs::HealthSampler::write_jsonl):
+/// run identity, snapshot count and virtual-time range, and a per-gauge
+/// first/max/last table across all snapshots.
+std::string render_health_file(const std::string& path);
+
+/// Render a `vsensor-events/1` JSONL file (obs::EventLog::write_jsonl):
+/// per-kind counts plus the chronological timeline. `max_events` caps the
+/// timeline (0 = unlimited); overflow is summarized, never silent.
+std::string render_events_file(const std::string& path, size_t max_events = 0);
+
+/// Render a `vsensor-flight/1` crash dump (obs::FlightRecorder::dump): run
+/// identity, ring retention, and the recorded tail of events and health
+/// snapshots in push order.
+std::string render_flight_file(const std::string& path);
+
 }  // namespace vsensor::report

@@ -261,4 +261,13 @@ uint64_t Collector::record_count() const {
          taken_.load(std::memory_order_relaxed);
 }
 
+void Collector::sample_health(double /*now*/,
+                              obs::HealthRecorder& rec) const {
+  rec.gauge("ingested_records", ingested_records());
+  rec.gauge("dropped_records", dropped_records());
+  rec.gauge("retained_records", record_count());
+  rec.gauge("bytes_received", bytes_received());
+  rec.gauge("batches", batch_count());
+}
+
 }  // namespace vsensor::rt

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/health.hpp"
 #include "runtime/record_batch.hpp"
 #include "runtime/types.hpp"
 #include "support/ring_buffer.hpp"
@@ -58,7 +59,7 @@ struct CollectorConfig {
   size_t shard_capacity = 1u << 20;
 };
 
-class Collector {
+class Collector : public obs::HealthSource {
  public:
   Collector() : Collector(CollectorConfig{}) {}
   explicit Collector(CollectorConfig cfg);
@@ -137,6 +138,10 @@ class Collector {
   uint64_t batch_count() const { return batches_.load(std::memory_order_relaxed); }
 
   size_t shard_count() const { return shards_.size(); }
+
+  /// Health plane: cumulative ingest/drop/byte/batch counters plus the
+  /// currently retained record count. All lock-free atomic reads.
+  void sample_health(double now, obs::HealthRecorder& rec) const override;
 
  private:
   struct Shard {

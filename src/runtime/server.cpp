@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -33,7 +34,10 @@ struct ServerInstruments {
 
 AnalysisServer::AnalysisServer(ServerConfig cfg, Collector* collector,
                                StreamingDetector* detector)
-    : cfg_(std::move(cfg)), collector_(collector), detector_(detector) {
+    : cfg_(std::move(cfg)),
+      collector_(collector),
+      detector_(detector),
+      flight_(cfg_.flight_capacity) {
   VS_CHECK_MSG(collector_ != nullptr && detector_ != nullptr,
                "server needs a collector and a detector");
   VS_CHECK_MSG(!cfg_.journal_path.empty() && !cfg_.checkpoint_path.empty(),
@@ -56,6 +60,7 @@ void AnalysisServer::on_delivery(int rank, uint64_t seq,
                                  std::span<const SliceRecord> batch,
                                  double now) {
   std::lock_guard<std::mutex> lock(mu_);
+  last_now_ = now;
   // The crash fires at a delivery boundary, before the triggering delivery
   // is processed — the recovered server then handles it normally.
   while (next_crash_ < crash_times_.size() &&
@@ -67,8 +72,8 @@ void AnalysisServer::on_delivery(int rank, uint64_t seq,
 
   // Write-ahead discipline: the frame is on the journal (and, with the
   // default group-commit interval, on the file) before any state folds.
-  journal_->append(JournalFrame{JournalFrameKind::Batch, rank, seq,
-                                {batch.begin(), batch.end()}});
+  append_frame_locked(JournalFrame{JournalFrameKind::Batch, rank, seq,
+                                   {batch.begin(), batch.end()}});
   if (!watermarks_[static_cast<size_t>(rank)].insert(seq)) {
     // The transport already deduplicates; a duplicate here means an
     // upstream bug. Count it and refuse the double fold.
@@ -84,16 +89,27 @@ void AnalysisServer::on_delivery(int rank, uint64_t seq,
   }
 }
 
-void AnalysisServer::mark_stale(int rank) {
+void AnalysisServer::mark_stale(int rank, double now) {
   std::lock_guard<std::mutex> lock(mu_);
-  journal_->append(JournalFrame{JournalFrameKind::StaleRank, rank, 0, {}});
-  detector_->mark_stale(rank);
+  append_frame_locked(JournalFrame{JournalFrameKind::StaleRank, rank, 0, {}});
+  // Sweeps that know the virtual time stamp it onto the StaleRank event;
+  // the rest inherit the newest delivery's clock.
+  detector_->mark_stale(rank, now >= 0.0 ? now : last_now_);
 }
 
 void AnalysisServer::apply_standard(int sensor_id, int group, double value) {
   std::lock_guard<std::mutex> lock(mu_);
-  journal_->append(make_standard_frame(sensor_id, group, value));
+  append_frame_locked(make_standard_frame(sensor_id, group, value));
   detector_->apply_standard_update(sensor_id, group, value);
+}
+
+void AnalysisServer::append_frame_locked(const JournalFrame& frame) {
+  const uint64_t before = journal_->appended_bytes();
+  journal_->append(frame);
+  // Bytes per append, not wall time: the p50/p99 gauges must be
+  // bit-identical across reruns of the same seed.
+  append_bytes_hist_.record(
+      static_cast<double>(journal_->appended_bytes() - before));
 }
 
 ServerCheckpoint AnalysisServer::build_checkpoint_locked() const {
@@ -108,11 +124,24 @@ ServerCheckpoint AnalysisServer::build_checkpoint_locked() const {
 }
 
 void AnalysisServer::checkpoint_locked() {
+  obs::ScopedSpan span("server:checkpoint", "durability");
+  span.set_shard(hooks_.shard);
+  span.set_path(cfg_.checkpoint_path);
   // Make sure every journaled frame the checkpoint covers is also on the
   // file before the checkpoint claims to cover it.
   journal_->commit();
   save_checkpoint(cfg_.checkpoint_path, build_checkpoint_locked());
   batches_since_checkpoint_ = 0;
+  checkpoint_t_ = last_now_;
+  ++checkpoints_saved_;
+  if (hooks_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::CheckpointSaved;
+    ev.t = last_now_;
+    ev.count = delivered_batches_;
+    ev.detail = cfg_.checkpoint_path;
+    hooks_.emit(std::move(ev));
+  }
 }
 
 void AnalysisServer::checkpoint() {
@@ -121,8 +150,19 @@ void AnalysisServer::checkpoint() {
 }
 
 void AnalysisServer::crash_locked() {
+  obs::ScopedSpan span("server:crash", "durability");
+  span.set_shard(hooks_.shard);
+  span.set_path(cfg_.journal_path);
   ++crashes_;
   VS_OBS_ONLY(if (obs::enabled()) ServerInstruments::get().crashes.add();)
+  if (hooks_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::Crash;
+    ev.t = last_now_;
+    ev.count = crashes_;
+    ev.detail = cfg_.journal_path;
+    hooks_.emit(std::move(ev));
+  }
   // The user-space journal buffer dies with the process; only committed
   // bytes survive in the page cache / file.
   journal_->discard_buffer();
@@ -157,6 +197,11 @@ void AnalysisServer::crash_locked() {
   detector_->reset();
   for (auto& wm : watermarks_) wm = SeqTracker{};
   batches_since_checkpoint_ = 0;
+
+  // Post-mortem: the flight ring (last N events + health snapshots)
+  // survives the simulated process death because the recorder models the
+  // mapped core a real flight recorder would land in.
+  dump_flight_locked();
 }
 
 void AnalysisServer::crash() {
@@ -165,6 +210,9 @@ void AnalysisServer::crash() {
 }
 
 RecoveryReport AnalysisServer::recover_locked() {
+  obs::ScopedSpan span("server:recover", "durability");
+  span.set_shard(hooks_.shard);
+  span.set_path(cfg_.journal_path);
   const auto t0 = std::chrono::steady_clock::now();
   RecoveryReport report;
 
@@ -249,6 +297,8 @@ RecoveryReport AnalysisServer::recover_locked() {
   // replayed frames is the redo log allowed to go.
   save_checkpoint(cfg_.checkpoint_path, build_checkpoint_locked());
   batches_since_checkpoint_ = 0;
+  checkpoint_t_ = last_now_;
+  ++checkpoints_saved_;
   journal_ = std::make_unique<JournalWriter>(cfg_.journal_path, cfg_.journal);
 
   report.recovery_seconds =
@@ -260,6 +310,26 @@ RecoveryReport AnalysisServer::recover_locked() {
     inst.replayed.add(report.frames_replayed);
     inst.skipped.add(report.frames_skipped);
   })
+  if (hooks_) {
+    if (report.torn_bytes > 0) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::JournalSalvage;
+      ev.t = last_now_;
+      ev.value = static_cast<double>(report.torn_bytes);
+      ev.detail = report.journal_warning;
+      hooks_.emit(std::move(ev));
+    }
+    obs::Event ev;
+    ev.kind = obs::EventKind::Recovery;
+    ev.t = last_now_;
+    ev.count = report.frames_replayed;
+    ev.detail = report.checkpoint_loaded ? "checkpoint+journal" : "journal_only";
+    hooks_.emit(std::move(ev));
+  }
+  // A torn tail warrants a post-mortem even when recover() was a cold
+  // start over on-disk state (no crash() call this process): dump the
+  // ring with the salvage + recovery events.
+  if (report.torn_bytes > 0) dump_flight_locked();
   return report;
 }
 
@@ -283,6 +353,57 @@ uint64_t AnalysisServer::delivered_batches() const {
 uint64_t AnalysisServer::duplicate_deliveries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return duplicate_deliveries_;
+}
+
+void AnalysisServer::set_event_hooks(obs::EventHooks hooks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The server substitutes its own flight ring so crash dumps always carry
+  // the detector's latest flags alongside the durability events.
+  hooks_ = obs::EventHooks{hooks.log, &flight_, hooks.shard};
+  flight_wired_ = true;
+  detector_->set_event_hooks(hooks_);
+}
+
+std::string AnalysisServer::flight_path() const {
+  return cfg_.flight_path.empty() ? cfg_.journal_path + ".flight"
+                                  : cfg_.flight_path;
+}
+
+void AnalysisServer::dump_flight_locked() {
+  if (!flight_wired_) return;
+  flight_.dump(flight_path(), identity_ ? &*identity_ : nullptr);
+}
+
+void AnalysisServer::sample_health(double now,
+                                   obs::HealthRecorder& rec) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.gauge("delivered_batches", delivered_batches_);
+  rec.gauge("duplicate_deliveries", duplicate_deliveries_);
+  rec.gauge("crashes", crashes_);
+  rec.gauge("recoveries", reports_.size());
+  rec.gauge("checkpoints_saved", checkpoints_saved_);
+  rec.gauge("batches_since_checkpoint", batches_since_checkpoint_);
+  // Virtual seconds since the last checkpoint — the replay debt a crash
+  // right now would incur. -1 = never checkpointed.
+  rec.gauge("checkpoint_age", checkpoint_t_ >= 0.0 && now >= checkpoint_t_
+                                  ? now - checkpoint_t_
+                                  : -1.0);
+  if (journal_ != nullptr) {
+    rec.gauge("journal.appended_frames", journal_->appended_frames());
+    rec.gauge("journal.appended_bytes", journal_->appended_bytes());
+    rec.gauge("journal.commits", journal_->commits());
+    rec.gauge("journal.committed_bytes", journal_->committed_bytes());
+  }
+  rec.gauge("journal.append_bytes_p50", append_bytes_hist_.quantile(0.50));
+  rec.gauge("journal.append_bytes_p99", append_bytes_hist_.quantile(0.99));
+  {
+    obs::HealthRecorder::Prefix scope(rec, "collector");
+    collector_->sample_health(now, rec);
+  }
+  {
+    obs::HealthRecorder::Prefix scope(rec, "detector");
+    detector_->sample_health(now, rec);
+  }
 }
 
 }  // namespace vsensor::rt

@@ -38,9 +38,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/events.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/collector.hpp"
 #include "runtime/journal.hpp"
@@ -56,6 +60,13 @@ struct ServerConfig {
   /// recovery itself takes).
   uint64_t checkpoint_every_batches = 0;
   JournalWriterConfig journal;
+  /// Crash flight recorder dump path; "" derives "<journal_path>.flight".
+  /// Written on crash and on torn-journal salvage, but only once event
+  /// hooks are wired (set_event_hooks) — an unwired server never creates
+  /// flight files.
+  std::string flight_path;
+  /// Events + health snapshots the flight ring retains (last N).
+  size_t flight_capacity = 256;
 };
 
 /// What one recovery pass did, for reporting and tests.
@@ -70,7 +81,7 @@ struct RecoveryReport {
   double recovery_seconds = 0.0;   ///< wall time of the recover() call
 };
 
-class AnalysisServer final : public DeliverySink {
+class AnalysisServer final : public DeliverySink, public obs::HealthSource {
  public:
   /// `collector` and `detector` are owned by the caller and survive the
   /// simulated crash as objects — crash() resets their state in place, so
@@ -97,7 +108,9 @@ class AnalysisServer final : public DeliverySink {
 
   /// Journal a stale-rank mark and forward it to the detector, so the
   /// exclusion survives a crash that happens before the next checkpoint.
-  void mark_stale(int rank);
+  /// `now` (when known) stamps the sweep's virtual time onto the emitted
+  /// StaleRank event.
+  void mark_stale(int rank, double now = -1.0);
 
   /// Journal a peer shard's (sensor, group) standard minimum and min-fold
   /// it into the detector's board, under the same lock as deliveries —
@@ -128,11 +141,32 @@ class AnalysisServer final : public DeliverySink {
   const ServerConfig& config() const { return cfg_; }
   const JournalWriter* journal() const { return journal_.get(); }
 
+  /// Health plane (opt-in). Wiring event hooks engages the server's own
+  /// flight recorder: the detector's flag/stale events and the server's
+  /// crash/recovery/salvage/checkpoint events tee into a bounded ring that
+  /// is dumped to flight_path() on crash or torn-journal salvage. The
+  /// hooks' shard index attributes everything this server emits.
+  void set_event_hooks(obs::EventHooks hooks);
+  /// Provenance stamped into flight dumps (optional).
+  void set_run_identity(obs::RunIdentity id) { identity_ = std::move(id); }
+  /// Where flight dumps land (cfg.flight_path or "<journal>.flight").
+  std::string flight_path() const;
+  const obs::FlightRecorder& flight() const { return flight_; }
+  obs::FlightRecorder& flight() { return flight_; }
+
+  /// Health plane: durability gauges (journal bytes/frames/commits, bytes
+  /// per append p50/p99, checkpoint age in virtual seconds, crash/recovery
+  /// counts) plus the collector's and detector's own gauges under
+  /// "collector." / "detector." sub-prefixes.
+  void sample_health(double now, obs::HealthRecorder& rec) const override;
+
  private:
   void crash_locked();
   RecoveryReport recover_locked();
   void checkpoint_locked();
   ServerCheckpoint build_checkpoint_locked() const;
+  void append_frame_locked(const JournalFrame& frame);
+  void dump_flight_locked();
 
   ServerConfig cfg_;
   Collector* collector_;
@@ -149,6 +183,24 @@ class AnalysisServer final : public DeliverySink {
   uint64_t duplicate_deliveries_ = 0;
   uint64_t batches_since_checkpoint_ = 0;
   std::vector<RecoveryReport> reports_;
+
+  // Health plane. last_now_ is the virtual time of the newest delivery —
+  // the clock crash/checkpoint events are stamped with (a crash fires at a
+  // delivery boundary, so the triggering delivery's time is the crash
+  // time). checkpoint_t_ is the virtual time of the last checkpoint (< 0 =
+  // never), so checkpoint age stays a pure virtual-time quantity.
+  obs::EventHooks hooks_;
+  bool flight_wired_ = false;
+  obs::FlightRecorder flight_;
+  std::optional<obs::RunIdentity> identity_;
+  double last_now_ = -1.0;
+  double checkpoint_t_ = -1.0;
+  uint64_t checkpoints_saved_ = 0;
+  /// Bytes appended to the journal per append call — a deterministic
+  /// stand-in for append latency (wall time would break snapshot
+  /// bit-reproducibility).
+  obs::LogHistogram append_bytes_hist_{
+      obs::LogHistogram::Config{1.0, 2.0, 48}};
 };
 
 }  // namespace vsensor::rt

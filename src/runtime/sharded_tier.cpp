@@ -30,6 +30,13 @@ ShardedAnalysisTier::ShardedAnalysisTier(ShardedTierConfig cfg,
     sc.checkpoint_path = cfg_.checkpoint_path + suffix;
     sc.checkpoint_every_batches = cfg_.checkpoint_every_batches;
     sc.journal = cfg_.journal;
+    // Flight dumps suffix the *base* flight path, so a tier run leaves
+    // "<base>.flight.shard<k>" next to the shard's journal files.
+    const std::string flight_base = cfg_.flight_path.empty()
+                                        ? cfg_.journal_path + ".flight"
+                                        : cfg_.flight_path;
+    sc.flight_path = flight_base + suffix;
+    sc.flight_capacity = cfg_.flight_capacity;
     shard->server = std::make_unique<AnalysisServer>(
         std::move(sc), shard->collector.get(), shard->detector.get());
     shards_.push_back(std::move(shard));
@@ -56,12 +63,25 @@ void ShardedAnalysisTier::on_delivery(int rank, uint64_t seq,
   // Broadcast after the fold returns (no shard lock held here): the
   // exchange takes each peer's server lock one at a time, so delivery and
   // exchange locks never nest across shards.
-  if (shards_.size() > 1) exchange_from(s);
+  if (shards_.size() > 1) exchange_from(s, now);
 }
 
-void ShardedAnalysisTier::exchange_from(size_t from) {
+void ShardedAnalysisTier::exchange_from(size_t from, double now) {
   const auto lowered = shards_[from]->detector->take_lowered_standards();
   if (lowered.empty()) return;
+  const Shard& src = *shards_[from];
+  for (const auto& u : lowered) {
+    if (src.hooks) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::StandardUpdate;
+      ev.t = now;
+      ev.sensor = u.sensor_id;
+      ev.has_group = true;
+      ev.group = u.group;
+      ev.value = u.value;
+      src.hooks.emit(std::move(ev));
+    }
+  }
   for (size_t p = 0; p < shards_.size(); ++p) {
     if (p == from) continue;
     for (const auto& u : lowered) {
@@ -72,9 +92,9 @@ void ShardedAnalysisTier::exchange_from(size_t from) {
                                std::memory_order_relaxed);
 }
 
-void ShardedAnalysisTier::mark_stale(int rank) {
+void ShardedAnalysisTier::mark_stale(int rank, double now) {
   VS_CHECK_MSG(rank >= 0, "stale mark for negative rank");
-  shards_[static_cast<size_t>(shard_of(rank))]->server->mark_stale(rank);
+  shards_[static_cast<size_t>(shard_of(rank))]->server->mark_stale(rank, now);
 }
 
 void ShardedAnalysisTier::set_crash_plan(int shard, std::vector<double> times,
@@ -130,6 +150,42 @@ uint64_t ShardedAnalysisTier::total_routed_records() const {
 
 uint64_t ShardedAnalysisTier::broadcast_updates() const {
   return broadcast_updates_.load(std::memory_order_relaxed);
+}
+
+void ShardedAnalysisTier::set_event_log(obs::EventLog* log) {
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    Shard& shard = *shards_[k];
+    // The server substitutes its own flight ring; the tier's broadcast
+    // events tee into that same ring so shard dumps carry them too.
+    shard.server->set_event_hooks(
+        obs::EventHooks{log, nullptr, static_cast<int>(k)});
+    shard.hooks =
+        obs::EventHooks{log, &shard.server->flight(), static_cast<int>(k)};
+  }
+}
+
+void ShardedAnalysisTier::set_run_identity(const obs::RunIdentity& id) {
+  for (auto& shard : shards_) shard->server->set_run_identity(id);
+}
+
+std::string ShardedAnalysisTier::flight_path(int shard) const {
+  return shards_[checked(shard)]->server->flight_path();
+}
+
+void ShardedAnalysisTier::sample_health(double now,
+                                        obs::HealthRecorder& rec) const {
+  rec.gauge("shards", static_cast<uint64_t>(shards_.size()));
+  rec.gauge("routed_records", total_routed_records());
+  rec.gauge("broadcast_updates", broadcast_updates());
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    const Shard& shard = *shards_[k];
+    obs::HealthRecorder::Prefix scope(rec, "shard" + std::to_string(k));
+    rec.gauge("routed_batches",
+              shard.routed_batches.load(std::memory_order_relaxed));
+    rec.gauge("routed_records",
+              shard.routed_records.load(std::memory_order_relaxed));
+    shard.server->sample_health(now, rec);
+  }
 }
 
 }  // namespace vsensor::rt

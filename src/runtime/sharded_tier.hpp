@@ -44,6 +44,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/events.hpp"
+#include "obs/health.hpp"
 #include "runtime/collector.hpp"
 #include "runtime/detector.hpp"
 #include "runtime/server.hpp"
@@ -63,9 +65,14 @@ struct ShardedTierConfig {
   JournalWriterConfig journal;
   DetectorConfig detector;
   CollectorConfig collector;
+  /// Flight recorder base path; shard k dumps "<base>.shard<k>" on crash
+  /// or torn-journal salvage ("" derives "<journal_path>.flight").
+  std::string flight_path;
+  size_t flight_capacity = 256;
 };
 
-class ShardedAnalysisTier final : public DeliverySink {
+class ShardedAnalysisTier final : public DeliverySink,
+                                  public obs::HealthSource {
  public:
   /// The sensor table, rank count, and analysis horizon are those of the
   /// run, identical on every shard (each shard's detector sees the full
@@ -87,8 +94,9 @@ class ShardedAnalysisTier final : public DeliverySink {
                    double now) override;
 
   /// Route a transport stale verdict to the rank's owning shard (journaled
-  /// there, like any delivery).
-  void mark_stale(int rank);
+  /// there, like any delivery). `now` (when known) stamps the emitted
+  /// StaleRank event's virtual time.
+  void mark_stale(int rank, double now = -1.0);
 
   /// Deterministic crash plan for one shard (virtual-time points + torn-
   /// tail seed), or for every shard at once — each shard crashes at its
@@ -126,18 +134,36 @@ class ShardedAnalysisTier final : public DeliverySink {
   int ranks() const { return ranks_; }
   double run_time() const { return run_time_; }
 
+  /// Health plane (opt-in). One shared event log fans in every shard's
+  /// events, each stamped with its shard index; every shard's server also
+  /// engages its own flight recorder (dumped to "<flight base>.shard<k>"
+  /// on that shard's crash/salvage). Wire before deliveries start.
+  void set_event_log(obs::EventLog* log);
+  /// Provenance stamped into every shard's flight dumps.
+  void set_run_identity(const obs::RunIdentity& id);
+  /// Where shard k's flight dump lands.
+  std::string flight_path(int shard) const;
+
+  /// Health plane: per-shard gauges under "shard<k>." (routing counters
+  /// plus each server's journal/checkpoint/collector/detector gauges) and
+  /// tier-level totals (shards, routed records, broadcast updates).
+  void sample_health(double now, obs::HealthRecorder& rec) const override;
+
  private:
   struct Shard {
     std::unique_ptr<Collector> collector;
     std::unique_ptr<StreamingDetector> detector;
     std::unique_ptr<AnalysisServer> server;
+    /// Tier-level event hooks for this shard (StandardUpdate broadcasts);
+    /// disengaged until set_event_log.
+    obs::EventHooks hooks;
     std::atomic<uint64_t> routed_batches{0};
     std::atomic<uint64_t> routed_records{0};
   };
 
   size_t checked(int shard) const;
   /// Drain `from`'s lowered standards and broadcast them to every peer.
-  void exchange_from(size_t from);
+  void exchange_from(size_t from, double now);
 
   ShardedTierConfig cfg_;
   std::vector<SensorInfo> sensors_;

@@ -10,6 +10,27 @@
 
 namespace vsensor::rt {
 
+namespace {
+
+// One online variance flag as a structured event: virtual time, rank,
+// sensor, group, and the score vs. the standard it lost against.
+void emit_flag(const obs::EventHooks& hooks, double t, int rank, int sensor,
+               int group, double norm, double standard, const char* which) {
+  obs::Event ev;
+  ev.kind = obs::EventKind::VarianceFlag;
+  ev.t = t;
+  ev.rank = rank;
+  ev.sensor = sensor;
+  ev.has_group = true;
+  ev.group = group;
+  ev.value = norm;
+  ev.standard = standard;
+  ev.detail = which;
+  hooks.emit(std::move(ev));
+}
+
+}  // namespace
+
 #if VSENSOR_OBS
 namespace {
 struct StreamingInstruments {
@@ -111,11 +132,19 @@ void StreamingDetector::on_batch(std::span<const SliceRecord> batch) {
       ++inter_flags_;
       VS_OBS_ONLY(
           if (obs::enabled()) StreamingInstruments::get().inter_flags.add();)
+      if (hooks_) {
+        emit_flag(hooks_, rec.t_end, rec.rank, rec.sensor_id, g, inter_norm,
+                  std_it->second, "inter");
+      }
     }
     if (intra_norm < cfg_.variance_threshold) {
       ++intra_flags_;
       VS_OBS_ONLY(
           if (obs::enabled()) StreamingInstruments::get().intra_flags.add();)
+      if (hooks_) {
+        emit_flag(hooks_, rec.t_end, rec.rank, rec.sensor_id, g, intra_norm,
+                  rank_it->second, "intra");
+      }
     }
 
     // Welford update over normalized performance.
@@ -222,11 +251,19 @@ void StreamingDetector::on_batch(const RecordBatch& batch) {
       ++inter_flags_;
       VS_OBS_ONLY(
           if (obs::enabled()) StreamingInstruments::get().inter_flags.add();)
+      if (hooks_) {
+        emit_flag(hooks_, t_end[i], rank, sensor_id, g, inter_norm,
+                  std_it->second, "inter");
+      }
     }
     if (intra_norm < cfg_.variance_threshold) {
       ++intra_flags_;
       VS_OBS_ONLY(
           if (obs::enabled()) StreamingInstruments::get().intra_flags.add();)
+      if (hooks_) {
+        emit_flag(hooks_, t_end[i], rank, sensor_id, g, intra_norm,
+                  rank_it->second, "intra");
+      }
     }
 
     RunningStats& st = stats_[static_cast<size_t>(sensor_id)];
@@ -247,9 +284,22 @@ void StreamingDetector::on_batch(const RecordBatch& batch) {
   }
 }
 
-void StreamingDetector::mark_stale(int rank) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stale_.insert(rank);
+void StreamingDetector::mark_stale(int rank, double now) {
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fresh = stale_.insert(rank).second;
+  }
+  // Event only on the first verdict for a rank: mark_stale is idempotent
+  // and replayed journals re-apply it, but "this rank went stale" is one
+  // transition, not one per re-application.
+  if (fresh && hooks_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::StaleRank;
+    ev.t = now;
+    ev.rank = rank;
+    hooks_.emit(std::move(ev));
+  }
 }
 
 std::vector<int> StreamingDetector::stale_ranks() const {
@@ -323,6 +373,20 @@ uint64_t StreamingDetector::degenerate_records() const {
 uint64_t StreamingDetector::intra_flags() const {
   std::lock_guard<std::mutex> lock(mu_);
   return intra_flags_;
+}
+
+void StreamingDetector::sample_health(double /*now*/,
+                                      obs::HealthRecorder& rec) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.gauge("observed_records", observed_);
+  rec.gauge("stale_records", stale_records_);
+  rec.gauge("degenerate_records", degenerate_records_);
+  rec.gauge("intra_flags", intra_flags_);
+  rec.gauge("inter_flags", inter_flags_);
+  rec.gauge("standards", static_cast<uint64_t>(standard_.size()));
+  rec.gauge("rank_standards", static_cast<uint64_t>(rank_standard_.size()));
+  rec.gauge("matrix_cells", static_cast<uint64_t>(cells_.size()));
+  rec.gauge("stale_ranks", static_cast<uint64_t>(stale_.size()));
 }
 
 uint64_t StreamingDetector::inter_flags() const {

@@ -26,6 +26,8 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/events.hpp"
+#include "obs/health.hpp"
 #include "runtime/collector.hpp"
 #include "runtime/detector.hpp"
 #include "runtime/types.hpp"
@@ -43,7 +45,7 @@ struct StandardUpdate {
   double value = 0.0;
 };
 
-class StreamingDetector final : public BatchSink {
+class StreamingDetector final : public BatchSink, public obs::HealthSource {
  public:
   /// The analysis horizon (`run_time`) and rank count are fixed up front,
   /// exactly like a batch analysis over the same window; records past the
@@ -92,8 +94,11 @@ class StreamingDetector final : public BatchSink {
   /// BatchTransport::sweep_stale), late stragglers from it are counted in
   /// stale_records() and excluded from standard-time updates, matrices,
   /// flags, and statistics, instead of silently skewing the analysis with
-  /// a half-delivered history. Idempotent; thread-safe.
-  void mark_stale(int rank);
+  /// a half-delivered history. Idempotent; thread-safe. The `now` overload
+  /// stamps the sweep's virtual time onto the emitted StaleRank event;
+  /// callers that don't know the time get an unstamped event (t = -1).
+  void mark_stale(int rank) { mark_stale(rank, -1.0); }
+  void mark_stale(int rank, double now);
   std::vector<int> stale_ranks() const;
 
   /// Transport-layer stale verdicts arriving through the collector (the
@@ -138,6 +143,19 @@ class StreamingDetector final : public BatchSink {
   int ranks() const { return ranks_; }
   double run_time() const { return run_time_; }
   size_t sensor_count() const { return sensors_.size(); }
+
+  /// Health plane (opt-in, non-owning). With hooks engaged, every online
+  /// variance flag and stale-rank verdict becomes a structured event with
+  /// its full causal context (virtual time, rank, sensor, group, score vs.
+  /// standard). Wire before folding starts; one null-check branch when
+  /// unwired. Journal replay after a crash re-folds batches through the
+  /// same path, so events are at-least-once across a recovery — exactly
+  /// mirroring what the server re-did.
+  void set_event_hooks(obs::EventHooks hooks) { hooks_ = hooks; }
+
+  /// Health plane: fold counters, flag totals, and board sizes (standards,
+  /// per-rank standards, matrix cells, stale set).
+  void sample_health(double now, obs::HealthRecorder& rec) const override;
 
   // (sensor, group, rank, bucket) -> standard-free matrix contributions.
   // Degenerate records never reach a cell, so every contribution has a
@@ -214,6 +232,8 @@ class StreamingDetector final : public BatchSink {
   uint64_t degenerate_records_ = 0;
   uint64_t intra_flags_ = 0;
   uint64_t inter_flags_ = 0;
+  /// Health plane (non-owning; disengaged = one branch per flag site).
+  obs::EventHooks hooks_;
 };
 
 }  // namespace vsensor::rt

@@ -84,6 +84,10 @@ BatchTransport::~BatchTransport() { drain(); }
 
 void BatchTransport::deliver(int rank, uint64_t seq,
                              std::span<const SliceRecord> batch, double now) {
+  // The health sampler rides the delivery clock: every unique arrival is a
+  // chance for virtual time to cross the next sampling boundary. Called
+  // here — never under mu_ — because sampling re-enters sample_health().
+  if (sampler_ != nullptr) sampler_->maybe_sample(now);
   if (sink_ != nullptr) {
     sink_->on_delivery(rank, seq, batch, now);
   } else if (collector_ != nullptr) {
@@ -159,7 +163,21 @@ bool BatchTransport::ship_enqueue(int rank, std::vector<SliceRecord>&& records,
     rc.dropped_batches.fetch_add(1, std::memory_order_relaxed);
     rc.dropped_records.fetch_add(n, std::memory_order_relaxed);
     VS_OBS_ONLY(if (obs::enabled()) TransportInstruments::get().lost.add();)
+    if (hooks_) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::RingOverflow;
+      ev.t = now;
+      ev.rank = rank;
+      ev.count = n;
+      hooks_.emit(std::move(ev));
+    }
     return false;
+  }
+  // Producer-side high-water mark: how deep this ring has ever been.
+  const auto depth = static_cast<uint64_t>(rc.ring.size_approx());
+  uint64_t hw = rc.high_water.load(std::memory_order_relaxed);
+  while (hw < depth && !rc.high_water.compare_exchange_weak(
+                           hw, depth, std::memory_order_relaxed)) {
   }
   return true;
 }
@@ -402,6 +420,90 @@ RankChannelStats BatchTransport::totals() const {
     sum.ring_dropped_records += s.ring_dropped_records;
   }
   return sum;
+}
+
+void BatchTransport::sample_health(double now,
+                                   obs::HealthRecorder& rec) const {
+  uint64_t sent = 0, delivered = 0, lost = 0, records = 0, retries = 0;
+  uint64_t dup = 0, wire = 0;
+  uint64_t never_delivered = 0, stale_reported = 0;
+  double lag_max = 0.0, lag_sum = 0.0;
+  int lag_max_rank = -1;
+  size_t lagging = 0;
+  uint64_t wm_min = 0, wm_max = 0;
+  bool wm_init = false;
+  size_t delayed_depth = 0;
+  size_t nranks = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nranks = channels_.size();
+    for (size_t r = 0; r < channels_.size(); ++r) {
+      const Channel& ch = channels_[r];
+      sent += ch.stats.batches_sent;
+      delivered += ch.stats.batches_delivered;
+      lost += ch.stats.batches_lost;
+      records += ch.stats.records_delivered;
+      retries += ch.stats.retries;
+      dup += ch.stats.duplicates_suppressed;
+      wire += ch.stats.wire_bytes;
+      if (ch.reported_stale) ++stale_reported;
+      const double last = ch.stats.last_delivery_time;
+      if (last < 0.0) {
+        ++never_delivered;
+      } else {
+        const double lag = now > last ? now - last : 0.0;
+        lag_sum += lag;
+        ++lagging;
+        if (lag > lag_max) {
+          lag_max = lag;
+          lag_max_rank = static_cast<int>(r);
+        }
+      }
+      const uint64_t wm = ch.seen.contiguous;
+      if (!wm_init) {
+        wm_min = wm_max = wm;
+        wm_init = true;
+      } else {
+        wm_min = std::min(wm_min, wm);
+        wm_max = std::max(wm_max, wm);
+      }
+    }
+    delayed_depth = delayed_.size();
+    if (!rings_.empty()) {
+      uint64_t occ_sum = 0, occ_max = 0, hw_max = 0, rdrop_b = 0, rdrop_r = 0;
+      for (const auto& rcp : rings_) {
+        const auto occ = static_cast<uint64_t>(rcp->ring.size_approx());
+        occ_sum += occ;
+        occ_max = std::max(occ_max, occ);
+        hw_max = std::max(hw_max,
+                          rcp->high_water.load(std::memory_order_relaxed));
+        rdrop_b += rcp->dropped_batches.load(std::memory_order_relaxed);
+        rdrop_r += rcp->dropped_records.load(std::memory_order_relaxed);
+      }
+      rec.gauge("ring.occupancy", occ_sum);
+      rec.gauge("ring.occupancy_max", occ_max);
+      rec.gauge("ring.high_water", hw_max);
+      rec.gauge("ring.dropped_batches", rdrop_b);
+      rec.gauge("ring.dropped_records", rdrop_r);
+    }
+  }
+  rec.gauge("ranks", static_cast<uint64_t>(nranks));
+  rec.gauge("batches_sent", sent);
+  rec.gauge("batches_delivered", delivered);
+  rec.gauge("batches_lost", lost);
+  rec.gauge("records_delivered", records);
+  rec.gauge("retries", retries);
+  rec.gauge("duplicates_suppressed", dup);
+  rec.gauge("wire_bytes", wire);
+  rec.gauge("stale_reported", stale_reported);
+  rec.gauge("ranks_never_delivered", never_delivered);
+  rec.gauge("delay_queue_depth", static_cast<uint64_t>(delayed_depth));
+  rec.gauge("lag_max", lag_max);
+  rec.gauge("lag_max_rank", lag_max_rank);
+  rec.gauge("lag_mean", lagging != 0 ? lag_sum / static_cast<double>(lagging)
+                                     : 0.0);
+  rec.gauge("watermark_min", wm_min);
+  rec.gauge("watermark_skew", wm_max - wm_min);
 }
 
 }  // namespace vsensor::rt

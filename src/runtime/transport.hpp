@@ -32,6 +32,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/events.hpp"
+#include "obs/health.hpp"
 #include "runtime/collector.hpp"
 #include "runtime/record_batch.hpp"
 #include "runtime/types.hpp"
@@ -134,7 +136,7 @@ struct RankChannelStats {
   uint64_t ring_dropped_records = 0;
 };
 
-class BatchTransport {
+class BatchTransport : public obs::HealthSource {
  public:
   /// `collector` receives every unique delivery; `faults` (optional, not
   /// owned) injects failures. With no fault model the transport is a
@@ -219,6 +221,20 @@ class BatchTransport {
   int ranks() const { return static_cast<int>(channels_.size()); }
   const TransportConfig& config() const { return cfg_; }
 
+  /// Health plane (opt-in, non-owning). Hooks emit RingOverflow events
+  /// from the producer edge; the sampler is poked with the virtual arrival
+  /// time of every unique delivery (the transport's natural clock ticks).
+  /// Both must be wired before ranks start shipping and cleared only after
+  /// they quiesce — the producer path reads them unsynchronized.
+  void set_event_hooks(obs::EventHooks hooks) { hooks_ = hooks; }
+  void set_health_sampler(obs::HealthSampler* sampler) { sampler_ = sampler; }
+
+  /// Aggregate channel health: delivery/loss totals, per-rank channel lag
+  /// (now − last delivery) extremes, watermark skew (spread of contiguous
+  /// sequence watermarks across ranks), delay-queue depth, and — in ring
+  /// mode — SPSC occupancy, high-water, and overflow drops.
+  void sample_health(double now, obs::HealthRecorder& rec) const override;
+
  private:
   struct DelayedBatch {
     int rank = -1;
@@ -255,6 +271,9 @@ class BatchTransport {
     SpscRing<PendingShip> ring;
     std::atomic<uint64_t> dropped_batches{0};
     std::atomic<uint64_t> dropped_records{0};
+    /// Deepest occupancy the producer ever observed after an enqueue —
+    /// the health plane's saturation signal for this rank's ring.
+    std::atomic<uint64_t> high_water{0};
     explicit RingChannel(size_t capacity) : ring(capacity) {}
   };
 
@@ -292,6 +311,10 @@ class BatchTransport {
   /// serialization for pump().
   std::vector<std::unique_ptr<RingChannel>> rings_;
   std::mutex pump_mu_;
+
+  /// Health plane (non-owning; null = unwired, one branch per site).
+  obs::EventHooks hooks_;
+  obs::HealthSampler* sampler_ = nullptr;
 };
 
 }  // namespace vsensor::rt

@@ -114,6 +114,30 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
       transport = std::make_unique<rt::BatchTransport>(
           collector, sim_config.ranks, options.transport, faults.get());
     }
+    // Health plane wiring (all non-owning): the caller's sampler and event
+    // log see this run's transport and analysis stack until the run ends.
+    if (options.events != nullptr) {
+      transport->set_event_hooks(obs::EventHooks{options.events, nullptr, -1});
+      if (options.analysis_tier != nullptr) {
+        options.analysis_tier->set_event_log(options.events);
+      } else if (options.server != nullptr) {
+        options.server->set_event_hooks(
+            obs::EventHooks{options.events, nullptr, -1});
+      }
+    }
+    if (options.health != nullptr) {
+      options.health->add_source("transport", transport.get());
+      if (options.analysis_tier != nullptr) {
+        options.health->add_source("tier", options.analysis_tier);
+      } else if (options.server != nullptr) {
+        options.health->add_source("server", options.server);
+      } else {
+        options.health->add_source("collector", collector);
+      }
+      // The transport pokes the sampler from its delivery path — the only
+      // place that sees virtual time advance with no pipeline lock held.
+      transport->set_health_sampler(options.health);
+    }
   }
   std::vector<std::unique_ptr<rt::SensorRuntime>> runtimes(
       static_cast<size_t>(sim_config.ranks));
@@ -166,9 +190,9 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
     // detector hears about stale ranks through the collector's sink hook.
     transport->sweep_stale(run.makespan, [&](int r) {
       if (options.server != nullptr) {
-        options.server->mark_stale(r);
+        options.server->mark_stale(r, run.makespan);
       } else if (options.analysis_tier != nullptr) {
-        options.analysis_tier->mark_stale(r);
+        options.analysis_tier->mark_stale(r, run.makespan);
       } else {
         collector->notify_stale(r);
       }
@@ -182,6 +206,21 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
     // raw staleness recomputation that can disagree with the journaled
     // exclusions (e.g. a rank that recovered after being swept).
     run.stale_ranks = transport->reported_stale_ranks();
+    // Close the health plane: one unconditional makespan snapshot, then
+    // unregister everything scoped to this run (the sampler outlives the
+    // transport it was observing).
+    if (options.health != nullptr) {
+      options.health->sample_now(run.makespan);
+      transport->set_health_sampler(nullptr);
+      options.health->remove_source("transport");
+      if (options.analysis_tier != nullptr) {
+        options.health->remove_source("tier");
+      } else if (options.server != nullptr) {
+        options.health->remove_source("server");
+      } else {
+        options.health->remove_source("collector");
+      }
+    }
   }
   VS_OBS_ONLY(if (obs::enabled()) {
     vs_obs_span.set_virtual(0.0, run.makespan);

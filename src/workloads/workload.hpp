@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "interp/interp.hpp"
+#include "obs/events.hpp"
+#include "obs/health.hpp"
 #include "runtime/collector.hpp"
 #include "runtime/sensor.hpp"
 #include "runtime/transport.hpp"
@@ -128,6 +130,16 @@ struct RunOptions {
   /// ignored for storage (each shard owns its own) but still receives the
   /// sensor table for callers that inspect it.
   rt::ShardedAnalysisTier* analysis_tier = nullptr;
+  /// Live health plane (optional, not owned). When set, the transport's
+  /// delivery path pokes the sampler at virtual-time boundary crossings,
+  /// and run_workload registers the transport plus the attached
+  /// server/tier/collector as sources for the run's duration, closing with
+  /// one unconditional snapshot at the makespan.
+  obs::HealthSampler* health = nullptr;
+  /// Structured event log (optional, not owned). Wired into the transport
+  /// (ring overflow) and the attached server/tier (variance flags, stale
+  /// sweeps, crash/recovery/salvage, standards broadcasts).
+  obs::EventLog* events = nullptr;
 };
 
 struct WorkloadRun {

@@ -8,8 +8,10 @@
 // telemetry on/off, and probe overhead below the paper's 4% bound.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -386,6 +388,99 @@ TEST(SpanTracer, EmptyTraceIsValidJson) {
   std::ostringstream out;
   tracer.write_chrome_trace(out);
   EXPECT_TRUE(JsonParser(out.str()).valid());
+}
+
+// --- runtime gate -----------------------------------------------------------
+
+// The VSENSOR_OBS environment variable is read exactly once: flipping it
+// after the first enabled() call must not change the gate, and
+// set_enabled() always wins over whatever the environment said.
+TEST(EnvGate, EnvironmentIsReadOnce) {
+  // Seed: env says ON. After the gate is primed, the env is dead weight.
+  ASSERT_EQ(setenv("VSENSOR_OBS", "1", 1), 0);
+  obs::reread_env_gate_for_testing();
+  EXPECT_TRUE(obs::enabled());
+  ASSERT_EQ(setenv("VSENSOR_OBS", "0", 1), 0);
+  EXPECT_TRUE(obs::enabled()) << "env re-read after the first call";
+
+  // Fresh gate with env OFF ("0" and empty both mean off).
+  obs::reread_env_gate_for_testing();
+  EXPECT_FALSE(obs::enabled());
+  ASSERT_EQ(setenv("VSENSOR_OBS", "", 1), 0);
+  obs::reread_env_gate_for_testing();
+  EXPECT_FALSE(obs::enabled());
+
+  // set_enabled() overrides the environment in both directions, and also
+  // pre-empts the env read entirely when called first.
+  ASSERT_EQ(setenv("VSENSOR_OBS", "1", 1), 0);
+  obs::reread_env_gate_for_testing();
+  obs::set_enabled(false);
+  EXPECT_FALSE(obs::enabled()) << "set_enabled(false) lost to the env";
+  obs::set_enabled(true);
+  EXPECT_TRUE(obs::enabled());
+
+  // Restore the default state for the rest of the suite.
+  ASSERT_EQ(unsetenv("VSENSOR_OBS"), 0);
+  obs::reread_env_gate_for_testing();
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST(EnvGate, ConcurrentFirstReadsAgree) {
+  ASSERT_EQ(setenv("VSENSOR_OBS", "1", 1), 0);
+  obs::reread_env_gate_for_testing();
+  constexpr int kThreads = 8;
+  std::atomic<int> true_votes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&true_votes] {
+      if (obs::enabled()) true_votes.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Racing first reads all see the same environment, so they agree.
+  EXPECT_EQ(true_votes.load(), kThreads);
+  ASSERT_EQ(unsetenv("VSENSOR_OBS"), 0);
+  obs::reread_env_gate_for_testing();
+}
+
+// reset() zeroes values but never invalidates instrument references —
+// readers holding a Counter& across a concurrent reset must only ever see
+// the old value or zero, never a torn read or a dangling instrument.
+TEST(MetricsRegistry, ResetKeepsReferencesStableUnderConcurrentReaders) {
+  obs::MetricsRegistry reg;
+  obs::Counter& ctr = reg.counter("stable.count");
+  obs::Gauge& gauge = reg.gauge("stable.gauge");
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)ctr.value();
+        (void)gauge.value();
+        (void)reg.snapshot();
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Keep resetting until the readers have demonstrably overlapped with
+  // at least a few resets — a fixed round count can finish before the
+  // reader threads are even scheduled.
+  int round = 0;
+  while (round < 200 || reads.load(std::memory_order_relaxed) < 100) {
+    ctr.add(7);
+    gauge.set(static_cast<double>(round));
+    reg.reset();
+    ++round;
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(reads.load(), 0u);
+  // The pre-reset references still address the registry's instruments.
+  ctr.add(1);
+  EXPECT_EQ(&reg.counter("stable.count"), &ctr);
+  EXPECT_EQ(reg.counter("stable.count").value(), 1u);
+  EXPECT_EQ(reg.instrument_count(), 2u);
 }
 
 // --- stage attribution ------------------------------------------------------

@@ -16,11 +16,18 @@
 //
 //   vsensor-report --journal=analysis.journal      # verify + summarize
 //   vsensor-report --checkpoint=analysis.ckpt      # verify + summarize
+//
+// And so are the health plane's JSONL artifacts:
+//
+//   vsensor-report --health=run.health             # gauge summary table
+//   vsensor-report --events=run.events             # flag/crash timeline
+//   vsensor-report --flight=analysis.journal.flight.shard0
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "obs/identity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -47,6 +54,10 @@ struct Options {
   std::string trace_out;    ///< Chrome trace-event JSON destination
   std::string journal;      ///< write-ahead journal to inspect/verify
   std::string checkpoint;   ///< checkpoint file to inspect/verify
+  std::string health;       ///< vsensor-health/1 JSONL to render
+  std::string events;       ///< vsensor-events/1 JSONL to render
+  std::string flight;       ///< vsensor-flight/1 crash dump to render
+  int max_events = 0;       ///< cap the --events timeline (0 = all)
 };
 
 [[noreturn]] void usage() {
@@ -56,7 +67,10 @@ struct Options {
                "  [--series=comp|net|io] [--points=N]\n"
                "  [--metrics-out=FILE] [--trace-out=FILE]\n"
                "   or: vsensor-report --journal=FILE\n"
-               "   or: vsensor-report --checkpoint=FILE\n");
+               "   or: vsensor-report --checkpoint=FILE\n"
+               "   or: vsensor-report --health=FILE\n"
+               "   or: vsensor-report --events=FILE [--max-events=N]\n"
+               "   or: vsensor-report --flight=FILE\n");
   std::exit(2);
 }
 
@@ -98,6 +112,14 @@ Options parse(int argc, char** argv) {
       opts.journal = value;
     } else if (flag_value(argv[i], "--checkpoint", &value)) {
       opts.checkpoint = value;
+    } else if (flag_value(argv[i], "--health", &value)) {
+      opts.health = value;
+    } else if (flag_value(argv[i], "--events", &value)) {
+      opts.events = value;
+    } else if (flag_value(argv[i], "--flight", &value)) {
+      opts.flight = value;
+    } else if (flag_value(argv[i], "--max-events", &value)) {
+      opts.max_events = std::stoi(value);
     } else if (argv[i][0] == '-') {
       usage();
     } else if (opts.input.empty()) {
@@ -106,7 +128,8 @@ Options parse(int argc, char** argv) {
       usage();
     }
   }
-  if (opts.input.empty() && opts.journal.empty() && opts.checkpoint.empty()) {
+  if (opts.input.empty() && opts.journal.empty() && opts.checkpoint.empty() &&
+      opts.health.empty() && opts.events.empty() && opts.flight.empty()) {
     usage();
   }
   return opts;
@@ -184,11 +207,25 @@ rt::SensorType parse_series(const std::string& s) {
 }
 
 int run_tool(const Options& opts) {
-  if (!opts.journal.empty() || !opts.checkpoint.empty()) {
+  if (!opts.journal.empty() || !opts.checkpoint.empty() ||
+      !opts.health.empty() || !opts.events.empty() || !opts.flight.empty()) {
     int rc = 0;
     if (!opts.journal.empty()) rc = std::max(rc, inspect_journal(opts.journal));
     if (!opts.checkpoint.empty()) {
       rc = std::max(rc, inspect_checkpoint(opts.checkpoint));
+    }
+    if (!opts.health.empty()) {
+      std::printf("%s", report::render_health_file(opts.health).c_str());
+    }
+    if (!opts.events.empty()) {
+      std::printf("%s",
+                  report::render_events_file(
+                      opts.events, static_cast<size_t>(
+                                       std::max(opts.max_events, 0)))
+                      .c_str());
+    }
+    if (!opts.flight.empty()) {
+      std::printf("%s", report::render_flight_file(opts.flight).c_str());
     }
     return rc;
   }
@@ -254,16 +291,22 @@ int run_tool(const Options& opts) {
     }
   }
 
+  // Every exported artifact carries the run identity header so a reader
+  // can tell which invocation (and record layout) produced it.
+  obs::RunIdentity id;
+  id.tool = "vsensor-report";
+  id.config = opts.input;
+  id.record_layout_bytes = rt::kRecordWireBytes;
   if (!opts.metrics_out.empty()) {
     std::ofstream out(opts.metrics_out);
     if (!out) throw Error("cannot open metrics file: " + opts.metrics_out);
-    obs::MetricsRegistry::global().write_jsonl(out);
+    obs::MetricsRegistry::global().write_jsonl(out, &id);
     std::printf("wrote metrics to %s\n", opts.metrics_out.c_str());
   }
   if (!opts.trace_out.empty()) {
     std::ofstream out(opts.trace_out);
     if (!out) throw Error("cannot open trace file: " + opts.trace_out);
-    obs::SpanTracer::global().write_chrome_trace(out);
+    obs::SpanTracer::global().write_chrome_trace(out, &id);
     std::printf("wrote trace to %s\n", opts.trace_out.c_str());
   }
   return analysis.events.empty() ? 0 : 3;
