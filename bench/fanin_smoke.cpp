@@ -147,6 +147,7 @@ int main(int argc, char** argv) {
   // health sampler wired, exporting the JSONL artifacts CI uploads. The
   // replay is single-threaded, so the snapshot stream and event log are
   // bit-identical across reruns of the same seed.
+  int export_failures = 0;
   {
     rt::ShardedTierConfig tcfg;
     tcfg.shards = shards;
@@ -183,11 +184,19 @@ int main(int argc, char** argv) {
       }
     }
     health.sample_now(run.makespan);
-    {
-      std::ofstream hout("fanin_smoke.health.jsonl");
-      health.write_jsonl(hout, &id);
-      std::ofstream eout("fanin_smoke.events.jsonl");
-      events.write_jsonl(eout, &id);
+    // Export failures are loud, not silent: warn and exit nonzero so CI
+    // never uploads a truncated artifact.
+    if (!health.export_file("fanin_smoke.health.jsonl", &id)) {
+      std::fprintf(stderr,
+                   "warning: export failed (disk full? permissions?): "
+                   "fanin_smoke.health.jsonl\n");
+      ++export_failures;
+    }
+    if (!events.export_file("fanin_smoke.events.jsonl", &id)) {
+      std::fprintf(stderr,
+                   "warning: export failed (disk full? permissions?): "
+                   "fanin_smoke.events.jsonl\n");
+      ++export_failures;
     }
     std::printf(
         "wrote fanin_smoke.health.jsonl (%zu snapshots), "
@@ -199,6 +208,11 @@ int main(int argc, char** argv) {
       std::remove(scfg.journal_path.c_str());
       std::remove(scfg.checkpoint_path.c_str());
     }
+  }
+  if (export_failures != 0) {
+    std::fprintf(stderr, "%d export(s) failed — artifacts are incomplete\n",
+                 export_failures);
+    return 1;
   }
   return 0;
 }

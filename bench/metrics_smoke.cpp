@@ -203,26 +203,30 @@ int main(int argc, char** argv) {
                           .c_str());
 
   // --- exports (CI uploads these), all stamped with the run identity ----
+  // A failed export is a loud failure, not a shrug: warn on stderr and
+  // exit nonzero so CI never uploads a silently-truncated artifact.
+  int export_failures = 0;
+  const auto must_export = [&](bool ok, const std::string& path) {
+    if (!ok) {
+      std::fprintf(stderr, "warning: export failed (disk full? permissions?): %s\n",
+                   path.c_str());
+      ++export_failures;
+    }
+  };
   {
     std::ofstream out(metrics_path);
-    VS_CHECK_MSG(static_cast<bool>(out), "cannot open metrics output");
-    obs::MetricsRegistry::global().write_jsonl(out, &id);
+    if (out) obs::MetricsRegistry::global().write_jsonl(out, &id);
+    out.flush();
+    must_export(static_cast<bool>(out), metrics_path);
   }
   {
     std::ofstream out(trace_path);
-    VS_CHECK_MSG(static_cast<bool>(out), "cannot open trace output");
-    obs::SpanTracer::global().write_chrome_trace(out, &id);
+    if (out) obs::SpanTracer::global().write_chrome_trace(out, &id);
+    out.flush();
+    must_export(static_cast<bool>(out), trace_path);
   }
-  {
-    std::ofstream out(health_path);
-    VS_CHECK_MSG(static_cast<bool>(out), "cannot open health output");
-    health.write_jsonl(out, &id);
-  }
-  {
-    std::ofstream out(events_path);
-    VS_CHECK_MSG(static_cast<bool>(out), "cannot open events output");
-    events.write_jsonl(out, &id);
-  }
+  must_export(health.export_file(health_path, &id), health_path);
+  must_export(events.export_file(events_path, &id), events_path);
   std::printf("exports: %s (%zu instruments), %s (%zu spans), %s (%zu "
               "snapshots), %s (%zu events)\n",
               metrics_path.c_str(),
@@ -271,5 +275,10 @@ int main(int argc, char** argv) {
               "sampler live, matrices identical with the health plane "
               "on/off\n",
               report.virtual_overhead_fraction * 100.0);
+  if (export_failures != 0) {
+    std::fprintf(stderr, "%d export(s) failed — artifacts are incomplete\n",
+                 export_failures);
+    return 1;
+  }
   return 0;
 }

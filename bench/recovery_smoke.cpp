@@ -174,11 +174,17 @@ int main() {
                "event log missed a recovery");
   VS_CHECK_MSG(events.count(obs::EventKind::JournalSalvage) == 3,
                "event log missed a torn-journal salvage");
+  // A failed event export is a loud failure, not a shrug: warn on stderr
+  // and exit nonzero so CI never uploads a silently-truncated artifact.
+  int export_failures = 0;
   {
     const auto id = identity();
-    std::ofstream out("recovery_smoke.events.jsonl");
-    VS_CHECK_MSG(static_cast<bool>(out), "cannot open events output");
-    events.write_jsonl(out, &id);
+    if (!events.export_file("recovery_smoke.events.jsonl", &id)) {
+      std::fprintf(stderr,
+                   "warning: export failed (disk full? permissions?): "
+                   "recovery_smoke.events.jsonl\n");
+      ++export_failures;
+    }
   }
   {
     std::ifstream flight(crashed.flight_path);
@@ -216,5 +222,10 @@ int main() {
   std::printf("\nall invariants hold: recovered run == uninterrupted run, "
               "no record lost or double-counted across %llu crashes\n",
               static_cast<unsigned long long>(crashed.crashes));
+  if (export_failures != 0) {
+    std::fprintf(stderr, "%d export(s) failed — artifacts are incomplete\n",
+                 export_failures);
+    return 1;
+  }
   return 0;
 }

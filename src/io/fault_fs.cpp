@@ -1,0 +1,174 @@
+#include "io/fault_fs.hpp"
+
+#include "support/rng.hpp"
+
+namespace vsensor::io {
+
+namespace {
+
+/// Pure uniform draw in [0, 1): mix of (seed, salt, op), no state. Same
+/// shape as simmpi::FaultInjector::unit.
+double unit(uint64_t seed, uint64_t salt, uint64_t op) {
+  return static_cast<double>(
+             mix64(hash_combine(hash_combine(seed, salt), op)) >> 11) *
+         0x1.0p-53;
+}
+
+}  // namespace
+
+/// File wrapper: every append/flush consumes one op slot of the owning
+/// FaultFs, so a file's fault pattern depends only on the global op
+/// sequence — not on which file it is.
+class FaultFile final : public File {
+ public:
+  FaultFile(FaultFs* fs, std::unique_ptr<File> inner)
+      : fs_(fs), inner_(std::move(inner)) {}
+
+  IoResult append(const char* data, size_t len) override;
+  IoResult flush() override;
+
+ private:
+  FaultFs* fs_;
+  std::unique_ptr<File> inner_;
+};
+
+IoResult FaultFile::append(const char* data, size_t len) {
+  const uint64_t op = fs_->next_op();
+  const auto& cfg = fs_->config();
+  if (fs_->denied(op) || fs_->roll(op, FaultFs::Fault::Enospc, cfg.enospc)) {
+    fs_->count(FaultFs::Fault::Enospc);
+    return IoResult::failure("injected ENOSPC (op " + std::to_string(op) + ")");
+  }
+  if (len >= 2 &&
+      fs_->roll(op, FaultFs::Fault::ShortWrite, cfg.short_write)) {
+    fs_->count(FaultFs::Fault::ShortWrite);
+    const size_t cut = fs_->short_len(op, len);
+    const auto r = inner_->append(data, cut);
+    // The inner write itself is assumed to land (RealFs under a test);
+    // report the injected tear either way.
+    return IoResult::failure(
+        "injected short write (op " + std::to_string(op) + ", " +
+            std::to_string(cut) + "/" + std::to_string(len) + " bytes)",
+        r.ok ? cut : r.written);
+  }
+  return inner_->append(data, len);
+}
+
+IoResult FaultFile::flush() {
+  const uint64_t op = fs_->next_op();
+  const auto& cfg = fs_->config();
+  if (fs_->denied(op) || fs_->roll(op, FaultFs::Fault::Flush, cfg.flush_fail)) {
+    fs_->count(FaultFs::Fault::Flush);
+    return IoResult::failure("injected flush failure (op " +
+                             std::to_string(op) + ")");
+  }
+  return inner_->flush();
+}
+
+FaultFs::FaultFs(FaultFsConfig cfg, Vfs* inner)
+    : cfg_(std::move(cfg)), inner_(inner != nullptr ? inner : &real_fs()) {}
+
+bool FaultFs::roll(uint64_t op, Fault kind, double prob) const {
+  if (prob <= 0.0) return false;
+  return unit(cfg_.seed, static_cast<uint64_t>(kind), op) < prob;
+}
+
+bool FaultFs::denied(uint64_t op) const {
+  for (const auto& [lo, hi] : cfg_.deny_ops) {
+    if (op >= lo && op <= hi) return true;
+  }
+  return false;
+}
+
+size_t FaultFs::short_len(uint64_t op, size_t len) const {
+  // Strict prefix, at least one byte: 1 + hash % (len - 1).
+  const uint64_t h = mix64(
+      hash_combine(hash_combine(cfg_.seed, uint64_t{0x1E27}), op));
+  return 1 + static_cast<size_t>(h % (len - 1));
+}
+
+void FaultFs::count(Fault kind) {
+  switch (kind) {
+    case Fault::Open: open_failures_.fetch_add(1, std::memory_order_relaxed); break;
+    case Fault::Enospc: enospc_.fetch_add(1, std::memory_order_relaxed); break;
+    case Fault::ShortWrite: short_writes_.fetch_add(1, std::memory_order_relaxed); break;
+    case Fault::Flush: flush_failures_.fetch_add(1, std::memory_order_relaxed); break;
+    case Fault::Rename: rename_failures_.fetch_add(1, std::memory_order_relaxed); break;
+    case Fault::Truncate: truncate_failures_.fetch_add(1, std::memory_order_relaxed); break;
+    case Fault::Remove: remove_failures_.fetch_add(1, std::memory_order_relaxed); break;
+  }
+}
+
+uint64_t FaultFs::injected() const {
+  return open_failures_.load(std::memory_order_relaxed) +
+         enospc_.load(std::memory_order_relaxed) +
+         short_writes_.load(std::memory_order_relaxed) +
+         flush_failures_.load(std::memory_order_relaxed) +
+         rename_failures_.load(std::memory_order_relaxed) +
+         truncate_failures_.load(std::memory_order_relaxed) +
+         remove_failures_.load(std::memory_order_relaxed);
+}
+
+std::unique_ptr<File> FaultFs::open_truncate(const std::string& path,
+                                             std::string* error) {
+  const uint64_t op = next_op();
+  if (denied(op) || roll(op, Fault::Open, cfg_.open_fail)) {
+    count(Fault::Open);
+    if (error != nullptr) {
+      *error = "injected open failure (op " + std::to_string(op) + "): " + path;
+    }
+    return nullptr;
+  }
+  auto inner = inner_->open_truncate(path, error);
+  if (inner == nullptr) return nullptr;
+  return std::make_unique<FaultFile>(this, std::move(inner));
+}
+
+std::unique_ptr<File> FaultFs::open_append(const std::string& path,
+                                           std::string* error) {
+  const uint64_t op = next_op();
+  if (denied(op) || roll(op, Fault::Open, cfg_.open_fail)) {
+    count(Fault::Open);
+    if (error != nullptr) {
+      *error = "injected open failure (op " + std::to_string(op) + "): " + path;
+    }
+    return nullptr;
+  }
+  auto inner = inner_->open_append(path, error);
+  if (inner == nullptr) return nullptr;
+  return std::make_unique<FaultFile>(this, std::move(inner));
+}
+
+IoResult FaultFs::rename_file(const std::string& from, const std::string& to) {
+  const uint64_t op = next_op();
+  if (denied(op) || roll(op, Fault::Rename, cfg_.rename_fail)) {
+    count(Fault::Rename);
+    // Crash-in-the-publish-window model: `from` (the .tmp) survives, `to`
+    // keeps its previous content — nothing is performed.
+    return IoResult::failure("injected rename failure (op " +
+                             std::to_string(op) + "): " + from);
+  }
+  return inner_->rename_file(from, to);
+}
+
+IoResult FaultFs::truncate_file(const std::string& path, uint64_t size) {
+  const uint64_t op = next_op();
+  if (denied(op) || roll(op, Fault::Truncate, cfg_.truncate_fail)) {
+    count(Fault::Truncate);
+    return IoResult::failure("injected truncate failure (op " +
+                             std::to_string(op) + "): " + path);
+  }
+  return inner_->truncate_file(path, size);
+}
+
+IoResult FaultFs::remove_file(const std::string& path) {
+  const uint64_t op = next_op();
+  if (denied(op) || roll(op, Fault::Remove, cfg_.remove_fail)) {
+    count(Fault::Remove);
+    return IoResult::failure("injected remove failure (op " +
+                             std::to_string(op) + "): " + path);
+  }
+  return inner_->remove_file(path);
+}
+
+}  // namespace vsensor::io

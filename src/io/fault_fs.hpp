@@ -1,0 +1,116 @@
+// Deterministic storage-fault injector over an inner Vfs.
+//
+// Every faultable operation (open, append, flush, rename, truncate,
+// remove) consumes one slot of a monotonically increasing op counter, and
+// the decision for that slot is a pure hash of (seed, op index, fault
+// salt) — the same discipline simmpi::FaultInjector uses for the network.
+// Two consequences the chaos tests lean on:
+//
+//  * Replay determinism: driving the same operation sequence against the
+//    same config produces byte-identical files, identical failure points,
+//    identical injected-fault counters. No RNG state, no wall clock.
+//  * Schedulable outages: deny_ops windows fail every op whose index falls
+//    inside them, so a test can script "the disk is gone for ops 10..40"
+//    and watch the degraded → re-armed state machine walk its transitions.
+//
+// Fault semantics:
+//  * enospc      — append writes nothing and fails (device full).
+//  * short_write — append writes a hash-derived strict prefix, then fails
+//    (torn frame / torn line at a byte boundary the test can predict).
+//  * flush_fail  — flush fails; appended bytes stay in limbo.
+//  * rename_fail — the rename is NOT performed and fails. This is the
+//    crash-in-the-publish-window model: the `.tmp` checkpoint survives on
+//    disk, the target keeps its previous content, and recovery has an
+//    orphan to clean up.
+//  * open_fail / truncate_fail — the call fails outright.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/vfs.hpp"
+
+namespace vsensor::io {
+
+struct FaultFsConfig {
+  uint64_t seed = 1;
+  double open_fail = 0.0;
+  double enospc = 0.0;
+  double short_write = 0.0;
+  double flush_fail = 0.0;
+  double rename_fail = 0.0;
+  double truncate_fail = 0.0;
+  double remove_fail = 0.0;
+  /// Scripted outages: an op whose index (0-based) falls inside any
+  /// inclusive [first, second] window fails regardless of probabilities.
+  std::vector<std::pair<uint64_t, uint64_t>> deny_ops;
+};
+
+class FaultFs final : public Vfs {
+ public:
+  /// `inner` null means the real filesystem.
+  explicit FaultFs(FaultFsConfig cfg, Vfs* inner = nullptr);
+
+  std::unique_ptr<File> open_truncate(const std::string& path,
+                                      std::string* error) override;
+  std::unique_ptr<File> open_append(const std::string& path,
+                                    std::string* error) override;
+  IoResult rename_file(const std::string& from, const std::string& to) override;
+  IoResult truncate_file(const std::string& path, uint64_t size) override;
+  IoResult remove_file(const std::string& path) override;
+
+  const FaultFsConfig& config() const { return cfg_; }
+
+  /// Ops that consumed a fault-decision slot so far.
+  uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+  /// Total faults injected, and the per-kind split.
+  uint64_t injected() const;
+  uint64_t injected_open_failures() const { return open_failures_; }
+  uint64_t injected_enospc() const { return enospc_; }
+  uint64_t injected_short_writes() const { return short_writes_; }
+  uint64_t injected_flush_failures() const { return flush_failures_; }
+  uint64_t injected_rename_failures() const { return rename_failures_; }
+  uint64_t injected_truncate_failures() const { return truncate_failures_; }
+  uint64_t injected_remove_failures() const { return remove_failures_; }
+
+ private:
+  friend class FaultFile;
+
+  /// Kinds double as hash salts so each fault class rolls independently.
+  enum class Fault : uint64_t {
+    Open = 0x0F31,
+    Enospc = 0xE205,
+    ShortWrite = 0x5027,
+    Flush = 0xF1A5,
+    Rename = 0x23A3,
+    Truncate = 0x7214,
+    Remove = 0x2307,
+  };
+
+  /// Claim the next op slot.
+  uint64_t next_op() { return ops_.fetch_add(1, std::memory_order_relaxed); }
+  /// Pure decision: does fault `kind` fire at op slot `op`?
+  bool roll(uint64_t op, Fault kind, double prob) const;
+  bool denied(uint64_t op) const;
+  /// Hash-derived prefix length for a short write of `len` bytes (>= 1,
+  /// < len; a 1-byte write "shortens" to 0 is modeled as enospc instead).
+  size_t short_len(uint64_t op, size_t len) const;
+  void count(Fault kind);
+
+  FaultFsConfig cfg_;
+  Vfs* inner_;
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> open_failures_{0};
+  std::atomic<uint64_t> enospc_{0};
+  std::atomic<uint64_t> short_writes_{0};
+  std::atomic<uint64_t> flush_failures_{0};
+  std::atomic<uint64_t> rename_failures_{0};
+  std::atomic<uint64_t> truncate_failures_{0};
+  std::atomic<uint64_t> remove_failures_{0};
+};
+
+}  // namespace vsensor::io

@@ -1,6 +1,5 @@
 #include "obs/events.hpp"
 
-#include <fstream>
 #include <ostream>
 #include <sstream>
 
@@ -18,6 +17,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::Crash: return "crash";
     case EventKind::Recovery: return "recovery";
     case EventKind::CheckpointSaved: return "checkpoint_saved";
+    case EventKind::DurabilityDegraded: return "durability_degraded";
+    case EventKind::DurabilityRearmed: return "durability_rearmed";
+    case EventKind::CheckpointFailed: return "checkpoint_failed";
     case EventKind::kCount: break;
   }
   return "unknown";
@@ -108,6 +110,18 @@ void EventLog::write_jsonl(std::ostream& out, const RunIdentity* id) const {
   }
 }
 
+bool EventLog::export_file(const std::string& path, const RunIdentity* id,
+                           io::Vfs* vfs) const {
+  std::string err;
+  auto file = io::resolve(vfs).open_truncate(path, &err);
+  if (file == nullptr) return false;
+  io::FileStreambuf buf(file.get());
+  std::ostream out(&buf);
+  write_jsonl(out, id);
+  out.flush();
+  return !buf.failed() && out.good();
+}
+
 void EventLog::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
@@ -140,10 +154,13 @@ std::vector<std::string> FlightRecorder::lines() const {
   return std::vector<std::string>(lines_.begin(), lines_.end());
 }
 
-bool FlightRecorder::dump(const std::string& path,
-                          const RunIdentity* id) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
+bool FlightRecorder::dump(const std::string& path, const RunIdentity* id,
+                          io::Vfs* vfs) const {
+  std::string err;
+  auto file = io::resolve(vfs).open_truncate(path, &err);
+  if (file == nullptr) return false;
+  io::FileStreambuf buf(file.get());
+  std::ostream out(&buf);
   if (id != nullptr) {
     write_identity_header(out, "vsensor-flight/1", *id);
   } else {
@@ -153,7 +170,8 @@ bool FlightRecorder::dump(const std::string& path,
   out << "{\"retained\":" << lines_.size() << ",\"total\":" << pushed_
       << "}\n";
   for (const auto& line : lines_) out << line << '\n';
-  return static_cast<bool>(out);
+  out.flush();
+  return !buf.failed() && out.good();
 }
 
 void FlightRecorder::clear() {

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "io/vfs.hpp"
 #include "obs/identity.hpp"
 
 namespace vsensor::obs {
@@ -39,6 +40,9 @@ enum class EventKind : uint8_t {
   Crash,            ///< injected/real server crash fired
   Recovery,         ///< server finished checkpoint restore + replay
   CheckpointSaved,  ///< atomic checkpoint published
+  DurabilityDegraded,  ///< journal gave up retrying; ingest continues non-durable
+  DurabilityRearmed,   ///< fresh checkpoint landed; journaling resumed
+  CheckpointFailed,    ///< a checkpoint publish attempt failed (old one kept)
   kCount
 };
 
@@ -82,6 +86,12 @@ class EventLog {
   /// event object per line in emission order.
   void write_jsonl(std::ostream& out, const RunIdentity* id = nullptr) const;
 
+  /// write_jsonl into a file through `vfs` (null = real filesystem).
+  /// Returns false when the open or any write failed — callers surface
+  /// that as a visible export warning, never a silent truncation.
+  bool export_file(const std::string& path, const RunIdentity* id = nullptr,
+                   io::Vfs* vfs = nullptr) const;
+
   void clear();
 
  private:
@@ -105,10 +115,12 @@ class FlightRecorder {
   uint64_t total_pushed() const;
   std::vector<std::string> lines() const;
 
-  /// Write `vsensor-flight/1`: identity header (when given), then the
-  /// retained lines oldest-first. Returns false when the file can't be
-  /// opened (dump sites must never throw — they run during crashes).
-  bool dump(const std::string& path, const RunIdentity* id = nullptr) const;
+  /// Write `vsensor-flight/1` through `vfs` (null = real filesystem):
+  /// identity header (when given), then the retained lines oldest-first.
+  /// Returns false when the open or a write failed (dump sites must never
+  /// throw — they run during crashes).
+  bool dump(const std::string& path, const RunIdentity* id = nullptr,
+            io::Vfs* vfs = nullptr) const;
 
   void clear();
 

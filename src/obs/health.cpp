@@ -139,6 +139,18 @@ void HealthSampler::write_jsonl(std::ostream& out,
   }
 }
 
+bool HealthSampler::export_file(const std::string& path, const RunIdentity* id,
+                                io::Vfs* vfs) const {
+  std::string err;
+  auto file = io::resolve(vfs).open_truncate(path, &err);
+  if (file == nullptr) return false;
+  io::FileStreambuf buf(file.get());
+  std::ostream out(&buf);
+  write_jsonl(out, id);
+  out.flush();
+  return !buf.failed() && out.good();
+}
+
 void HealthSampler::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lines_.clear();

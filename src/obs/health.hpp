@@ -117,6 +117,11 @@ class HealthSampler {
   /// snapshot object per line in sampling order.
   void write_jsonl(std::ostream& out, const RunIdentity* id = nullptr) const;
 
+  /// write_jsonl into a file through `vfs` (null = real filesystem).
+  /// Returns false when the open or any write failed.
+  bool export_file(const std::string& path, const RunIdentity* id = nullptr,
+                   io::Vfs* vfs = nullptr) const;
+
   void clear();
 
   const HealthSamplerConfig& config() const { return cfg_; }

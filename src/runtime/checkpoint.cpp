@@ -220,26 +220,56 @@ std::string encode_checkpoint(const ServerCheckpoint& ckpt) {
   return out;
 }
 
-void save_checkpoint(const std::string& path, const ServerCheckpoint& ckpt) {
+CheckpointSaveResult try_save_checkpoint(const std::string& path,
+                                         const ServerCheckpoint& ckpt,
+                                         io::Vfs* vfs) {
   VS_OBS_SCOPED_STAGE(obs::Stage::Durability);
+  auto& fs = io::resolve(vfs);
   const std::string bytes = encode_checkpoint(ckpt);
   const std::string tmp = path + ".tmp";
+  CheckpointSaveResult result;
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw Error("cannot open checkpoint for writing: " + tmp);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) throw Error("failed while writing checkpoint: " + tmp);
+    std::string err;
+    auto out = fs.open_truncate(tmp, &err);
+    if (out == nullptr) {
+      result.error = err.empty() ? "cannot open checkpoint for writing: " + tmp
+                                 : err;
+      return result;
+    }
+    const auto w = out->append(bytes.data(), bytes.size());
+    const auto f = w.ok ? out->flush() : io::IoResult::success();
+    if (!w.ok || !f.ok) {
+      result.error = !w.ok ? w.error : f.error;
+      out.reset();
+      // A half-written tmp is garbage; sweep it now so failure leaves no
+      // residue. If even the sweep fails, tell the caller it is there.
+      result.tmp_left = !fs.remove_file(tmp).ok;
+      return result;
+    }
   }
   // Atomic publish: the file at `path` is always absent or complete.
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw Error("cannot rename checkpoint into place: " + path);
+  const auto r = fs.rename_file(tmp, path);
+  if (!r.ok) {
+    // The complete tmp stays behind on purpose — this is the
+    // crash-in-the-publish-window shape recovery must sweep.
+    result.error = r.error.empty()
+                       ? "cannot rename checkpoint into place: " + path
+                       : r.error;
+    result.tmp_left = true;
+    return result;
   }
   VS_OBS_ONLY(if (obs::enabled()) {
     auto& inst = CheckpointInstruments::get();
     inst.saves.add();
     inst.bytes.add(bytes.size());
   })
+  result.ok = true;
+  return result;
+}
+
+void save_checkpoint(const std::string& path, const ServerCheckpoint& ckpt) {
+  const auto r = try_save_checkpoint(path, ckpt);
+  if (!r.ok) throw Error(r.error);
 }
 
 CheckpointLoad parse_checkpoint(const std::string& bytes) {

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "io/vfs.hpp"
 #include "runtime/collector.hpp"
 #include "runtime/streaming_detector.hpp"
 #include "runtime/transport.hpp"
@@ -49,8 +50,25 @@ struct ServerCheckpoint {
 /// length + CRC + payload). Exposed so tests can corrupt real bytes.
 std::string encode_checkpoint(const ServerCheckpoint& ckpt);
 
-/// Write `ckpt` atomically: serialize, write `<path>.tmp`, flush, rename
-/// over `path`. Throws Error on I/O failure.
+/// Outcome of a non-throwing checkpoint publish attempt.
+struct CheckpointSaveResult {
+  bool ok = false;
+  /// The `<path>.tmp` staging file survived the failure (rename window):
+  /// recovery should sweep it. False when the write failed early enough
+  /// that the tmp was removed (or never materialized).
+  bool tmp_left = false;
+  std::string error;
+};
+
+/// Write `ckpt` atomically through `vfs` (null = real filesystem):
+/// serialize, write `<path>.tmp`, flush, rename over `path`. On failure the
+/// previous checkpoint at `path` is untouched; the result says whether the
+/// staging tmp was left behind.
+CheckpointSaveResult try_save_checkpoint(const std::string& path,
+                                         const ServerCheckpoint& ckpt,
+                                         io::Vfs* vfs = nullptr);
+
+/// Throwing convenience wrapper over try_save_checkpoint (real filesystem).
 void save_checkpoint(const std::string& path, const ServerCheckpoint& ckpt);
 
 /// Result of reading a checkpoint back. Never throws on corrupt content.

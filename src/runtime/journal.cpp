@@ -1,6 +1,7 @@
 #include "runtime/journal.hpp"
 
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "obs/metrics.hpp"
@@ -22,13 +23,17 @@ struct JournalInstruments {
   obs::Counter& bytes;
   obs::Counter& commits;
   obs::Counter& committed_bytes;
+  obs::Counter& io_errors;
+  obs::Counter& lost_bytes;
 
   static JournalInstruments& get() {
     auto& reg = obs::MetricsRegistry::global();
     static JournalInstruments inst{reg.counter("journal.frames_appended"),
                                    reg.counter("journal.bytes_appended"),
                                    reg.counter("journal.commits"),
-                                   reg.counter("journal.bytes_committed")};
+                                   reg.counter("journal.bytes_committed"),
+                                   reg.counter("journal.io_errors"),
+                                   reg.counter("journal.lost_bytes")};
     return inst;
   }
 };
@@ -118,30 +123,39 @@ std::optional<StandardFrameView> decode_standard_frame(
   return view;
 }
 
-JournalWriter::JournalWriter(std::string path, JournalWriterConfig cfg)
-    : path_(std::move(path)), cfg_(cfg) {
+JournalWriter::JournalWriter(std::string path, JournalWriterConfig cfg,
+                             io::Vfs* vfs)
+    : path_(std::move(path)), cfg_(cfg), vfs_(vfs) {
   VS_CHECK_MSG(cfg_.commit_every_frames > 0, "commit interval must be positive");
   open_truncated();
 }
 
 JournalWriter::~JournalWriter() {
   // Best effort: a clean shutdown commits; a simulated crash calls
-  // discard_buffer() first, so this flushes nothing.
-  try {
-    commit();
-  } catch (...) {
-    // Destructors must not throw; the journal is advisory at teardown.
+  // discard_buffer() first, so this flushes nothing. Anything the final
+  // drain cannot land was acknowledged to a caller and is gone — count it.
+  if (!commit()) add_lost(buf_.size());
+}
+
+bool JournalWriter::open_truncated() {
+  std::string err;
+  file_ = io::resolve(vfs_).open_truncate(path_, &err);
+  if (file_ == nullptr) {
+    record_error(err.empty() ? "cannot open journal for writing: " + path_
+                             : err);
+    return false;
   }
-}
-
-void JournalWriter::open_truncated() {
-  out_.open(path_, std::ios::binary | std::ios::trunc);
-  if (!out_) throw Error("cannot open journal for writing: " + path_);
-  out_ << kHeader;
+  const auto r = file_->append(kHeader, std::strlen(kHeader));
+  if (!r.ok) {
+    record_error(r.error);
+    file_.reset();
+    return false;
+  }
   committed_bytes_ += std::strlen(kHeader);
+  return true;
 }
 
-void JournalWriter::append(const JournalFrame& frame) {
+bool JournalWriter::append(const JournalFrame& frame) {
   VS_OBS_SCOPED_STAGE(obs::Stage::Durability);
   const std::string encoded = encode_journal_frame(frame);
   buf_ += encoded;
@@ -155,37 +169,74 @@ void JournalWriter::append(const JournalFrame& frame) {
   })
   if (buf_.size() >= cfg_.buffer_bytes ||
       frames_since_commit_ >= cfg_.commit_every_frames) {
-    commit();
+    return commit();
   }
+  return true;
 }
 
-void JournalWriter::commit() {
+bool JournalWriter::commit() {
   frames_since_commit_ = 0;
-  if (buf_.empty()) return;
+  if (buf_.empty()) return file_ != nullptr;
+  if (file_ == nullptr) {
+    record_error("journal stream not open: " + path_);
+    return false;
+  }
   VS_OBS_SCOPED_STAGE(obs::Stage::Durability);
-  out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
-  out_.flush();  // to the OS page cache; never fsync
-  if (!out_) throw Error("failed while writing journal: " + path_);
+  const auto r = file_->append(buf_.data(), buf_.size());
+  if (r.written > 0) {
+    // Partial progress is real progress: the landed prefix leaves the
+    // buffer so a retry only re-drives what is still owed.
+    committed_bytes_ += r.written;
+    VS_OBS_ONLY(if (obs::enabled()) {
+      JournalInstruments::get().committed_bytes.add(r.written);
+    })
+    buf_.erase(0, r.written);
+  }
+  if (!r.ok) {
+    record_error(r.error);
+    return false;
+  }
+  const auto f = file_->flush();  // to the OS page cache; never fsync
+  if (!f.ok) {
+    record_error(f.error);
+    return false;
+  }
   ++commits_;
-  committed_bytes_ += buf_.size();
-  VS_OBS_ONLY(if (obs::enabled()) {
-    auto& inst = JournalInstruments::get();
-    inst.commits.add();
-    inst.committed_bytes.add(buf_.size());
-  })
-  buf_.clear();
+  VS_OBS_ONLY(if (obs::enabled()) { JournalInstruments::get().commits.add(); })
+  return true;
 }
 
-void JournalWriter::truncate() {
+bool JournalWriter::reopen_truncated() {
   buf_.clear();
   frames_since_commit_ = 0;
-  out_.close();
-  open_truncated();
+  file_.reset();
+  return open_truncated();
 }
 
 void JournalWriter::discard_buffer() {
   buf_.clear();
   frames_since_commit_ = 0;
+}
+
+size_t JournalWriter::drop_buffer_as_lost() {
+  const size_t dropped = buf_.size();
+  add_lost(dropped);
+  buf_.clear();
+  frames_since_commit_ = 0;
+  return dropped;
+}
+
+void JournalWriter::record_error(std::string what) {
+  ++io_errors_;
+  last_error_ = std::move(what);
+  VS_OBS_ONLY(if (obs::enabled()) { JournalInstruments::get().io_errors.add(); })
+}
+
+void JournalWriter::add_lost(size_t bytes) {
+  if (bytes == 0) return;
+  lost_bytes_ += bytes;
+  VS_OBS_ONLY(
+      if (obs::enabled()) { JournalInstruments::get().lost_bytes.add(bytes); })
 }
 
 JournalLoad load_journal(const std::string& path) {

@@ -27,11 +27,12 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "io/vfs.hpp"
 #include "runtime/types.hpp"
 
 namespace vsensor::rt {
@@ -78,46 +79,78 @@ struct JournalWriterConfig {
 
 class JournalWriter {
  public:
-  /// Opens `path` truncated and writes the header. Throws on I/O failure.
-  JournalWriter(std::string path, JournalWriterConfig cfg = {});
+  /// Opens `path` truncated (through `vfs`; null = the real filesystem)
+  /// and writes the header. Never throws: an open failure leaves the
+  /// writer unhealthy — appends keep buffering, commits keep failing, and
+  /// the owner decides whether to retry (reopen_truncated) or degrade.
+  JournalWriter(std::string path, JournalWriterConfig cfg = {},
+                io::Vfs* vfs = nullptr);
   ~JournalWriter();
 
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
 
-  /// Append one frame (buffered; commits per the config). Not thread-safe:
-  /// the owning server serializes appends with its ingest order.
-  void append(const JournalFrame& frame);
+  /// Append one frame (buffered; commits per the config). Returns false
+  /// when an auto-commit drain failed — the frame stays buffered, so a
+  /// later commit() retry can still land it. Not thread-safe: the owning
+  /// server serializes appends with its ingest order.
+  bool append(const JournalFrame& frame);
 
-  /// Drain the user-space buffer to the file (no fsync).
-  void commit();
+  /// Drain the user-space buffer to the file (no fsync). Returns false on
+  /// failure; partial progress (a short write) is accounted — the written
+  /// prefix leaves the buffer, the rest stays for the next retry.
+  bool commit();
 
   /// Truncate the journal to an empty file (after a checkpoint made its
-  /// content redundant) and reset the frame counter.
-  void truncate();
+  /// content redundant), reset the frame counter, and clear any failed
+  /// state. Returns false when the reopen itself failed (still unhealthy).
+  bool reopen_truncated();
 
   /// Drop everything still buffered in user space — the portion of history
-  /// a process crash destroys. The file keeps only committed bytes.
+  /// a process crash destroys. The file keeps only committed bytes. This
+  /// models intentional loss and does NOT count toward lost_bytes().
   void discard_buffer();
+
+  /// Drop the buffer *as loss* (degraded-mode entry: the owner stops
+  /// journaling and the buffered acked-but-undrained bytes are gone).
+  /// Returns the byte count dropped.
+  size_t drop_buffer_as_lost();
+
+  /// Stream open and no unrecovered failure.
+  bool healthy() const { return file_ != nullptr; }
 
   const std::string& path() const { return path_; }
   uint64_t appended_frames() const { return appended_frames_; }
   uint64_t appended_bytes() const { return appended_bytes_; }
   uint64_t commits() const { return commits_; }
   uint64_t committed_bytes() const { return committed_bytes_; }
+  size_t buffered_bytes() const { return buf_.size(); }
+  /// Failed vfs operations (open/append/flush) this writer observed.
+  uint64_t io_errors() const { return io_errors_; }
+  /// Appended-and-acknowledged bytes that never reached the file: dropped
+  /// at degraded entry or silently un-drained at teardown. Also mirrored
+  /// into the obs counter `journal.lost_bytes`.
+  uint64_t lost_bytes() const { return lost_bytes_; }
+  const std::string& last_error() const { return last_error_; }
 
  private:
-  void open_truncated();
+  bool open_truncated();
+  void record_error(std::string what);
+  void add_lost(size_t bytes);
 
   std::string path_;
   JournalWriterConfig cfg_;
-  std::ofstream out_;
+  io::Vfs* vfs_;
+  std::unique_ptr<io::File> file_;
   std::string buf_;
   uint64_t frames_since_commit_ = 0;
   uint64_t appended_frames_ = 0;
   uint64_t appended_bytes_ = 0;
   uint64_t commits_ = 0;
   uint64_t committed_bytes_ = 0;
+  uint64_t io_errors_ = 0;
+  uint64_t lost_bytes_ = 0;
+  std::string last_error_;
 };
 
 /// Result of reading a journal file back. Reading never throws on corrupt

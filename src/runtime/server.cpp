@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <fstream>
 
+#include "io/vfs.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -43,7 +43,8 @@ AnalysisServer::AnalysisServer(ServerConfig cfg, Collector* collector,
   VS_CHECK_MSG(!cfg_.journal_path.empty() && !cfg_.checkpoint_path.empty(),
                "server needs journal and checkpoint paths");
   watermarks_.resize(static_cast<size_t>(detector_->ranks()));
-  journal_ = std::make_unique<JournalWriter>(cfg_.journal_path, cfg_.journal);
+  journal_ =
+      std::make_unique<JournalWriter>(cfg_.journal_path, cfg_.journal, cfg_.vfs);
 }
 
 AnalysisServer::~AnalysisServer() = default;
@@ -78,12 +79,17 @@ void AnalysisServer::on_delivery(int rank, uint64_t seq,
     // The transport already deduplicates; a duplicate here means an
     // upstream bug. Count it and refuse the double fold.
     ++duplicate_deliveries_;
+    maybe_rearm_locked();
     return;
   }
   collector_->ingest(batch);
   ++delivered_batches_;
   ++batches_since_checkpoint_;
-  if (cfg_.checkpoint_every_batches > 0 &&
+  // While degraded the re-arm probe owns checkpoint cadence. It runs only
+  // here — after the fold and watermark update — so its checkpoint always
+  // covers the delivery that paced it.
+  maybe_rearm_locked();
+  if (!degraded_ && cfg_.checkpoint_every_batches > 0 &&
       batches_since_checkpoint_ >= cfg_.checkpoint_every_batches) {
     checkpoint_locked();
   }
@@ -95,21 +101,118 @@ void AnalysisServer::mark_stale(int rank, double now) {
   // Sweeps that know the virtual time stamp it onto the StaleRank event;
   // the rest inherit the newest delivery's clock.
   detector_->mark_stale(rank, now >= 0.0 ? now : last_now_);
+  maybe_rearm_locked();
 }
 
 void AnalysisServer::apply_standard(int sensor_id, int group, double value) {
   std::lock_guard<std::mutex> lock(mu_);
   append_frame_locked(make_standard_frame(sensor_id, group, value));
   detector_->apply_standard_update(sensor_id, group, value);
+  maybe_rearm_locked();
 }
 
 void AnalysisServer::append_frame_locked(const JournalFrame& frame) {
+  if (degraded_ || journal_ == nullptr) {
+    // Non-durable mode: the frame still folds (the caller continues), but
+    // its bytes are dropped-and-counted instead of journaled. The re-arm
+    // probe runs at the END of the operation, not here — a checkpoint
+    // snapshotted now would predate this frame's fold, and truncating the
+    // journal against it would silently lose the frame.
+    dropped_journal_bytes_ += encode_journal_frame(frame).size();
+    ++degraded_appends_;
+    return;
+  }
   const uint64_t before = journal_->appended_bytes();
-  journal_->append(frame);
+  bool ok = journal_->append(frame);
   // Bytes per append, not wall time: the p50/p99 gauges must be
   // bit-identical across reruns of the same seed.
   append_bytes_hist_.record(
       static_cast<double>(journal_->appended_bytes() - before));
+  if (ok) return;
+  // The frame is buffered but did not drain. Retry the drain a bounded
+  // number of times, charging a doubling virtual backoff (accounted, not
+  // slept), then give up and run non-durable.
+  double backoff = cfg_.io_retry_backoff;
+  for (uint64_t attempt = 0; attempt < cfg_.io_retry_attempts && !ok;
+       ++attempt) {
+    ++io_retries_;
+    io_backoff_seconds_ += backoff;
+    backoff *= 2.0;
+    ok = journal_->commit();
+  }
+  if (!ok) {
+    enter_degraded_locked("journal drain failed after " +
+                          std::to_string(cfg_.io_retry_attempts) +
+                          " retries: " + journal_->last_error());
+  }
+}
+
+void AnalysisServer::retire_journal_locked() {
+  if (journal_ == nullptr) return;
+  journal_io_errors_base_ += journal_->io_errors();
+  journal_lost_bytes_base_ += journal_->lost_bytes();
+  journal_.reset();
+}
+
+void AnalysisServer::enter_degraded_locked(std::string why) {
+  if (degraded_) return;
+  degraded_ = true;
+  ++degraded_entries_;
+  degraded_appends_ = 0;
+  size_t dropped = 0;
+  if (journal_ != nullptr) dropped = journal_->drop_buffer_as_lost();
+  dropped_journal_bytes_ += dropped;
+  if (hooks_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::DurabilityDegraded;
+    ev.t = last_now_;
+    ev.value = static_cast<double>(dropped);
+    ev.count = degraded_entries_;
+    ev.detail = std::move(why);
+    hooks_.emit(std::move(ev));
+  }
+}
+
+void AnalysisServer::maybe_rearm_locked() {
+  if (!degraded_ || cfg_.rearm_every_appends == 0) return;
+  if (degraded_appends_ < cfg_.rearm_every_appends) return;
+  degraded_appends_ = 0;
+  // Durability only re-arms once a fresh checkpoint (covering everything
+  // folded so far, dropped frames included) actually lands — only then may
+  // the journal be truncated without widening the loss window.
+  const auto saved = try_save_checkpoint(cfg_.checkpoint_path,
+                                         build_checkpoint_locked(), cfg_.vfs);
+  if (!saved.ok) {
+    ++checkpoint_failures_;
+    if (hooks_) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::CheckpointFailed;
+      ev.t = last_now_;
+      ev.detail = saved.error;
+      hooks_.emit(std::move(ev));
+    }
+    return;
+  }
+  batches_since_checkpoint_ = 0;
+  checkpoint_t_ = last_now_;
+  ++checkpoints_saved_;
+  if (journal_ == nullptr) {
+    journal_ = std::make_unique<JournalWriter>(cfg_.journal_path, cfg_.journal,
+                                               cfg_.vfs);
+  } else if (!journal_->reopen_truncated()) {
+    return;  // still degraded; the next probe retries
+  }
+  if (!journal_->healthy()) return;
+  degraded_ = false;
+  ++rearms_;
+  if (hooks_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::DurabilityRearmed;
+    ev.t = last_now_;
+    ev.count = rearms_;
+    ev.detail = cfg_.checkpoint_path;
+    hooks_.emit(std::move(ev));
+  }
 }
 
 ServerCheckpoint AnalysisServer::build_checkpoint_locked() const {
@@ -127,11 +230,26 @@ void AnalysisServer::checkpoint_locked() {
   obs::ScopedSpan span("server:checkpoint", "durability");
   span.set_shard(hooks_.shard);
   span.set_path(cfg_.checkpoint_path);
-  // Make sure every journaled frame the checkpoint covers is also on the
-  // file before the checkpoint claims to cover it.
-  journal_->commit();
-  save_checkpoint(cfg_.checkpoint_path, build_checkpoint_locked());
+  // Drain journaled frames to the file first (hygiene; the checkpoint
+  // covers all *folded* state either way, and replay is idempotent, so a
+  // failed drain does not block the publish).
+  if (journal_ != nullptr) journal_->commit();
+  const auto saved = try_save_checkpoint(cfg_.checkpoint_path,
+                                         build_checkpoint_locked(), cfg_.vfs);
+  // Success or failure, the interval restarts: a failed publish keeps the
+  // previous checkpoint and retries at the next boundary, not every batch.
   batches_since_checkpoint_ = 0;
+  if (!saved.ok) {
+    ++checkpoint_failures_;
+    if (hooks_) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::CheckpointFailed;
+      ev.t = last_now_;
+      ev.detail = saved.error;
+      hooks_.emit(std::move(ev));
+    }
+    return;
+  }
   checkpoint_t_ = last_now_;
   ++checkpoints_saved_;
   if (hooks_) {
@@ -165,8 +283,10 @@ void AnalysisServer::crash_locked() {
   }
   // The user-space journal buffer dies with the process; only committed
   // bytes survive in the page cache / file.
-  journal_->discard_buffer();
-  journal_.reset();  // closes the stream
+  if (journal_ != nullptr) {
+    journal_->discard_buffer();
+    retire_journal_locked();  // closes the stream
+  }
 
   // Model the write the crash cut short: append a prefix of a real
   // encoded frame, derived purely from (seed, crash ordinal) so the same
@@ -188,8 +308,9 @@ void AnalysisServer::crash_locked() {
   const std::string encoded = encode_journal_frame(torn);
   const size_t cut = 1 + static_cast<size_t>(mix64(h + 4) % (encoded.size() - 1));
   {
-    std::ofstream out(cfg_.journal_path, std::ios::binary | std::ios::app);
-    if (out) out.write(encoded.data(), static_cast<std::streamsize>(cut));
+    std::string err;
+    auto out = io::resolve(cfg_.vfs).open_append(cfg_.journal_path, &err);
+    if (out != nullptr) out->append(encoded.data(), cut);
   }
 
   // In-memory analysis state is gone.
@@ -221,7 +342,22 @@ RecoveryReport AnalysisServer::recover_locked() {
   // destroyed the writer.)
   if (journal_ != nullptr) {
     journal_->commit();
-    journal_.reset();
+    retire_journal_locked();
+  }
+
+  // Recovering while degraded means frames dropped in degraded mode are
+  // unrecoverable — no durable artifact ever saw them. Flag it loudly;
+  // the recovered state is the best the artifacts can reconstruct.
+  const bool lossy = degraded_;
+  if (lossy) ++lossy_recoveries_;
+  degraded_ = false;
+  degraded_appends_ = 0;
+
+  // Sweep the publish window: a crash between tmp-write and rename leaves
+  // an orphaned `<checkpoint>.tmp` next to the (intact) previous
+  // checkpoint. It is garbage — remove it before anything else.
+  if (io::resolve(cfg_.vfs).remove_file(cfg_.checkpoint_path + ".tmp").ok) {
+    ++orphan_tmps_removed_;
   }
 
   const CheckpointLoad ckpt = load_checkpoint(cfg_.checkpoint_path);
@@ -294,12 +430,29 @@ RecoveryReport AnalysisServer::recover_locked() {
 
   // Checkpoint the recovered state first, then truncate the journal (lazy
   // truncation happens here): only once the checkpoint durably covers the
-  // replayed frames is the redo log allowed to go.
-  save_checkpoint(cfg_.checkpoint_path, build_checkpoint_locked());
-  batches_since_checkpoint_ = 0;
-  checkpoint_t_ = last_now_;
-  ++checkpoints_saved_;
-  journal_ = std::make_unique<JournalWriter>(cfg_.journal_path, cfg_.journal);
+  // replayed frames is the redo log allowed to go. If the publish fails,
+  // the on-disk journal must be preserved as the redo source — a fresh
+  // writer would truncate it — so the server comes back degraded
+  // (journal-less) and the re-arm probe retries the whole sequence.
+  const auto saved = try_save_checkpoint(cfg_.checkpoint_path,
+                                         build_checkpoint_locked(), cfg_.vfs);
+  if (saved.ok) {
+    batches_since_checkpoint_ = 0;
+    checkpoint_t_ = last_now_;
+    ++checkpoints_saved_;
+    journal_ = std::make_unique<JournalWriter>(cfg_.journal_path, cfg_.journal,
+                                               cfg_.vfs);
+  } else {
+    ++checkpoint_failures_;
+    if (hooks_) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::CheckpointFailed;
+      ev.t = last_now_;
+      ev.detail = saved.error;
+      hooks_.emit(std::move(ev));
+    }
+    enter_degraded_locked("post-recovery checkpoint failed: " + saved.error);
+  }
 
   report.recovery_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -324,6 +477,7 @@ RecoveryReport AnalysisServer::recover_locked() {
     ev.t = last_now_;
     ev.count = report.frames_replayed;
     ev.detail = report.checkpoint_loaded ? "checkpoint+journal" : "journal_only";
+    if (lossy) ev.detail += "+lossy";
     hooks_.emit(std::move(ev));
   }
   // A torn tail warrants a post-mortem even when recover() was a cold
@@ -355,6 +509,72 @@ uint64_t AnalysisServer::duplicate_deliveries() const {
   return duplicate_deliveries_;
 }
 
+uint64_t AnalysisServer::io_errors_locked() const {
+  return journal_io_errors_base_ +
+         (journal_ != nullptr ? journal_->io_errors() : 0) +
+         checkpoint_failures_ + flight_dump_failures_;
+}
+
+uint64_t AnalysisServer::lost_journal_bytes_locked() const {
+  return journal_lost_bytes_base_ +
+         (journal_ != nullptr ? journal_->lost_bytes() : 0);
+}
+
+bool AnalysisServer::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+uint64_t AnalysisServer::degraded_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_entries_;
+}
+
+uint64_t AnalysisServer::rearms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rearms_;
+}
+
+uint64_t AnalysisServer::lossy_recoveries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lossy_recoveries_;
+}
+
+uint64_t AnalysisServer::dropped_journal_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_journal_bytes_;
+}
+
+uint64_t AnalysisServer::io_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_errors_locked();
+}
+
+uint64_t AnalysisServer::io_retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_retries_;
+}
+
+uint64_t AnalysisServer::lost_journal_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lost_journal_bytes_locked();
+}
+
+uint64_t AnalysisServer::checkpoint_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_failures_;
+}
+
+uint64_t AnalysisServer::orphan_tmps_removed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return orphan_tmps_removed_;
+}
+
+uint64_t AnalysisServer::flight_dump_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flight_dump_failures_;
+}
+
 void AnalysisServer::set_event_hooks(obs::EventHooks hooks) {
   std::lock_guard<std::mutex> lock(mu_);
   // The server substitutes its own flight ring so crash dumps always carry
@@ -371,7 +591,10 @@ std::string AnalysisServer::flight_path() const {
 
 void AnalysisServer::dump_flight_locked() {
   if (!flight_wired_) return;
-  flight_.dump(flight_path(), identity_ ? &*identity_ : nullptr);
+  if (!flight_.dump(flight_path(), identity_ ? &*identity_ : nullptr,
+                    cfg_.vfs)) {
+    ++flight_dump_failures_;
+  }
 }
 
 void AnalysisServer::sample_health(double now,
@@ -396,6 +619,18 @@ void AnalysisServer::sample_health(double now,
   }
   rec.gauge("journal.append_bytes_p50", append_bytes_hist_.quantile(0.50));
   rec.gauge("journal.append_bytes_p99", append_bytes_hist_.quantile(0.99));
+  // Durability state machine: an operator watching the health stream sees
+  // the shard drop to non-durable mode and come back, with the loss bill.
+  rec.gauge("degraded", degraded_ ? 1 : 0);
+  rec.gauge("degraded_entries", degraded_entries_);
+  rec.gauge("rearms", rearms_);
+  rec.gauge("io_errors", io_errors_locked());
+  rec.gauge("io_retries", io_retries_);
+  rec.gauge("io_backoff_seconds", io_backoff_seconds_);
+  rec.gauge("dropped_journal_bytes", dropped_journal_bytes_);
+  rec.gauge("journal.lost_bytes", lost_journal_bytes_locked());
+  rec.gauge("lossy_recoveries", lossy_recoveries_);
+  rec.gauge("checkpoint_failures", checkpoint_failures_);
   {
     obs::HealthRecorder::Prefix scope(rec, "collector");
     collector_->sample_health(now, rec);

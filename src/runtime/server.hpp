@@ -67,6 +67,20 @@ struct ServerConfig {
   std::string flight_path;
   /// Events + health snapshots the flight ring retains (last N).
   size_t flight_capacity = 256;
+  /// Storage chaos seam: every durable write this server makes (journal,
+  /// checkpoint publish, flight dump) routes through this vfs. Null = the
+  /// real filesystem. Non-owning; must outlive the server.
+  io::Vfs* vfs = nullptr;
+  /// Degraded-mode policy: a failed journal drain is retried this many
+  /// times before the shard drops to degraded (non-durable) mode. Each
+  /// retry is charged a doubling *virtual* backoff starting at
+  /// io_retry_backoff — accounted in the io_backoff_seconds health gauge,
+  /// never slept, so detection timing stays untouched.
+  uint64_t io_retry_attempts = 3;
+  double io_retry_backoff = 1e-4;
+  /// While degraded, probe for re-arm (fresh checkpoint + truncated
+  /// journal) every N dropped appends (0 = never re-arm automatically).
+  uint64_t rearm_every_appends = 4;
 };
 
 /// What one recovery pass did, for reporting and tests.
@@ -137,6 +151,28 @@ class AnalysisServer final : public DeliverySink, public obs::HealthSource {
   /// Live deliveries ignored because their seq was already covered by a
   /// watermark (transport dedup failed upstream); expected to stay 0.
   uint64_t duplicate_deliveries() const;
+
+  /// Degraded (non-durable) mode: journal writes exhausted their retries,
+  /// so frames are dropped-and-counted while ingest and detection continue
+  /// unchanged. A fresh checkpoint that lands re-arms durability. The flag
+  /// deliberately survives a crash: recovering while degraded means the
+  /// dropped frames are unrecoverable — that recovery is counted lossy and
+  /// flagged on its Recovery event, never silent.
+  bool degraded() const;
+  uint64_t degraded_entries() const;
+  uint64_t rearms() const;
+  uint64_t lossy_recoveries() const;
+  /// Bytes of acknowledged appends that will never be durable: the buffer
+  /// dropped at degraded entry plus every frame dropped while degraded.
+  uint64_t dropped_journal_bytes() const;
+  /// Failed durable-write operations (journal + checkpoint + flight),
+  /// accumulated across journal writer generations.
+  uint64_t io_errors() const;
+  uint64_t io_retries() const;
+  uint64_t lost_journal_bytes() const;
+  uint64_t checkpoint_failures() const;
+  uint64_t orphan_tmps_removed() const;
+  uint64_t flight_dump_failures() const;
   const std::vector<RecoveryReport>& recoveries() const { return reports_; }
   const ServerConfig& config() const { return cfg_; }
   const JournalWriter* journal() const { return journal_.get(); }
@@ -167,6 +203,13 @@ class AnalysisServer final : public DeliverySink, public obs::HealthSource {
   ServerCheckpoint build_checkpoint_locked() const;
   void append_frame_locked(const JournalFrame& frame);
   void dump_flight_locked();
+  /// Fold the dying writer's error/loss counters into the server-level
+  /// bases (the counters die with the writer otherwise), then destroy it.
+  void retire_journal_locked();
+  void enter_degraded_locked(std::string why);
+  void maybe_rearm_locked();
+  uint64_t io_errors_locked() const;
+  uint64_t lost_journal_bytes_locked() const;
 
   ServerConfig cfg_;
   Collector* collector_;
@@ -183,6 +226,25 @@ class AnalysisServer final : public DeliverySink, public obs::HealthSource {
   uint64_t duplicate_deliveries_ = 0;
   uint64_t batches_since_checkpoint_ = 0;
   std::vector<RecoveryReport> reports_;
+
+  // Degraded-mode state machine (durable → retrying → degraded → re-armed;
+  // see docs/recovery.md). degraded_appends_ counts drops since entering
+  // degraded mode, pacing the re-arm probes.
+  bool degraded_ = false;
+  uint64_t degraded_entries_ = 0;
+  uint64_t degraded_appends_ = 0;
+  uint64_t dropped_journal_bytes_ = 0;
+  uint64_t io_retries_ = 0;
+  double io_backoff_seconds_ = 0.0;
+  uint64_t rearms_ = 0;
+  uint64_t lossy_recoveries_ = 0;
+  uint64_t checkpoint_failures_ = 0;
+  uint64_t orphan_tmps_removed_ = 0;
+  uint64_t flight_dump_failures_ = 0;
+  /// Counters inherited from retired journal writers (crash/recover cycles
+  /// destroy the writer object together with its tallies).
+  uint64_t journal_io_errors_base_ = 0;
+  uint64_t journal_lost_bytes_base_ = 0;
 
   // Health plane. last_now_ is the virtual time of the newest delivery —
   // the clock crash/checkpoint events are stamped with (a crash fires at a

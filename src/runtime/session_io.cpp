@@ -215,10 +215,16 @@ void save_session_file(const std::string& path, const Collector& collector,
 void save_session_file(const std::string& path, const Collector& collector,
                        int ranks, double run_time,
                        std::span<const RankChannelStats> transport,
-                       std::span<const int> stale_ranks) {
+                       std::span<const int> stale_ranks, io::Vfs* vfs) {
   VS_OBS_SCOPED_STAGE(obs::Stage::Export);
-  std::ofstream out(path);
-  if (!out) throw Error("cannot open session file for writing: " + path);
+  std::string err;
+  auto file = io::resolve(vfs).open_truncate(path, &err);
+  if (file == nullptr) {
+    throw Error(err.empty() ? "cannot open session file for writing: " + path
+                            : err);
+  }
+  io::FileStreambuf buf(file.get());
+  std::ostream out(&buf);
   // Stream the records straight out of the collector's shards (locked
   // view) instead of copying the full history into a Session first.
   write_header(out, ranks, run_time, collector.sensors());
@@ -226,7 +232,10 @@ void save_session_file(const std::string& path, const Collector& collector,
     for (const auto& r : seg) write_record(out, r);
   });
   write_transport(out, transport, stale_ranks);
-  if (!out) throw Error("failed while writing session file: " + path);
+  out.flush();
+  if (buf.failed() || !out) {
+    throw Error("failed while writing session file: " + path);
+  }
 }
 
 Session load_session(std::istream& in) {

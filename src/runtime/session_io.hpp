@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "io/vfs.hpp"
 #include "runtime/collector.hpp"
 #include "runtime/transport.hpp"
 #include "runtime/types.hpp"
@@ -59,11 +60,15 @@ void save_session(std::ostream& out, const Session& session);
 void save_session_file(const std::string& path, const Collector& collector,
                        int ranks, double run_time);
 /// As above, additionally persisting per-rank transport counters and the
-/// stale-rank list (one `transport` line per entry, in rank order).
+/// stale-rank list (one `transport` line per entry, in rank order). Bytes
+/// route through `vfs` (null = real filesystem); I/O failure still throws
+/// Error — a session export is an explicit user ask, not a background
+/// durability write the pipeline can degrade around.
 void save_session_file(const std::string& path, const Collector& collector,
                        int ranks, double run_time,
                        std::span<const RankChannelStats> transport,
-                       std::span<const int> stale_ranks);
+                       std::span<const int> stale_ranks,
+                       io::Vfs* vfs = nullptr);
 
 /// Throws vsensor::Error on malformed input.
 Session load_session(std::istream& in);

@@ -37,6 +37,10 @@ ShardedAnalysisTier::ShardedAnalysisTier(ShardedTierConfig cfg,
                                         : cfg_.flight_path;
     sc.flight_path = flight_base + suffix;
     sc.flight_capacity = cfg_.flight_capacity;
+    sc.vfs = cfg_.vfs;
+    sc.io_retry_attempts = cfg_.io_retry_attempts;
+    sc.io_retry_backoff = cfg_.io_retry_backoff;
+    sc.rearm_every_appends = cfg_.rearm_every_appends;
     shard->server = std::make_unique<AnalysisServer>(
         std::move(sc), shard->collector.get(), shard->detector.get());
     shards_.push_back(std::move(shard));
@@ -152,6 +156,44 @@ uint64_t ShardedAnalysisTier::broadcast_updates() const {
   return broadcast_updates_.load(std::memory_order_relaxed);
 }
 
+int ShardedAnalysisTier::degraded_shards() const {
+  int n = 0;
+  for (const auto& shard : shards_) n += shard->server->degraded() ? 1 : 0;
+  return n;
+}
+
+uint64_t ShardedAnalysisTier::degraded_entries() const {
+  uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->server->degraded_entries();
+  return sum;
+}
+
+uint64_t ShardedAnalysisTier::rearms() const {
+  uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->server->rearms();
+  return sum;
+}
+
+uint64_t ShardedAnalysisTier::lossy_recoveries() const {
+  uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->server->lossy_recoveries();
+  return sum;
+}
+
+uint64_t ShardedAnalysisTier::dropped_journal_bytes() const {
+  uint64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->server->dropped_journal_bytes();
+  }
+  return sum;
+}
+
+uint64_t ShardedAnalysisTier::io_errors() const {
+  uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->server->io_errors();
+  return sum;
+}
+
 void ShardedAnalysisTier::set_event_log(obs::EventLog* log) {
   for (size_t k = 0; k < shards_.size(); ++k) {
     Shard& shard = *shards_[k];
@@ -177,6 +219,9 @@ void ShardedAnalysisTier::sample_health(double now,
   rec.gauge("shards", static_cast<uint64_t>(shards_.size()));
   rec.gauge("routed_records", total_routed_records());
   rec.gauge("broadcast_updates", broadcast_updates());
+  rec.gauge("degraded_shards", degraded_shards());
+  rec.gauge("io_errors", io_errors());
+  rec.gauge("dropped_journal_bytes", dropped_journal_bytes());
   for (size_t k = 0; k < shards_.size(); ++k) {
     const Shard& shard = *shards_[k];
     obs::HealthRecorder::Prefix scope(rec, "shard" + std::to_string(k));

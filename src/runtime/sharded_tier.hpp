@@ -69,6 +69,13 @@ struct ShardedTierConfig {
   /// or torn-journal salvage ("" derives "<journal_path>.flight").
   std::string flight_path;
   size_t flight_capacity = 256;
+  /// Storage chaos seam shared by every shard's durable writes (see
+  /// ServerConfig::vfs). Null = real filesystem; non-owning.
+  io::Vfs* vfs = nullptr;
+  /// Per-shard degraded-mode policy (see ServerConfig).
+  uint64_t io_retry_attempts = 3;
+  double io_retry_backoff = 1e-4;
+  uint64_t rearm_every_appends = 4;
 };
 
 class ShardedAnalysisTier final : public DeliverySink,
@@ -117,6 +124,14 @@ class ShardedAnalysisTier final : public DeliverySink,
   uint64_t total_routed_records() const;
   /// Standard updates broadcast to peers (total across shards).
   uint64_t broadcast_updates() const;
+
+  /// Durability aggregates across shards (see AnalysisServer accessors).
+  int degraded_shards() const;
+  uint64_t degraded_entries() const;
+  uint64_t rearms() const;
+  uint64_t lossy_recoveries() const;
+  uint64_t dropped_journal_bytes() const;
+  uint64_t io_errors() const;
 
   AnalysisServer& server(int shard) { return *shards_[checked(shard)]->server; }
   const AnalysisServer& server(int shard) const {

@@ -222,6 +222,25 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
       }
     }
   }
+  // Durability bill of the run: how the attached analysis tier/server's
+  // storage fared. Zero across the board on a healthy filesystem.
+  if (options.analysis_tier != nullptr) {
+    const auto& tier = *options.analysis_tier;
+    run.durability.degraded_shards = tier.degraded_shards();
+    run.durability.degraded_entries = tier.degraded_entries();
+    run.durability.rearms = tier.rearms();
+    run.durability.lossy_recoveries = tier.lossy_recoveries();
+    run.durability.io_errors = tier.io_errors();
+    run.durability.dropped_journal_bytes = tier.dropped_journal_bytes();
+  } else if (options.server != nullptr) {
+    const auto& server = *options.server;
+    run.durability.degraded_shards = server.degraded() ? 1 : 0;
+    run.durability.degraded_entries = server.degraded_entries();
+    run.durability.rearms = server.rearms();
+    run.durability.lossy_recoveries = server.lossy_recoveries();
+    run.durability.io_errors = server.io_errors();
+    run.durability.dropped_journal_bytes = server.dropped_journal_bytes();
+  }
   VS_OBS_ONLY(if (obs::enabled()) {
     vs_obs_span.set_virtual(0.0, run.makespan);
     double probe_virtual = 0.0;

@@ -142,6 +142,20 @@ struct RunOptions {
   obs::EventLog* events = nullptr;
 };
 
+/// End-of-run durability accounting, aggregated from the attached server
+/// or sharded tier (all zero for runs with neither, and for runs whose
+/// storage never misbehaved). A nonzero degraded_shards/lossy_recoveries
+/// is the run saying "my durable artifacts are incomplete" — detection
+/// results are still exact (degraded mode keeps folding in memory).
+struct DurabilitySummary {
+  int degraded_shards = 0;          ///< shards still degraded at run end
+  uint64_t degraded_entries = 0;    ///< durable→degraded transitions
+  uint64_t rearms = 0;              ///< degraded→durable transitions
+  uint64_t lossy_recoveries = 0;    ///< recoveries over incomplete artifacts
+  uint64_t io_errors = 0;           ///< failed durable writes observed
+  uint64_t dropped_journal_bytes = 0;
+};
+
 struct WorkloadRun {
   simmpi::RunResult mpi;
   rt::SenseStats sense;  ///< merged over ranks
@@ -156,6 +170,8 @@ struct WorkloadRun {
   /// told to exclude, so it always equals StreamingDetector::stale_ranks()
   /// of whatever detector the run fed.
   std::vector<int> stale_ranks;
+  /// Storage-durability outcome of the attached server/tier (see above).
+  DurabilitySummary durability;
 
   /// Pm - 1: the paper's "workload max error" (Table 1).
   double workload_max_error() const;

@@ -301,12 +301,18 @@ int run_tool(const Options& opts) {
     std::ofstream out(opts.metrics_out);
     if (!out) throw Error("cannot open metrics file: " + opts.metrics_out);
     obs::MetricsRegistry::global().write_jsonl(out, &id);
+    out.flush();
+    if (!out) throw Error("metrics export failed mid-write (disk full?): " +
+                          opts.metrics_out);
     std::printf("wrote metrics to %s\n", opts.metrics_out.c_str());
   }
   if (!opts.trace_out.empty()) {
     std::ofstream out(opts.trace_out);
     if (!out) throw Error("cannot open trace file: " + opts.trace_out);
     obs::SpanTracer::global().write_chrome_trace(out, &id);
+    out.flush();
+    if (!out) throw Error("trace export failed mid-write (disk full?): " +
+                          opts.trace_out);
     std::printf("wrote trace to %s\n", opts.trace_out.c_str());
   }
   return analysis.events.empty() ? 0 : 3;
