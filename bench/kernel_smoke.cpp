@@ -1,0 +1,103 @@
+// Kernel-family trajectory smoke -> BENCH_kernels.json.
+//
+// Drives each kernel workload (DGEMM, STREAM, SHA256, CAPACITY) through the
+// full instrumented pipeline — simMPI ranks, sensors, slicing, the batch
+// transport, the sharded collector, the streaming detector — and records
+// two trajectory metrics per kernel:
+//   * <kernel>.pipeline  — end-to-end collection throughput (records/s of
+//     wall clock, the whole run included);
+//   * <kernel>.finalize  — wall time of the streaming detector's finalize
+//     (matrix normalization + event extraction) over that run's records.
+// CI runs this in the bench-trajectory job and tools/bench_compare.py
+// diffs the file against bench/baseline/BENCH_kernels.json.
+//
+// Usage: kernel_smoke [output.json]
+#include <cstdio>
+#include <string>
+
+#include "bench_json.hpp"
+#include "runtime/collector.hpp"
+#include "runtime/detector.hpp"
+#include "runtime/streaming_detector.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace vsensor;
+using bench::BenchReporter;
+using bench::Direction;
+using bench::time_seconds;
+
+constexpr int kRanks = 8;
+
+workloads::RunOptions options() {
+  workloads::RunOptions opts;
+  opts.params.iterations = 10;
+  opts.params.scale = 0.2;
+  opts.runtime.batch_records = 16;
+  return opts;
+}
+
+void bench_kernel(BenchReporter& out, const workloads::Workload& kernel) {
+  // Probe run: calibrates the analysis horizon for the detector configs.
+  auto probe_cfg = workloads::baseline_config(kRanks);
+  probe_cfg.ranks_per_node = 4;
+  rt::Collector probe;
+  probe.set_sensors(kernel.sensors());
+  const auto probe_run =
+      workloads::run_workload(kernel, probe_cfg, options(), &probe);
+  const double T = probe_run.makespan;
+
+  rt::DetectorConfig dcfg;
+  dcfg.matrix_resolution = T / 25.0;
+  dcfg.min_records = 1;
+  dcfg.metric_bucket_width = 0.1;  // CAPACITY's miss-rate classes
+
+  // End-to-end pipeline throughput: a fresh collector + streaming detector
+  // per repetition, whole-run wall clock. The last repetition's detector
+  // is kept for the finalize measurement below.
+  rt::StreamingDetector* last = nullptr;
+  std::unique_ptr<rt::Collector> collector;
+  std::unique_ptr<rt::StreamingDetector> detector;
+  out.measure(kernel.name() + ".pipeline", "rec/s",
+              Direction::kHigherIsBetter, 5, [&] {
+                auto cfg = workloads::baseline_config(kRanks);
+                cfg.ranks_per_node = 4;
+                collector = std::make_unique<rt::Collector>();
+                collector->set_sensors(kernel.sensors());
+                detector = std::make_unique<rt::StreamingDetector>(
+                    dcfg, kernel.sensors(), kRanks, T);
+                collector->attach_sink(detector.get());
+                double records = 0.0;
+                const double s = time_seconds([&] {
+                  workloads::run_workload(kernel, cfg, options(),
+                                          collector.get());
+                  records = static_cast<double>(collector->record_count());
+                });
+                last = detector.get();
+                return records / s;
+              });
+
+  // Detection finalize latency over the collected run (idempotent: the
+  // streaming detector folds nothing new at finalize, it only normalizes
+  // matrices and extracts events).
+  out.measure(kernel.name() + ".finalize", "ms", Direction::kLowerIsBetter, 7,
+              [&] {
+                return time_seconds([&] { (void)last->finalize(); }) * 1e3;
+              });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  BenchReporter out("kernels");
+  for (const auto& kernel : workloads::make_kernel_workloads()) {
+    bench_kernel(out, *kernel);
+  }
+  out.write(out_path);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

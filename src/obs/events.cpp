@@ -20,6 +20,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::DurabilityDegraded: return "durability_degraded";
     case EventKind::DurabilityRearmed: return "durability_rearmed";
     case EventKind::CheckpointFailed: return "checkpoint_failed";
+    case EventKind::RankRejoin: return "rank_rejoin";
     case EventKind::kCount: break;
   }
   return "unknown";

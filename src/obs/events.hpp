@@ -43,6 +43,7 @@ enum class EventKind : uint8_t {
   DurabilityDegraded,  ///< journal gave up retrying; ingest continues non-durable
   DurabilityRearmed,   ///< fresh checkpoint landed; journaling resumed
   CheckpointFailed,    ///< a checkpoint publish attempt failed (old one kept)
+  RankRejoin,          ///< elastic revival: a stale rank rejoined the run
   kCount
 };
 

@@ -49,6 +49,10 @@ class BatchSink {
   /// verdict reaches a detector on server-less runs, where no
   /// AnalysisServer exists to journal and forward it.
   virtual void on_stale_rank(int rank) { (void)rank; }
+  /// Elastic revival for `rank` (BatchTransport::rejoin_rank forwarded
+  /// through the collector). Default ignores it; the streaming detector
+  /// overrides to lift the rank's stale exclusion.
+  virtual void on_live_rank(int rank) { (void)rank; }
 };
 
 struct CollectorConfig {
@@ -88,6 +92,11 @@ class Collector : public obs::HealthSource {
   /// is: the sink pointer is fixed before the run starts.
   void notify_stale(int rank) {
     if (sink_ != nullptr) sink_->on_stale_rank(rank);
+  }
+
+  /// Forward an elastic revival to the attached sink (see notify_stale).
+  void notify_live(int rank) {
+    if (sink_ != nullptr) sink_->on_live_rank(rank);
   }
 
   const std::vector<SensorInfo>& sensors() const { return sensors_; }

@@ -55,7 +55,7 @@ bool parse_payload(const char* data, size_t len, JournalFrame* frame) {
       !in.read(&count)) {
     return false;
   }
-  if (kind > static_cast<uint8_t>(JournalFrameKind::Standard)) return false;
+  if (kind > static_cast<uint8_t>(JournalFrameKind::RankRejoin)) return false;
   frame->kind = static_cast<JournalFrameKind>(kind);
   // The payload length must match the declared record count exactly: a
   // frame with trailing or missing bytes is corrupt, not "close enough".
@@ -276,7 +276,7 @@ JournalLoad load_journal(const std::string& path) {
       break;
     }
     const char* payload = bytes.data() + pos + kFrameHeaderBytes;
-    if (crc32(payload, len) != crc) {
+    if (crc32(payload, static_cast<size_t>(len)) != crc) {
       load.warning = "frame CRC mismatch at byte " + std::to_string(pos);
       break;
     }

@@ -24,6 +24,7 @@
 //            wire format unchanged: rank carries the sensor id, seq the
 //            group (as u32), and a single carrier record holds the value in
 //            avg_duration. See make_standard_frame / decode_standard_frame.
+//        3 = rank-rejoin mark (elastic revival; seq/count unused)
 #pragma once
 
 #include <cstdint>
@@ -37,7 +38,14 @@
 
 namespace vsensor::rt {
 
-enum class JournalFrameKind : uint8_t { Batch = 0, StaleRank = 1, Standard = 2 };
+enum class JournalFrameKind : uint8_t {
+  Batch = 0,
+  StaleRank = 1,
+  Standard = 2,
+  /// Elastic revival: rank rejoined after a stale verdict (seq/count
+  /// unused, like StaleRank). Replay re-lifts the exclusion in fold order.
+  RankRejoin = 3,
+};
 
 struct JournalFrame {
   JournalFrameKind kind = JournalFrameKind::Batch;

@@ -104,6 +104,13 @@ void AnalysisServer::mark_stale(int rank, double now) {
   maybe_rearm_locked();
 }
 
+void AnalysisServer::mark_live(int rank, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  append_frame_locked(JournalFrame{JournalFrameKind::RankRejoin, rank, 0, {}});
+  detector_->mark_live(rank, now >= 0.0 ? now : last_now_);
+  maybe_rearm_locked();
+}
+
 void AnalysisServer::apply_standard(int sensor_id, int group, double value) {
   std::lock_guard<std::mutex> lock(mu_);
   append_frame_locked(make_standard_frame(sensor_id, group, value));
@@ -409,6 +416,10 @@ RecoveryReport AnalysisServer::recover_locked() {
       }
       case JournalFrameKind::StaleRank:
         detector_->mark_stale(frame.rank);
+        ++report.frames_replayed;
+        break;
+      case JournalFrameKind::RankRejoin:
+        detector_->mark_live(frame.rank);
         ++report.frames_replayed;
         break;
       case JournalFrameKind::Standard: {

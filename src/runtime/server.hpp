@@ -126,6 +126,11 @@ class AnalysisServer final : public DeliverySink, public obs::HealthSource {
   /// StaleRank event.
   void mark_stale(int rank, double now = -1.0);
 
+  /// Journal an elastic revival (rank rejoined after a stale verdict) and
+  /// forward it to the detector, so a crash-recovered server replays the
+  /// exact stale→live transition order the live run folded.
+  void mark_live(int rank, double now = -1.0);
+
   /// Journal a peer shard's (sensor, group) standard minimum and min-fold
   /// it into the detector's board, under the same lock as deliveries —
   /// journal order stays fold order, so shard recovery replays the exact

@@ -101,6 +101,11 @@ void ShardedAnalysisTier::mark_stale(int rank, double now) {
   shards_[static_cast<size_t>(shard_of(rank))]->server->mark_stale(rank, now);
 }
 
+void ShardedAnalysisTier::mark_live(int rank, double now) {
+  VS_CHECK_MSG(rank >= 0, "live mark for negative rank");
+  shards_[static_cast<size_t>(shard_of(rank))]->server->mark_live(rank, now);
+}
+
 void ShardedAnalysisTier::set_crash_plan(int shard, std::vector<double> times,
                                          uint64_t seed) {
   shards_[checked(shard)]->server->set_crash_plan(std::move(times), seed);

@@ -105,6 +105,10 @@ class ShardedAnalysisTier final : public DeliverySink,
   /// StaleRank event's virtual time.
   void mark_stale(int rank, double now = -1.0);
 
+  /// Route an elastic revival (rank rejoined after a stale verdict) to its
+  /// owning shard, journaled there like the stale mark it lifts.
+  void mark_live(int rank, double now = -1.0);
+
   /// Deterministic crash plan for one shard (virtual-time points + torn-
   /// tail seed), or for every shard at once — each shard crashes at its
   /// own first delivery at/after each point.

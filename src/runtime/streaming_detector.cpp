@@ -302,6 +302,23 @@ void StreamingDetector::mark_stale(int rank, double now) {
   }
 }
 
+void StreamingDetector::mark_live(int rank, double now) {
+  bool revived = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    revived = stale_.erase(rank) != 0;
+  }
+  // Like mark_stale: one event per actual transition, so idempotent
+  // journal replays don't multiply revival events.
+  if (revived && hooks_) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::RankRejoin;
+    ev.t = now;
+    ev.rank = rank;
+    hooks_.emit(std::move(ev));
+  }
+}
+
 std::vector<int> StreamingDetector::stale_ranks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return {stale_.begin(), stale_.end()};

@@ -101,10 +101,20 @@ class StreamingDetector final : public BatchSink, public obs::HealthSource {
   void mark_stale(int rank, double now);
   std::vector<int> stale_ranks() const;
 
+  /// Elastic revival: `rank` rejoined the run (BatchTransport::rejoin_rank),
+  /// so its fresh incarnation's records fold normally again. Lifts the
+  /// stale exclusion; records the first incarnation shipped while excluded
+  /// stay counted in stale_records() — revival is not retroactive.
+  /// Idempotent (reviving a live rank is a no-op); thread-safe.
+  void mark_live(int rank) { mark_live(rank, -1.0); }
+  void mark_live(int rank, double now);
+
   /// Transport-layer stale verdicts arriving through the collector (the
   /// server-less wiring: BatchTransport::sweep_stale -> Collector ->
   /// attached sink). Same semantics as mark_stale.
   void on_stale_rank(int rank) override { mark_stale(rank); }
+  /// Elastic revival arriving through the collector (server-less wiring).
+  void on_live_rank(int rank) override { mark_live(rank); }
 
   /// Opt in to lowered-standard tracking: every record that inserts or
   /// lowers a (sensor, group) standard queues that key for publication.

@@ -36,6 +36,17 @@ struct TransportInstruments {
 #endif
 
 bool SeqTracker::insert(uint64_t seq) {
+  // Generation floor: the first delivery of a new incarnation advances the
+  // watermark past everything a superseded incarnation could have shipped,
+  // so a rejoined rank's fresh seq 0 (wire value: generation<<48) is never
+  // mistaken for a duplicate of pre-leave history, and an old incarnation's
+  // straggler landing after the rejoin reads as the duplicate it is.
+  // Generation 0 has floor 0, so pre-elastic behavior is unchanged.
+  const uint64_t floor = seq_generation(seq) << kSeqGenShift;
+  if (floor > contiguous) {
+    ahead.erase(ahead.begin(), ahead.lower_bound(floor));
+    contiguous = floor;
+  }
   if (seq < contiguous) return false;
   if (!ahead.insert(seq).second) return false;
   while (!ahead.empty() && *ahead.begin() == contiguous) {
@@ -215,7 +226,7 @@ bool BatchTransport::ship_sync(int rank, std::span<const SliceRecord> batch,
   {
     std::lock_guard<std::mutex> lock(mu_);
     Channel& ch = channels_[static_cast<size_t>(rank)];
-    seq = ch.stats.next_seq++;
+    seq = seq_make(ch.generation, ch.stats.next_seq++);
     ch.stats.batches_sent += 1;
   }
 
@@ -375,6 +386,23 @@ int BatchTransport::add_rank(double now) {
   return static_cast<int>(channels_.size()) - 1;
 }
 
+bool BatchTransport::rejoin_rank(int rank, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VS_CHECK_MSG(rank >= 0 && static_cast<size_t>(rank) < channels_.size(),
+               "rejoin of unknown rank");
+  Channel& ch = channels_[static_cast<size_t>(rank)];
+  const bool was_reported = ch.reported_stale;
+  // Fresh incarnation: the send counter restarts under a bumped generation
+  // (see seq_make) and staleness ages from the rejoin time, exactly like a
+  // newly added channel.
+  ch.generation += 1;
+  ch.stats.next_seq = 0;
+  ch.stats.last_delivery_time = -1.0;
+  ch.first_seen = now;
+  ch.reported_stale = false;
+  return was_reported;
+}
+
 void BatchTransport::fold_ring_locked(size_t rank, RankChannelStats& s) const {
   if (rings_.empty()) return;
   const RingChannel& rc = *rings_[rank];
@@ -448,24 +476,32 @@ void BatchTransport::sample_health(double now,
       wire += ch.stats.wire_bytes;
       if (ch.reported_stale) ++stale_reported;
       const double last = ch.stats.last_delivery_time;
-      if (last < 0.0) {
-        ++never_delivered;
-      } else {
-        const double lag = now > last ? now - last : 0.0;
-        lag_sum += lag;
-        ++lagging;
-        if (lag > lag_max) {
-          lag_max = lag;
-          lag_max_rank = static_cast<int>(r);
-        }
+      // A channel that never delivered ages from its first_seen (job start
+      // for construction-time channels, the join/rejoin time for elastic
+      // ones) — mirroring stale_locked. Aging a mid-run joiner from t=0
+      // would report a lag it never accumulated.
+      if (last < 0.0) ++never_delivered;
+      const double since = last < 0.0 ? ch.first_seen : last;
+      const double lag = now > since ? now - since : 0.0;
+      lag_sum += lag;
+      ++lagging;
+      if (lag > lag_max) {
+        lag_max = lag;
+        lag_max_rank = static_cast<int>(r);
       }
-      const uint64_t wm = ch.seen.contiguous;
-      if (!wm_init) {
-        wm_min = wm_max = wm;
-        wm_init = true;
-      } else {
-        wm_min = std::min(wm_min, wm);
-        wm_max = std::max(wm_max, wm);
+      if (last >= 0.0) {
+        // Watermark spread covers only channels that entered the sequence
+        // space: a joiner that has not delivered yet has no watermark to
+        // skew, and the generation bits are masked off so a rejoined
+        // rank's watermark compares within its current incarnation.
+        const uint64_t wm = seq_local(ch.seen.contiguous);
+        if (!wm_init) {
+          wm_min = wm_max = wm;
+          wm_init = true;
+        } else {
+          wm_min = std::min(wm_min, wm);
+          wm_max = std::max(wm_max, wm);
+        }
       }
     }
     delayed_depth = delayed_.size();

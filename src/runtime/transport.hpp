@@ -52,6 +52,26 @@ class DeliverySink {
                            std::span<const SliceRecord> batch, double now) = 0;
 };
 
+/// Elastic-rank generations ride in the high bits of the wire sequence
+/// number: a rank that leaves and rejoins under the same id starts a new
+/// incarnation whose sequence space sorts strictly above everything the
+/// previous incarnation could have shipped. Receive-side watermarks then
+/// distinguish "fresh delivery from the new incarnation" (seq above the
+/// generation floor — never a duplicate of old history) from "straggler of
+/// a superseded incarnation" (below the floor — suppressed), with no wire
+/// or checkpoint format change. 16 generation bits leave 48 bits of local
+/// sequence per incarnation — both unreachable in any real run.
+inline constexpr int kSeqGenShift = 48;
+inline constexpr uint64_t kSeqLocalMask = (uint64_t{1} << kSeqGenShift) - 1;
+
+inline constexpr uint64_t seq_make(uint64_t generation, uint64_t local) {
+  return (generation << kSeqGenShift) | (local & kSeqLocalMask);
+}
+inline constexpr uint64_t seq_generation(uint64_t seq) {
+  return seq >> kSeqGenShift;
+}
+inline constexpr uint64_t seq_local(uint64_t seq) { return seq & kSeqLocalMask; }
+
 /// Receive-side per-rank dedup state: a contiguous watermark plus the
 /// out-of-order sequence numbers ahead of it, so memory stays bounded by
 /// the reorder window instead of growing with the run. Shared between the
@@ -213,6 +233,16 @@ class BatchTransport : public obs::HealthSource {
   /// communication phases.
   int add_rank(double now);
 
+  /// Elastic jobs: rank `rank` left and is rejoining under the same id at
+  /// virtual time `now`. Starts a fresh delivery incarnation — the send
+  /// counter restarts, the channel ages toward staleness from `now`, and
+  /// the sticky reported-stale verdict is cleared (the caller routes the
+  /// matching mark_live revival into the detection layer). Returns whether
+  /// the rank had been reported stale (i.e. whether a revival is needed).
+  /// Safe against concurrent ship()/pump() from *other* ranks; the
+  /// rejoining rank itself must not be shipping concurrently.
+  bool rejoin_rank(int rank, double now);
+
   RankChannelStats rank_stats(int rank) const;
   /// Field-wise sum over all ranks (last_delivery_time = max, next_seq = sum).
   RankChannelStats totals() const;
@@ -247,6 +277,9 @@ class BatchTransport : public obs::HealthSource {
   struct Channel {
     RankChannelStats stats;
     SeqTracker seen;
+    /// Delivery incarnation of this rank (bumped by rejoin_rank). Stamped
+    /// into the high bits of every shipped seq — see seq_make.
+    uint64_t generation = 0;
     bool reported_stale = false;
     /// Virtual time this channel came into existence. Construction-time
     /// channels are born with the job (t=0); channels added mid-run via

@@ -160,6 +160,12 @@ void Comm::scatter(int root, uint64_t bytes) {
   run_collective(CollKind::Scatter, root, bytes);
 }
 
+void Comm::idle_until(double t) {
+  if (t <= now_) return;
+  stats_.idle_time += t - now_;
+  now_ = t;
+}
+
 void Comm::charge_overhead(double seconds) {
   VS_CHECK_MSG(seconds >= 0.0, "negative overhead");
   const double t0 = now_;

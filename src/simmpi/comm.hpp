@@ -81,6 +81,13 @@ class Comm {
   /// instrumentation-probe overhead charged by the vSensor runtime.
   void charge_overhead(double seconds);
 
+  /// Elastic jobs: jump the clock straight to `t` (no-op when `t` is in
+  /// the past). The gap is accounted as idle_time — wall time the departed
+  /// rank simply was not there for, so no node/noise model applies.
+  void idle_until(double t);
+
+  const Config& config() const { return engine_.config(); }
+
   const RankStats& stats() const { return stats_; }
 
  private:

@@ -28,6 +28,19 @@ namespace vsensor::simmpi {
 
 class Comm;
 
+/// Elastic jobs: one planned absence of `rank` — it stops doing work at
+/// the first sense boundary at/after `leave_at` and idles (virtual time
+/// advances, no compute, no MPI) until `rejoin_at`, then resumes under the
+/// same rank id. The simulation stays deterministic: other ranks block at
+/// their next rendezvous/collective with the absentee and resume when it
+/// rejoins, exactly as a real elastic job would stall. Windows of one rank
+/// must not overlap; the workload layer applies them in leave_at order.
+struct ElasticWindow {
+  int rank = -1;
+  double leave_at = 0.0;
+  double rejoin_at = 0.0;
+};
+
 /// Job configuration: topology, performance models, and hooks.
 struct Config {
   int ranks = 1;
@@ -50,6 +63,9 @@ struct Config {
   /// delays, rank-kill — see simmpi/faults.hpp). The simulated job's MPI
   /// semantics are unaffected; only the measurement path degrades.
   std::shared_ptr<const rt::TransportFaultModel> transport_faults;
+  /// Planned rank absences (elastic jobs). Consumed by the workload layer
+  /// at sense boundaries; the engine itself only carries the plan.
+  std::vector<ElasticWindow> elastic;
 };
 
 /// Per-rank outcome of a simulated run.
@@ -58,6 +74,7 @@ struct RankStats {
   double comp_time = 0.0;    ///< virtual seconds spent in compute()
   double mpi_time = 0.0;     ///< virtual seconds spent inside MPI operations
   double overhead_time = 0.0;  ///< virtual seconds charged as probe overhead
+  double idle_time = 0.0;      ///< virtual seconds idled away (elastic leave)
   uint64_t messages = 0;       ///< p2p sends + collective calls
   uint64_t bytes_sent = 0;
   uint64_t pmu_instructions = 0;  ///< simulated instruction counter

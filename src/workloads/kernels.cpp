@@ -1,0 +1,375 @@
+// Kernel workload family (see kernels.hpp for the rationale).
+//
+// Each kernel follows the application pattern: a C++ rank body on simMPI
+// with hand-placed sensors, plus a MiniC source model so the static module
+// can identify and select its snippets. Bracket workloads are compile-time
+// fixed — the property the whole system rests on — so any variance the
+// detector reports under a hostile scenario is the scenario's doing.
+#include "workloads/kernels.hpp"
+
+namespace vsensor::workloads {
+
+namespace {
+
+// --- DGEMM: compute-bound tiled matrix multiply -----------------------------
+
+const char* kDgemmModel = R"(
+int NITER = 12;
+int TILES = 4;
+double a[64]; double b[64]; double c[64];
+
+void gemm_tile(int n) {
+  int i; int j; int k;
+  for (i = 0; i < n; ++i)
+    for (j = 0; j < 8; ++j)
+      for (k = 0; k < 8; ++k)
+        c[(i + j) % 64] = c[(i + j) % 64] + a[k % 64] * b[k % 64];
+}
+
+double trace_sum(int n) {
+  int i; double s = 0.0;
+  for (i = 0; i < n; ++i)
+    s = s + c[i % 64];
+  return s;
+}
+
+int main() {
+  int rank = 0; int nprocs = 1; int iter; int tile; int n = 16;
+  double chk = 0.0;
+  MPI_Init(NULL, NULL);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  for (iter = 0; iter < NITER; ++iter) {
+    for (tile = 0; tile < TILES; ++tile)
+      gemm_tile(n);
+    chk = trace_sum(n);
+    MPI_Allreduce(a, b, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}
+)";
+
+class DgemmWorkload final : public Workload {
+ public:
+  std::string name() const override { return "DGEMM"; }
+  double paper_kloc() const override { return 0.3; }
+  std::string minic_source() const override { return kDgemmModel; }
+
+  enum { kTile = 0, kChecksum, kAllreduce, kSensorCount };
+
+  std::vector<rt::SensorInfo> sensors() const override {
+    using rt::SensorType;
+    return {
+        {"dgemm:tile", SensorType::Computation, "dgemm.c", 8},
+        {"dgemm:checksum", SensorType::Computation, "dgemm.c", 17},
+        {"dgemm:allreduce", SensorType::Network, "dgemm.c", 33},
+    };
+  }
+
+  void run_rank(RankContext& ctx, const WorkloadParams& params) const override {
+    auto& comm = ctx.comm();
+    // One tile is a fixed FLOP count; the kernel is almost all sensed time,
+    // the opposite extreme from CG's 15% coverage.
+    const auto tile_units = static_cast<uint64_t>(2.0e6 * params.scale);
+    const auto sum_units = static_cast<uint64_t>(2.0e5 * params.scale);
+    constexpr int kTilesPerIter = 4;
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      for (int tile = 0; tile < kTilesPerIter; ++tile) {
+        Sense s(ctx, kTile);
+        ctx.compute(tile_units);
+      }
+      {
+        Sense s(ctx, kChecksum);
+        ctx.compute(sum_units);
+      }
+      {
+        Sense s(ctx, kAllreduce);
+        comm.allreduce(8);
+      }
+    }
+  }
+};
+
+// --- STREAM: bandwidth-bound triad sweep ------------------------------------
+
+const char* kStreamModel = R"(
+int NITER = 20;
+double sa[64]; double sb[64]; double sc[64];
+
+void copy_pass(int n) {
+  int i;
+  for (i = 0; i < n; ++i)
+    sc[i % 64] = sa[i % 64];
+}
+
+void scale_pass(int n) {
+  int i;
+  for (i = 0; i < n; ++i)
+    sb[i % 64] = sc[i % 64] * 3.0;
+}
+
+void add_pass(int n) {
+  int i;
+  for (i = 0; i < n; ++i)
+    sc[i % 64] = sa[i % 64] + sb[i % 64];
+}
+
+void triad_pass(int n) {
+  int i;
+  for (i = 0; i < n; ++i)
+    sa[i % 64] = sb[i % 64] + sc[i % 64] * 3.0;
+}
+
+int main() {
+  int rank = 0; int nprocs = 1; int iter; int n = 48;
+  MPI_Init(NULL, NULL);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  for (iter = 0; iter < NITER; ++iter) {
+    copy_pass(n);
+    scale_pass(n);
+    add_pass(n);
+    triad_pass(n);
+    MPI_Barrier(MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}
+)";
+
+class StreamWorkload final : public Workload {
+ public:
+  std::string name() const override { return "STREAM"; }
+  double paper_kloc() const override { return 0.2; }
+  std::string minic_source() const override { return kStreamModel; }
+
+  enum { kCopy = 0, kScale, kAdd, kTriad, kBarrier, kSensorCount };
+
+  std::vector<rt::SensorInfo> sensors() const override {
+    using rt::SensorType;
+    return {
+        {"stream:copy", SensorType::Computation, "stream.c", 5},
+        {"stream:scale", SensorType::Computation, "stream.c", 11},
+        {"stream:add", SensorType::Computation, "stream.c", 17},
+        {"stream:triad", SensorType::Computation, "stream.c", 23},
+        {"stream:barrier", SensorType::Network, "stream.c", 36},
+    };
+  }
+
+  void run_rank(RankContext& ctx, const WorkloadParams& params) const override {
+    auto& comm = ctx.comm();
+    // Work units at memory-bus rate, not core rate: each pass moves a fixed
+    // number of bytes, so brackets are short and bandwidth-bound. A node
+    // whose memory subsystem degrades (inject_bad_node) hits these brackets
+    // hardest — that is the contrast with DGEMM this kernel exists for.
+    const auto pass_units = static_cast<uint64_t>(6.0e5 * params.scale);
+    constexpr double kBusRate = 2.0e9;  // abstract units/s at memory speed
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      {
+        Sense s(ctx, kCopy);
+        ctx.compute(pass_units, kBusRate);
+      }
+      {
+        Sense s(ctx, kScale);
+        ctx.compute(pass_units, kBusRate);
+      }
+      {
+        Sense s(ctx, kAdd);
+        ctx.compute((pass_units * 3) / 2, kBusRate);
+      }
+      {
+        Sense s(ctx, kTriad);
+        ctx.compute((pass_units * 3) / 2, kBusRate);
+      }
+      {
+        Sense s(ctx, kBarrier);
+        comm.barrier();
+      }
+    }
+  }
+};
+
+// --- SHA256: integer-only compression rounds --------------------------------
+
+const char* kSha256Model = R"(
+int NITER = 16;
+int BLOCKS = 8;
+int w[64]; int h[64];
+
+void compress_block(int rounds) {
+  int r; int t1; int t2;
+  for (r = 0; r < rounds; ++r) {
+    t1 = h[7 % 64] + w[r % 64] + 1116352408;
+    t2 = h[0 % 64] + t1;
+    h[7 % 64] = h[6 % 64];
+    h[0 % 64] = t1 + t2;
+  }
+}
+
+void schedule_expand(int n) {
+  int i;
+  for (i = 16; i < n; ++i)
+    w[i % 64] = w[(i - 16) % 64] + w[(i - 7) % 64];
+}
+
+int main() {
+  int rank = 0; int nprocs = 1; int iter; int blk;
+  MPI_Init(NULL, NULL);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  for (iter = 0; iter < NITER; ++iter) {
+    for (blk = 0; blk < BLOCKS; ++blk) {
+      schedule_expand(64);
+      compress_block(64);
+    }
+    MPI_Gather(h, 8, MPI_INT, w, 8, MPI_INT, 0, MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}
+)";
+
+class Sha256Workload final : public Workload {
+ public:
+  std::string name() const override { return "SHA256"; }
+  double paper_kloc() const override { return 0.4; }
+  std::string minic_source() const override { return kSha256Model; }
+
+  enum { kSchedule = 0, kCompress, kDigestGather, kSensorCount };
+
+  std::vector<rt::SensorInfo> sensors() const override {
+    using rt::SensorType;
+    return {
+        {"sha256:schedule", SensorType::Computation, "sha256.c", 15},
+        {"sha256:compress", SensorType::Computation, "sha256.c", 5},
+        {"sha256:digest_gather", SensorType::Network, "sha256.c", 31},
+    };
+  }
+
+  void run_rank(RankContext& ctx, const WorkloadParams& params) const override {
+    auto& comm = ctx.comm();
+    // Integer ALU work only: immune to FP-unit contention, sensitive to
+    // core-speed changes — isolates "the whole core slowed" from "the FP
+    // pipeline stalled" when read next to DGEMM.
+    const auto schedule_units = static_cast<uint64_t>(1.5e5 * params.scale);
+    const auto compress_units = static_cast<uint64_t>(8.0e5 * params.scale);
+    constexpr int kBlocksPerIter = 8;
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      for (int blk = 0; blk < kBlocksPerIter; ++blk) {
+        {
+          Sense s(ctx, kSchedule);
+          ctx.compute(schedule_units);
+        }
+        {
+          Sense s(ctx, kCompress);
+          ctx.compute(compress_units);
+        }
+      }
+      {
+        Sense s(ctx, kDigestGather);
+        comm.gather(0, 32);
+      }
+    }
+  }
+};
+
+// --- CAPACITY: cache working-set sweep with miss-rate metric ----------------
+
+const char* kCapacityModel = R"(
+int NITER = 12;
+int CLASSES = 3;
+double buf[64];
+
+void walk(int steps, int stride) {
+  int i;
+  for (i = 0; i < steps; ++i)
+    buf[(i * stride) % 64] = buf[(i * stride) % 64] + 1.0;
+}
+
+int main() {
+  int rank = 0; int nprocs = 1; int iter; int cls; int stride;
+  MPI_Init(NULL, NULL);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  for (iter = 0; iter < NITER; ++iter) {
+    stride = 1;
+    for (cls = 0; cls < CLASSES; ++cls) {
+      walk(128, stride);
+      stride = stride * 8;
+    }
+    MPI_Allreduce(buf, buf, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}
+)";
+
+class CapacityWorkload final : public Workload {
+ public:
+  std::string name() const override { return "CAPACITY"; }
+  double paper_kloc() const override { return 0.2; }
+  std::string minic_source() const override { return kCapacityModel; }
+
+  enum { kWalk = 0, kSync, kSensorCount };
+
+  std::vector<rt::SensorInfo> sensors() const override {
+    using rt::SensorType;
+    return {
+        {"capacity:walk", SensorType::Computation, "capacity.c", 5},
+        {"capacity:sync", SensorType::Network, "capacity.c", 21},
+    };
+  }
+
+  void run_rank(RankContext& ctx, const WorkloadParams& params) const override {
+    auto& comm = ctx.comm();
+    // Three working-set classes sweep the same `walk` snippet through L1,
+    // LLC, and DRAM residency. The miss rate of each class is a property
+    // of the access pattern — deterministic, identical on every rank and
+    // every run — and is attached to the bracket as the dynamic-rule
+    // metric, so one sensor legitimately produces three duration
+    // populations. With metric_bucket_width ~0.1 the detector must group
+    // them apart (§5.3); ungrouped, the slow DRAM class would read as 3x
+    // "variance" on a perfectly healthy machine.
+    struct Class {
+      double miss_rate;
+      uint64_t units;
+    };
+    const auto base = static_cast<uint64_t>(4.0e5 * params.scale);
+    const Class classes[3] = {
+        {0.02, base},                // fits in L1: ~every access hits
+        {0.35, base * 2},            // LLC-resident: misses cost ~2x
+        {0.92, base * 4},            // DRAM streaming: miss per line
+    };
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      for (const auto& cls : classes) {
+        Sense s(ctx, kWalk, cls.miss_rate);
+        ctx.compute(cls.units);
+      }
+      {
+        Sense s(ctx, kSync);
+        comm.allreduce(8);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_dgemm() { return std::make_unique<DgemmWorkload>(); }
+std::unique_ptr<Workload> make_stream() { return std::make_unique<StreamWorkload>(); }
+std::unique_ptr<Workload> make_sha256() { return std::make_unique<Sha256Workload>(); }
+std::unique_ptr<Workload> make_capacity() {
+  return std::make_unique<CapacityWorkload>();
+}
+
+std::vector<std::unique_ptr<Workload>> make_kernel_workloads() {
+  std::vector<std::unique_ptr<Workload>> all;
+  all.push_back(make_dgemm());
+  all.push_back(make_stream());
+  all.push_back(make_sha256());
+  all.push_back(make_capacity());
+  return all;
+}
+
+}  // namespace vsensor::workloads

@@ -1,0 +1,31 @@
+// Kernel workload family: small single-purpose kernels that pin one
+// hardware resource each, used as bug-shaking harnesses for the detection
+// stack under hostile scenarios (tenant interference, diurnal swings,
+// elastic ranks). Unlike the eight Table-1 applications, these are not
+// paper evaluation programs — they exist to make failure modes obvious:
+//  * DGEMM    — compute-bound, long fixed brackets, FP-heavy;
+//  * STREAM   — bandwidth-bound, short fixed brackets at memory speed;
+//  * SHA256   — integer-only rounds, no FP units involved;
+//  * CAPACITY — working-set sweep that deterministically forces cache
+//    misses and attaches the miss rate as the dynamic-rule metric, so
+//    metric-bucket grouping (§5.3) is exercised on every run.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vsensor::workloads {
+
+std::unique_ptr<Workload> make_dgemm();
+std::unique_ptr<Workload> make_stream();
+std::unique_ptr<Workload> make_sha256();
+std::unique_ptr<Workload> make_capacity();
+
+/// All four kernels, in the order above. Separate from
+/// make_all_workloads() so Table-1 consumers keep seeing exactly the
+/// paper's eight programs; make_workload(name) searches both families.
+std::vector<std::unique_ptr<Workload>> make_kernel_workloads();
+
+}  // namespace vsensor::workloads

@@ -1,5 +1,9 @@
 #include "workloads/scenarios.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -20,6 +24,9 @@ simmpi::Config baseline_config(int ranks, uint64_t seed) {
 void inject_noiser(simmpi::Config& config, int rank_begin, int rank_end, double t0,
                    double duration, double slowdown) {
   VS_CHECK_MSG(rank_begin <= rank_end, "empty rank range");
+  VS_CHECK_MSG(rank_begin >= 0 && rank_end < config.ranks,
+               "noiser rank range outside the job's ranks");
+  VS_CHECK_MSG(config.ranks_per_node > 0, "ranks_per_node must be positive");
   VS_CHECK_MSG(duration > 0.0, "noiser duration must be positive");
   const int node_begin = rank_begin / config.ranks_per_node;
   const int node_end = rank_end / config.ranks_per_node;
@@ -42,6 +49,8 @@ void inject_network_congestion(simmpi::Config& config, double t0, double t1,
 
 void apply_background_noise(simmpi::Config& config, uint64_t seed, int submission,
                             double run_horizon) {
+  VS_CHECK_MSG(config.ranks > 0, "background noise needs a configured job size");
+  VS_CHECK_MSG(config.ranks_per_node > 0, "ranks_per_node must be positive");
   Rng rng(hash_combine(seed, static_cast<uint64_t>(submission)));
   // A shared system occasionally suffers long congestion episodes; most
   // submissions see none, a few see severe ones (Fig 1's 3x spread).
@@ -59,6 +68,98 @@ void apply_background_noise(simmpi::Config& config, uint64_t seed, int submissio
     const int node = static_cast<int>(rng.next_below(static_cast<uint64_t>(nodes)));
     config.nodes.add_noise_window(node, 0.0, run_horizon,
                                   rng.uniform(0.4, 0.8));
+  }
+}
+
+void inject_tenant_interference(simmpi::Config& config, int rank_begin,
+                                int rank_end, double t0, double duration,
+                                uint64_t seed, double slowdown,
+                                double congestion) {
+  VS_CHECK_MSG(rank_begin <= rank_end, "empty rank range");
+  VS_CHECK_MSG(rank_begin >= 0 && rank_end < config.ranks,
+               "tenant rank range outside the job's ranks");
+  VS_CHECK_MSG(config.ranks_per_node > 0, "ranks_per_node must be positive");
+  VS_CHECK_MSG(duration > 0.0, "tenant duration must be positive");
+  VS_CHECK_MSG(slowdown > 0.0 && slowdown < 1.0,
+               "tenant slowdown must be in (0, 1)");
+  VS_CHECK_MSG(congestion >= 1.0, "tenant congestion factor must be >= 1");
+  const int node_begin = rank_begin / config.ranks_per_node;
+  const int node_end = rank_end / config.ranks_per_node;
+  Rng rng(hash_combine(seed, 0x7e4a47u));
+  // The neighbor alternates compute phases (pinning the shared cores and
+  // memory bus — node-speed windows) with communication phases (hammering
+  // the shared NIC — congestion windows). Phase lengths are jittered so
+  // the pressure is time-structured, not one flat factor.
+  const double mean_phase = duration / 12.0;
+  double t = t0;
+  const double t_end = t0 + duration;
+  bool compute_phase = true;
+  while (t < t_end) {
+    const double len =
+        std::min(rng.uniform(0.5 * mean_phase, 1.5 * mean_phase), t_end - t);
+    if (compute_phase) {
+      for (int node = node_begin; node <= node_end; ++node) {
+        config.nodes.add_noise_window(node, t, t + len, slowdown);
+      }
+    } else {
+      config.congestion.add_window(t, t + len, congestion);
+    }
+    t += len;
+    compute_phase = !compute_phase;
+  }
+}
+
+void inject_diurnal_load(simmpi::Config& config, double period, double amplitude,
+                         double run_horizon, int steps_per_period) {
+  VS_CHECK_MSG(period > 0.0, "diurnal period must be positive");
+  VS_CHECK_MSG(amplitude > 0.0 && amplitude < 1.0,
+               "diurnal amplitude must be in (0, 1)");
+  VS_CHECK_MSG(run_horizon > 0.0, "run horizon must be positive");
+  VS_CHECK_MSG(steps_per_period >= 2, "need at least 2 steps per period");
+  VS_CHECK_MSG(config.ranks > 0, "diurnal load needs a configured job size");
+  VS_CHECK_MSG(config.ranks_per_node > 0, "ranks_per_node must be positive");
+  const int nodes =
+      (config.ranks + config.ranks_per_node - 1) / config.ranks_per_node;
+  const double step = period / steps_per_period;
+  const double pi = 3.14159265358979323846;
+  // speed(t) = 1 - amplitude/2 * (1 - cos(2*pi*t/period)): full speed at
+  // t=0 (off-peak), dipping to 1-amplitude at the half-period peak.
+  // Sampled at step midpoints so each piecewise-constant window carries the
+  // mean load of its interval.
+  for (double t = 0.0; t < run_horizon; t += step) {
+    const double mid = t + 0.5 * step;
+    const double speed =
+        1.0 - amplitude * 0.5 * (1.0 - std::cos(2.0 * pi * mid / period));
+    if (speed >= 1.0) continue;  // off-peak trough: no window needed
+    const double t1 = std::min(t + step, run_horizon);
+    for (int node = 0; node < nodes; ++node) {
+      config.nodes.add_noise_window(node, t, t1, speed);
+    }
+  }
+}
+
+void inject_elastic_ranks(simmpi::Config& config, uint64_t seed, int count,
+                          double leave_at, double absence, double stagger) {
+  VS_CHECK_MSG(config.ranks > 0, "elastic plan needs a configured job size");
+  VS_CHECK_MSG(count > 0 && count <= config.ranks,
+               "elastic count must be in [1, ranks]");
+  VS_CHECK_MSG(leave_at >= 0.0, "leave time must be non-negative");
+  VS_CHECK_MSG(absence > 0.0, "absence must be positive");
+  VS_CHECK_MSG(stagger >= 0.0, "stagger must be non-negative");
+  Rng rng(hash_combine(seed, 0xe1a57u));
+  // Draw `count` distinct ranks by partial Fisher-Yates over [0, ranks).
+  std::vector<int> pool(static_cast<size_t>(config.ranks));
+  for (int r = 0; r < config.ranks; ++r) pool[static_cast<size_t>(r)] = r;
+  for (int i = 0; i < count; ++i) {
+    const size_t j = static_cast<size_t>(i) +
+                     static_cast<size_t>(rng.next_below(
+                         static_cast<uint64_t>(config.ranks - i)));
+    std::swap(pool[static_cast<size_t>(i)], pool[j]);
+    simmpi::ElasticWindow w;
+    w.rank = pool[static_cast<size_t>(i)];
+    w.leave_at = leave_at + stagger * i;
+    w.rejoin_at = w.leave_at + absence;
+    config.elastic.push_back(w);
   }
 }
 

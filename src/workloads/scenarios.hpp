@@ -32,4 +32,39 @@ void inject_network_congestion(simmpi::Config& config, double t0, double t1,
 void apply_background_noise(simmpi::Config& config, uint64_t seed, int submission,
                             double run_horizon);
 
+// --- hostile environment scenarios -----------------------------------------
+//
+// Every injector below is a pure function of (config, arguments): the same
+// inputs always produce the same noise/congestion windows and elastic plan,
+// so any run built from them replays byte-identically under one seed.
+
+/// Multi-tenant interference: a second, co-scheduled tenant shares the
+/// nodes hosting [rank_begin, rank_end] during [t0, t0 + duration). The
+/// tenant's behavior is phase-structured — alternating compute bursts
+/// (node-speed windows at `slowdown`) and communication bursts (network
+/// congestion windows) with deterministically jittered phase lengths drawn
+/// from `seed` — so the victim sees the time-structured pressure a real
+/// neighbor applies, not one flat factor.
+void inject_tenant_interference(simmpi::Config& config, int rank_begin,
+                                int rank_end, double t0, double duration,
+                                uint64_t seed, double slowdown = 0.55,
+                                double congestion = 3.0);
+
+/// Diurnal load swing: slow sinusoidal modulation of every node's speed
+/// with the given `period`, dipping to (1 - amplitude) at the trough —
+/// datacenter-wide daily load rhythm compressed into a run. Applied as
+/// piecewise-constant steps (`steps_per_period` per cycle) over
+/// [0, run_horizon), matching the NodeModel's window machinery.
+void inject_diurnal_load(simmpi::Config& config, double period,
+                         double amplitude, double run_horizon,
+                         int steps_per_period = 12);
+
+/// Elastic ranks: `count` distinct ranks drawn deterministically from
+/// `seed` leave the job at `leave_at` (staggered by `stagger` each) and
+/// rejoin after `absence`. Appends to config.elastic; the workload layer
+/// executes the plan at sense boundaries (see RankContext::ElasticHooks).
+void inject_elastic_ranks(simmpi::Config& config, uint64_t seed, int count,
+                          double leave_at, double absence,
+                          double stagger = 0.0);
+
 }  // namespace vsensor::workloads

@@ -1,5 +1,6 @@
 #include "workloads/workload.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 
@@ -10,6 +11,7 @@
 #include "runtime/sharded_tier.hpp"
 #include "support/error.hpp"
 #include "workloads/apps.hpp"
+#include "workloads/kernels.hpp"
 
 namespace vsensor::workloads {
 
@@ -39,7 +41,30 @@ RankContext::RankContext(simmpi::Comm& comm, rt::SensorRuntime* sensors,
   }
 }
 
+void RankContext::set_elastic(ElasticHooks hooks) {
+  elastic_ = std::move(hooks);
+  std::sort(elastic_.windows.begin(), elastic_.windows.end(),
+            [](const simmpi::ElasticWindow& a, const simmpi::ElasticWindow& b) {
+              return a.leave_at < b.leave_at;
+            });
+  next_window_ = 0;
+}
+
+void RankContext::maybe_elastic_transition() {
+  while (next_window_ < elastic_.windows.size() &&
+         comm_.now() >= elastic_.windows[next_window_].leave_at) {
+    const simmpi::ElasticWindow w = elastic_.windows[next_window_++];
+    if (elastic_.on_leave) elastic_.on_leave(comm_.now());
+    comm_.idle_until(w.rejoin_at);
+    if (elastic_.on_rejoin) elastic_.on_rejoin(comm_.now());
+  }
+}
+
 void RankContext::sense_begin(int sensor_id) {
+  // Elastic transitions happen here — at the boundary before a slice
+  // starts — so an uninstrumented probe run (sensors_ == nullptr) still
+  // observes the same leave/idle/rejoin virtual-time structure.
+  maybe_elastic_transition();
   if (sensors_ == nullptr) return;
   tick_units_[static_cast<size_t>(sensor_id)] = comm_.stats().pmu_instructions;
   sensors_->tick(sensor_id);
@@ -153,6 +178,10 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
     }
   };
 
+  // Elastic plan: captured before the config moves into the engine, so the
+  // per-rank hooks built inside the rank bodies can consult it.
+  const std::vector<simmpi::ElasticWindow> elastic_plan = sim_config.elastic;
+
   run.mpi = simmpi::run(std::move(sim_config), [&](simmpi::Comm& comm) {
     const auto r = static_cast<size_t>(comm.rank());
     run.pmu[r].assign(sensor_table.size(), PmuSamples{});
@@ -173,6 +202,34 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
     }
     RankContext ctx(comm, runtimes[r].get(), &run.pmu[r], options.pmu_jitter,
                     options.pmu_seed);
+    RankContext::ElasticHooks hooks;
+    for (const auto& w : elastic_plan) {
+      if (w.rank == comm.rank()) hooks.windows.push_back(w);
+    }
+    if (!hooks.windows.empty()) {
+      // Leave: flush staged slices so nothing half-shipped outlives the
+      // absence. Rejoin: start a fresh transport incarnation, and if a
+      // sweep had already declared the rank stale, route the revival into
+      // whichever detection stack this run feeds (mirroring the stale
+      // sweep's routing below).
+      hooks.on_leave = [&runtimes, r](double) {
+        if (runtimes[r]) runtimes[r]->flush();
+      };
+      hooks.on_rejoin = [&transport, &options, collector, r](double now) {
+        if (transport == nullptr) return;
+        const int rank = static_cast<int>(r);
+        if (transport->rejoin_rank(rank, now)) {
+          if (options.server != nullptr) {
+            options.server->mark_live(rank, now);
+          } else if (options.analysis_tier != nullptr) {
+            options.analysis_tier->mark_live(rank, now);
+          } else if (collector != nullptr) {
+            collector->notify_live(rank);
+          }
+        }
+      };
+      ctx.set_elastic(std::move(hooks));
+    }
     workload.run_rank(ctx, options.params);
   });
 
@@ -260,6 +317,9 @@ WorkloadRun run_workload(const Workload& workload, simmpi::Config sim_config,
 
 std::unique_ptr<Workload> make_workload(const std::string& name) {
   for (auto& w : make_all_workloads()) {
+    if (w->name() == name) return std::move(w);
+  }
+  for (auto& w : make_kernel_workloads()) {
     if (w->name() == name) return std::move(w);
   }
   throw Error("unknown workload: " + name);

@@ -44,6 +44,20 @@ class RankContext {
   int rank() const { return comm_.rank(); }
   int size() const { return comm_.size(); }
 
+  /// Elastic lifecycle hooks for this rank, built by run_workload from
+  /// Config::elastic. Transitions fire only at sense boundaries — the
+  /// natural cut points of the instrumented program — so a leave never
+  /// tears a slice in half: at the first sense_begin at/after a window's
+  /// leave_at, on_leave runs (staged records flush), the clock jumps to
+  /// rejoin_at, and on_rejoin runs (fresh transport incarnation, revival
+  /// routed into the detection layer).
+  struct ElasticHooks {
+    std::vector<simmpi::ElasticWindow> windows;  ///< this rank's windows
+    std::function<void(double now)> on_leave;
+    std::function<void(double now)> on_rejoin;
+  };
+  void set_elastic(ElasticHooks hooks);
+
   /// Nominal-speed computation expressed in abstract work units.
   void compute(uint64_t units, double units_per_second = 1e9) {
     comm_.compute_units(units, units_per_second);
@@ -53,12 +67,16 @@ class RankContext {
   void sense_end(int sensor_id, double metric = 0.0);
 
  private:
+  void maybe_elastic_transition();
+
   simmpi::Comm& comm_;
   rt::SensorRuntime* sensors_;
   std::vector<PmuSamples>* pmu_;
   std::vector<uint64_t> tick_units_;
   double pmu_jitter_;
   uint64_t pmu_rng_;
+  ElasticHooks elastic_;
+  size_t next_window_ = 0;
 };
 
 /// RAII sense bracket.

@@ -27,6 +27,7 @@
 #include "runtime/detector.hpp"
 #include "runtime/sharded_tier.hpp"
 #include "runtime/streaming_detector.hpp"
+#include "runtime/transport.hpp"
 #include "support/rng.hpp"
 
 namespace vsensor::rt {
@@ -195,6 +196,55 @@ TEST(HealthRecorder, PrefixesNestAndKeysSort) {
   EXPECT_DOUBLE_EQ(g.at("a"), 2.0);
   // std::map iterates name-sorted — the render-order stability guarantee.
   EXPECT_EQ(g.begin()->first, "a");
+}
+
+// --- transport gauges under elastic joins -----------------------------------
+
+// Regression (elastic ranks): a mid-run joiner's channel-lag gauge must age
+// from the channel's first_seen (the add_rank/rejoin time), not from t=0,
+// and a joiner that has not delivered yet must not drag watermark_min to
+// zero and inflate watermark_skew.
+TEST(TransportHealth, ElasticJoinerAgesFromFirstSeenNotTimeZero) {
+  Collector collector;
+  BatchTransport transport(&collector, 2);
+  EXPECT_TRUE(transport.ship(0, {{make_record(0, 0, 5.5, 2e-4)}}, 5.5));
+  EXPECT_TRUE(transport.ship(1, {{make_record(0, 1, 5.5, 2e-4)}}, 5.5));
+
+  const int joiner = transport.add_rank(/*now=*/5.0);
+  ASSERT_EQ(joiner, 2);
+
+  obs::HealthRecorder rec;
+  transport.sample_health(/*now=*/6.0, rec);
+  const auto& g = rec.gauges();
+  EXPECT_DOUBLE_EQ(g.at("ranks_never_delivered"), 1.0);
+  // The joiner has been silent for 1.0s since first contact at t=5 — not
+  // for the 6.0s a t=0 birth would imply.
+  EXPECT_DOUBLE_EQ(g.at("lag_max"), 1.0);
+  EXPECT_DOUBLE_EQ(g.at("lag_max_rank"), 2.0);
+  EXPECT_DOUBLE_EQ(g.at("lag_mean"), (0.5 + 0.5 + 1.0) / 3.0);
+  // Both delivering ranks sit at watermark 1; the joiner has no watermark
+  // yet and must not register as contiguous=0.
+  EXPECT_DOUBLE_EQ(g.at("watermark_min"), 1.0);
+  EXPECT_DOUBLE_EQ(g.at("watermark_skew"), 0.0);
+}
+
+// A rejoined rank's watermark gauge reads within its current incarnation:
+// the generation bits in the raw contiguous value are masked off, so one
+// rejoin does not report a 2^48-sized watermark skew.
+TEST(TransportHealth, RejoinedRankWatermarkMasksGeneration) {
+  Collector collector;
+  BatchTransport transport(&collector, 2);
+  EXPECT_TRUE(transport.ship(0, {{make_record(0, 0, 1.0, 2e-4)}}, 1.0));
+  EXPECT_TRUE(transport.ship(1, {{make_record(0, 1, 1.0, 2e-4)}}, 1.0));
+
+  transport.rejoin_rank(0, 2.0);
+  EXPECT_TRUE(transport.ship(0, {{make_record(0, 0, 2.1, 2e-4)}}, 2.1));
+
+  obs::HealthRecorder rec;
+  transport.sample_health(/*now=*/2.2, rec);
+  const auto& g = rec.gauges();
+  EXPECT_DOUBLE_EQ(g.at("watermark_min"), 1.0);
+  EXPECT_DOUBLE_EQ(g.at("watermark_skew"), 0.0);
 }
 
 // --- event log --------------------------------------------------------------
@@ -461,7 +511,9 @@ TEST(HealthPlane, ShardCrashLeavesRenderableFlightDump) {
   EXPECT_EQ(events.count(obs::EventKind::Recovery), 1u);
   // Every event from shard 0 — including the crash — carries its index.
   for (const auto& e : events.events()) {
-    if (e.kind == obs::EventKind::Crash) EXPECT_EQ(e.shard, 0);
+    if (e.kind == obs::EventKind::Crash) {
+      EXPECT_EQ(e.shard, 0);
+    }
   }
 
   const std::string text = slurp(flight_path);

@@ -350,8 +350,8 @@ TEST(MetricsRegistry, JsonlExportIsValidJson) {
 
 TEST(SpanTracer, ChromeTraceExportIsValidJson) {
   obs::SpanTracer tracer;
-  tracer.record({"alpha", "cat1", 0, 100, 50, 0.5, 0.75});
-  tracer.record({"beta \"quoted\"\n", "cat2", 3, 10, 5, -1.0, -1.0});
+  tracer.record({"alpha", "cat1", 0, 100, 50, 0.5, 0.75, -1, {}});
+  tracer.record({"beta \"quoted\"\n", "cat2", 3, 10, 5, -1.0, -1.0, -1, {}});
   EXPECT_EQ(tracer.span_count(), 2u);
 
   std::ostringstream out;
@@ -374,7 +374,7 @@ TEST(SpanTracer, BoundedCapacityCountsDrops) {
   // single thread always lands in its own stripe.
   obs::SpanTracer tracer(1);
   for (int i = 0; i < 5; ++i) {
-    tracer.record({"s" + std::to_string(i), "cat", 0, 0, 0});
+    tracer.record({"s" + std::to_string(i), "cat", 0, 0, 0, -1.0, -1.0, -1, {}});
   }
   EXPECT_EQ(tracer.span_count(), 1u);
   EXPECT_EQ(tracer.dropped_spans(), 4u);

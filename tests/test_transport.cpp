@@ -416,6 +416,88 @@ TEST(Transport, ReportedStaleSetSurvivesLateRecovery) {
   EXPECT_EQ(transport.reported_stale_ranks(), (std::vector<int>{0, 1}));
 }
 
+// Regression (elastic ranks): a rank that leaves, is swept stale, and later
+// rejoins under the same id ships a fresh incarnation whose sequence
+// numbers restart at zero. The pre-leave receive watermark must NOT swallow
+// those fresh deliveries as duplicates, and the rank must not stay (or be
+// re-) reported stale after an explicit rejoin.
+TEST(Transport, RejoinedRankDeliveriesNotSwallowedByOldWatermark) {
+  Collector collector;
+  TransportConfig cfg;
+  cfg.stale_after = 1.0;
+  BatchTransport transport(&collector, 2, cfg);
+
+  // First incarnation: three deliveries from rank 0.
+  for (int i = 0; i < 3; ++i) {
+    const double t = 0.1 * (i + 1);
+    EXPECT_TRUE(transport.ship(0, {{make_record(0, 0, t, 2.0)}}, t));
+  }
+  EXPECT_TRUE(transport.ship(1, {{make_record(0, 1, 1.4, 2.0)}}, 1.4));
+
+  // Rank 0 leaves; the sweep declares it stale.
+  std::vector<int> swept;
+  transport.sweep_stale(1.5, [&swept](int r) { swept.push_back(r); });
+  EXPECT_EQ(swept, std::vector<int>{0});
+  EXPECT_EQ(transport.reported_stale_ranks(), std::vector<int>{0});
+
+  // Rejoin under the same id: a fresh incarnation, shipping from seq 0.
+  EXPECT_TRUE(transport.rejoin_rank(0, 2.0));
+  for (int i = 0; i < 3; ++i) {
+    const double t = 2.0 + 0.1 * (i + 1);
+    EXPECT_TRUE(transport.ship(0, {{make_record(0, 0, t, 2.0)}}, t));
+  }
+  transport.drain();
+
+  // The fresh deliveries are unique, not duplicates of the first
+  // incarnation's seqs 0..2.
+  const auto stats = transport.rank_stats(0);
+  EXPECT_EQ(stats.duplicates_suppressed, 0u);
+  EXPECT_EQ(stats.batches_delivered, 6u);
+  EXPECT_EQ(collector.record_count(), 7u);
+
+  // Delivering again, the rank is live: not stale, not re-swept, and the
+  // explicit rejoin cleared the sticky reported verdict.
+  EXPECT_TRUE(transport.stale_ranks(2.4).empty());
+  EXPECT_EQ(transport.sweep_stale(2.4, nullptr), 0u);
+  EXPECT_TRUE(transport.reported_stale_ranks().empty());
+}
+
+// A straggler from the pre-leave incarnation arriving after the rejoin is
+// history, not news: it must be suppressed as a duplicate instead of
+// double-counting into the fresh incarnation's stream.
+TEST(Transport, PreRejoinStragglerIsSuppressedAfterRejoin) {
+  Collector collector;
+  ScriptedFaults faults([](int, uint64_t seq, uint32_t) {
+    TransportFaultModel::Decision d;
+    // The first incarnation's last batch is held back behind the next two
+    // deliveries — it releases mid-way through the second incarnation.
+    d.delay_batches = seq_local(seq) == 2 && seq_generation(seq) == 0 ? 2 : 0;
+    return d;
+  });
+  TransportConfig cfg;
+  cfg.stale_after = 1.0;
+  BatchTransport transport(&collector, 1, cfg, &faults);
+
+  for (int i = 0; i < 3; ++i) {
+    const double t = 0.1 * (i + 1);
+    EXPECT_TRUE(transport.ship(0, {{make_record(0, 0, t, 2.0)}}, t));
+  }
+  transport.sweep_stale(1.5, nullptr);
+  EXPECT_TRUE(transport.rejoin_rank(0, 2.0));
+  for (int i = 0; i < 3; ++i) {
+    const double t = 2.0 + 0.1 * (i + 1);
+    EXPECT_TRUE(transport.ship(0, {{make_record(0, 0, t, 2.0)}}, t));
+  }
+  transport.drain();
+
+  const auto stats = transport.rank_stats(0);
+  // The delayed gen-0 batch released after the rejoin reads as a duplicate
+  // of superseded history; the five on-time batches delivered.
+  EXPECT_EQ(stats.batches_delivered, 5u);
+  EXPECT_EQ(stats.duplicates_suppressed, 1u);
+  EXPECT_EQ(collector.record_count(), 5u);
+}
+
 // ---------------------------------------------------------------------------
 // BatchStage integration
 // ---------------------------------------------------------------------------
